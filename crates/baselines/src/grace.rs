@@ -1,0 +1,312 @@
+//! A behavioural re-implementation of **GRace-add** (Zheng et al.,
+//! the paper's reference \[26\]),
+//! the instrumentation-based shared-memory race detector the paper
+//! compares against in §VI-B ("GRace is two orders of magnitude slower
+//! than our software implementation and has higher memory overhead").
+//!
+//! GRace-add logs every monitored shared-memory access into per-warp
+//! tables in device memory and, at each synchronization point, checks the
+//! logged accesses of each warp against those of every other warp in the
+//! block. We reproduce that cost structure mechanically:
+//!
+//! * per access: bump the warp's log cursor (global atomic) and append
+//!   the address (global store);
+//! * per barrier: every thread sweeps the *other* warps' logs (global
+//!   loads, `O(warps × entries)` per thread) comparing against its own
+//!   last address, then warp leaders reset the cursors.
+//!
+//! The quadratic barrier sweep over device-memory logs is what produces
+//! the two-orders-of-magnitude slowdown; detection results for the
+//! comparison figures come from the oracle run, as with HAccRG-SW.
+
+use gpu_sim::isa::{AtomOp, BinOp, CmpOp, Kernel, Op, Reg, Space, SpecialReg, Src};
+
+use crate::instrument::{instrument, InstrumentCtx};
+
+/// Source-line tag for inserted instructions.
+pub const GRACE_LINE_TAG: u32 = 810_000;
+
+/// GRace instrumentation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GraceConfig {
+    /// Device address of the per-warp log cursors (one u32 per warp,
+    /// indexed by global warp ID).
+    pub cursors_base: u32,
+    /// Device address of the log area: `log_cap` u32 entries per warp.
+    pub logs_base: u32,
+    /// Entries per warp log (wraps when exceeded, as GRace's bounded
+    /// buffers do).
+    pub log_cap: u32,
+    /// Warps per block (static for a given launch).
+    pub warps_per_block: u32,
+    /// Warp width.
+    pub warp_size: u32,
+}
+
+impl GraceConfig {
+    /// Device bytes needed for cursors + logs over `total_warps` warps.
+    pub fn footprint(&self, total_warps: u32) -> u32 {
+        total_warps * 4 + total_warps * self.log_cap * 4
+    }
+}
+
+struct Regs {
+    gwarp: Reg,
+    last_addr: Reg,
+    // Shared straight-line/loop scratch (one set for all sites).
+    s0: Reg,
+    s1: Reg,
+    s2: Reg,
+    s3: Reg,
+    s4: Reg,
+    s5: Reg,
+    s6: Reg,
+    s7: Reg,
+    s8: Reg,
+    s9: Reg,
+    s10: Reg,
+    s11: Reg,
+    s12: Reg,
+}
+
+/// Instrument shared-memory accesses with GRace-add logging and barrier-
+/// time checking.
+pub fn instrument_grace(k: &Kernel, cfg: GraceConfig) -> Kernel {
+    let mut regs: Option<Regs> = None;
+    instrument(k, GRACE_LINE_TAG, |ins, ctx| {
+        let r = {
+            if regs.is_none() {
+                // Materialize per-thread constants once: the global warp
+                // id = ctaid * warps_per_block + tid / warp_size — plus a
+                // shared scratch set reused by every site.
+                let ctaid = ctx.reg();
+                let tid = ctx.reg();
+                let gwarp = ctx.reg();
+                let last_addr = ctx.reg();
+                let r = Regs {
+                    gwarp,
+                    last_addr,
+                    s0: ctx.reg(),
+                    s1: ctx.reg(),
+                    s2: ctx.reg(),
+                    s3: ctx.reg(),
+                    s4: ctx.reg(),
+                    s5: ctx.reg(),
+                    s6: ctx.reg(),
+                    s7: ctx.reg(),
+                    s8: ctx.reg(),
+                    s9: ctx.reg(),
+                    s10: ctx.reg(),
+                    s11: ctx.reg(),
+                    s12: ctx.reg(),
+                };
+                ctx.emit(Op::Sreg { d: ctaid, r: SpecialReg::Ctaid });
+                ctx.emit(Op::Sreg { d: tid, r: SpecialReg::Tid });
+                ctx.emit(Op::Bin { op: BinOp::Div, d: gwarp, a: tid.into(), b: Src::Imm(cfg.warp_size) });
+                ctx.emit(Op::Mad {
+                    d: gwarp,
+                    a: ctaid.into(),
+                    b: Src::Imm(cfg.warps_per_block),
+                    c: gwarp.into(),
+                });
+                ctx.emit(Op::Un { op: gpu_sim::isa::UnOp::Mov, d: last_addr, a: Src::Imm(0) });
+                regs = Some(r);
+            }
+            regs.as_ref().unwrap()
+        };
+
+        match ins.op {
+            Op::Ld { space: Space::Shared, addr, imm, .. }
+            | Op::St { space: Space::Shared, addr, imm, .. } => {
+                emit_log(ctx, &cfg, r, addr, imm);
+            }
+            Op::Bar => {
+                emit_barrier_check(ctx, &cfg, r);
+            }
+            _ => {}
+        }
+    })
+}
+
+/// Append the effective address to the warp's log.
+fn emit_log(ctx: &mut InstrumentCtx, cfg: &GraceConfig, r: &Regs, addr: Reg, imm: u32) {
+    let (a, cur_addr, slot, entry) = (r.s0, r.s1, r.s2, r.s3);
+
+    ctx.emit(Op::Bin { op: BinOp::Add, d: a, a: addr.into(), b: Src::Imm(imm) });
+    ctx.emit(Op::Un { op: gpu_sim::isa::UnOp::Mov, d: r.last_addr, a: a.into() });
+    // cursor address = cursors_base + gwarp*4
+    ctx.emit(Op::Bin { op: BinOp::Shl, d: cur_addr, a: r.gwarp.into(), b: Src::Imm(2) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: cur_addr, a: cur_addr.into(), b: Src::Imm(cfg.cursors_base) });
+    ctx.emit(Op::Atom {
+        space: Space::Global,
+        op: AtomOp::Add,
+        d: slot,
+        addr: cur_addr,
+        imm: 0,
+        src: Src::Imm(1),
+        src2: Src::Imm(0),
+    });
+    // entry address = logs_base + (gwarp*cap + slot % cap) * 4
+    ctx.emit(Op::Bin { op: BinOp::Rem, d: slot, a: slot.into(), b: Src::Imm(cfg.log_cap) });
+    ctx.emit(Op::Mad { d: entry, a: r.gwarp.into(), b: Src::Imm(cfg.log_cap), c: slot.into() });
+    ctx.emit(Op::Bin { op: BinOp::Shl, d: entry, a: entry.into(), b: Src::Imm(2) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: entry, a: entry.into(), b: Src::Imm(cfg.logs_base) });
+    ctx.emit(Op::St { space: Space::Global, addr: entry, imm: 0, src: a.into(), size: 4 });
+}
+
+/// The barrier-time pairwise sweep: every thread walks every other warp's
+/// log, comparing entries against its own last logged address.
+fn emit_barrier_check(ctx: &mut InstrumentCtx, cfg: &GraceConfig, r: &Regs) {
+    let ctaid = r.s0;
+    let first_warp = r.s1;
+    let w = r.s2;
+    let limit = r.s3;
+    let cur_addr = r.s4;
+    let count = r.s5;
+    let i = r.s6;
+    let entry = r.s7;
+    let v = r.s8;
+    let hits = r.s9;
+    let p_same = r.s10;
+    let p_w = r.s11;
+    let p_i = r.s12;
+
+    ctx.emit(Op::Sreg { d: ctaid, r: SpecialReg::Ctaid });
+    ctx.emit(Op::Bin { op: BinOp::Mul, d: first_warp, a: ctaid.into(), b: Src::Imm(cfg.warps_per_block) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: limit, a: first_warp.into(), b: Src::Imm(cfg.warps_per_block) });
+    ctx.emit(Op::Un { op: gpu_sim::isa::UnOp::Mov, d: w, a: first_warp.into() });
+    ctx.emit(Op::Un { op: gpu_sim::isa::UnOp::Mov, d: hits, a: Src::Imm(0) });
+
+    // Outer loop over the block's warps.
+    let outer_head = ctx.pc();
+    ctx.emit(Op::SetP { cmp: CmpOp::LtU, d: p_w, a: w.into(), b: limit.into() });
+    let outer_exit = ctx.emit(Op::Bra { pred: Some((p_w, false)), target: 0, reconv: 0 });
+
+    // Skip our own warp.
+    ctx.emit(Op::SetP { cmp: CmpOp::Eq, d: p_same, a: w.into(), b: r.gwarp.into() });
+    let skip_self = ctx.emit(Op::Bra { pred: Some((p_same, true)), target: 0, reconv: 0 });
+
+    // count = min(cursor[w], cap)
+    ctx.emit(Op::Bin { op: BinOp::Shl, d: cur_addr, a: w.into(), b: Src::Imm(2) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: cur_addr, a: cur_addr.into(), b: Src::Imm(cfg.cursors_base) });
+    ctx.emit(Op::Ld { space: Space::Global, d: count, addr: cur_addr, imm: 0, size: 4 });
+    ctx.emit(Op::Bin { op: BinOp::Min, d: count, a: count.into(), b: Src::Imm(cfg.log_cap) });
+
+    // Inner loop over that warp's log entries.
+    ctx.emit(Op::Un { op: gpu_sim::isa::UnOp::Mov, d: i, a: Src::Imm(0) });
+    let inner_head = ctx.pc();
+    ctx.emit(Op::SetP { cmp: CmpOp::LtU, d: p_i, a: i.into(), b: count.into() });
+    let inner_exit = ctx.emit(Op::Bra { pred: Some((p_i, false)), target: 0, reconv: 0 });
+    ctx.emit(Op::Mad { d: entry, a: w.into(), b: Src::Imm(cfg.log_cap), c: i.into() });
+    ctx.emit(Op::Bin { op: BinOp::Shl, d: entry, a: entry.into(), b: Src::Imm(2) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: entry, a: entry.into(), b: Src::Imm(cfg.logs_base) });
+    ctx.emit(Op::Ld { space: Space::Global, d: v, addr: entry, imm: 0, size: 4 });
+    ctx.emit(Op::SetP { cmp: CmpOp::Eq, d: v, a: v.into(), b: r.last_addr.into() });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: hits, a: hits.into(), b: v.into() });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: i, a: i.into(), b: Src::Imm(1) });
+    let inner_back = ctx.emit(Op::Bra { pred: None, target: inner_head, reconv: 0 });
+    let inner_end = ctx.pc();
+    ctx.patch_branch(inner_exit, inner_end, inner_end);
+    ctx.patch_branch(inner_back, inner_head, inner_end);
+
+    let after_skip = ctx.pc();
+    ctx.patch_branch(skip_self, after_skip, after_skip);
+    ctx.emit(Op::Bin { op: BinOp::Add, d: w, a: w.into(), b: Src::Imm(1) });
+    let outer_back = ctx.emit(Op::Bra { pred: None, target: outer_head, reconv: 0 });
+    let outer_end = ctx.pc();
+    ctx.patch_branch(outer_exit, outer_end, outer_end);
+    ctx.patch_branch(outer_back, outer_head, outer_end);
+
+    // Reset this warp's cursor (done redundantly by each lane — an
+    // over-write of zero, cheap relative to the sweep).
+    ctx.emit(Op::Bin { op: BinOp::Shl, d: cur_addr, a: r.gwarp.into(), b: Src::Imm(2) });
+    ctx.emit(Op::Bin { op: BinOp::Add, d: cur_addr, a: cur_addr.into(), b: Src::Imm(cfg.cursors_base) });
+    ctx.emit(Op::St { space: Space::Global, addr: cur_addr, imm: 0, src: Src::Imm(0), size: 4 });
+}
+
+/// Count of shared-memory access sites GRace instruments.
+pub fn monitored_sites(k: &Kernel) -> usize {
+    k.instrs
+        .iter()
+        .filter(|i| matches!(i.op, Op::Ld { space: Space::Shared, .. } | Op::St { space: Space::Shared, .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::isa::builder::KernelBuilder;
+    use gpu_sim::prelude::*;
+
+    /// A small shared-memory kernel with a barrier: stores, bar, loads.
+    fn shared_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("sh");
+        let sh = b.shared_alloc(256);
+        let outp = b.param(0);
+        let t = b.tid();
+        let o = b.shl(t, 2u32);
+        let sa = b.add(o, sh);
+        b.st(Space::Shared, sa, 0, t, 4);
+        b.bar();
+        // read the neighbour's slot
+        let t1 = b.add(t, 1u32);
+        let t1m = b.rem(t1, 32u32);
+        let o1 = b.shl(t1m, 2u32);
+        let sa1 = b.add(o1, sh);
+        let v = b.ld(Space::Shared, sa1, 0, 4);
+        let ga = b.add(outp, o);
+        b.st(Space::Global, ga, 0, v, 4);
+        b.build()
+    }
+
+    fn cfg(cursors: u32, logs: u32) -> GraceConfig {
+        GraceConfig { cursors_base: cursors, logs_base: logs, log_cap: 64, warps_per_block: 2, warp_size: 32 }
+    }
+
+    #[test]
+    fn monitored_site_counting() {
+        assert_eq!(monitored_sites(&shared_kernel()), 2);
+    }
+
+    #[test]
+    fn instrumented_kernel_is_valid_and_correct() {
+        let k = shared_kernel();
+        let mut gpu = Gpu::new(GpuConfig::test_small());
+        let outp = gpu.alloc(64 * 4);
+        let cursors = gpu.alloc(64 * 4);
+        let logs = gpu.alloc(64 * 64 * 4);
+        let k2 = instrument_grace(&k, cfg(cursors, logs));
+        assert!(k2.validate().is_ok());
+        gpu.launch(&k2, 1, 64, &[outp]).unwrap();
+        let got = gpu.mem.copy_to_host_u32(outp, 64);
+        for (t, &v) in got.iter().enumerate().take(32) {
+            assert_eq!(v, ((t as u32) + 1) % 32);
+        }
+    }
+
+    #[test]
+    fn grace_is_far_more_expensive_than_plain_execution() {
+        let k = shared_kernel();
+        let base = {
+            let mut gpu = Gpu::new(GpuConfig::test_small());
+            let outp = gpu.alloc(64 * 4);
+            gpu.launch(&k, 2, 64, &[outp]).unwrap().stats
+        };
+        let grace = {
+            let mut gpu = Gpu::new(GpuConfig::test_small());
+            let outp = gpu.alloc(64 * 4);
+            let cursors = gpu.alloc(64 * 4);
+            let logs = gpu.alloc(64 * 64 * 4);
+            let k2 = instrument_grace(&k, cfg(cursors, logs));
+            gpu.launch(&k2, 2, 64, &[outp]).unwrap().stats
+        };
+        assert!(
+            grace.cycles > base.cycles * 3,
+            "GRace sweep should dominate: {} vs {}",
+            grace.cycles,
+            base.cycles
+        );
+        assert!(grace.global_loads > base.global_loads + 50);
+        assert!(grace.atomics >= 64 * 2, "one cursor bump per monitored access");
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the Bloom-filter atomic-ID signatures
+//! (§III-B): insertion, intersection, and the null check the global RDU
+//! performs for every critical-section access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use haccrg::bloom::{BloomConfig, BloomSig};
+
+fn signature_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.throughput(Throughput::Elements(1));
+
+    for cfg in [
+        BloomConfig { bits: 8, bins: 2 },
+        BloomConfig { bits: 16, bins: 2 },
+        BloomConfig { bits: 32, bins: 4 },
+    ] {
+        g.bench_function(format!("insert_{}b{}bin", cfg.bits, cfg.bins), |b| {
+            let mut addr = 0u32;
+            b.iter(|| {
+                addr = addr.wrapping_add(4);
+                let mut s = BloomSig::EMPTY;
+                s.insert(black_box(addr), cfg);
+                black_box(s)
+            })
+        });
+
+        g.bench_function(format!("null_check_{}b{}bin", cfg.bits, cfg.bins), |b| {
+            let a = BloomSig::of_lock(0x1000, cfg);
+            let x = BloomSig::of_lock(0x2004, cfg);
+            b.iter(|| black_box(a.is_null_intersection(black_box(x), cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn lockset_register(c: &mut Criterion) {
+    use haccrg::lockset::AtomicIdRegister;
+    let cfg = BloomConfig::PAPER_DEFAULT;
+    c.bench_function("atomic_id_acquire_release", |b| {
+        let mut r = AtomicIdRegister::default();
+        b.iter(|| {
+            r.acquire(black_box(0x1234_5670), cfg);
+            black_box(r.signature());
+            r.release();
+        })
+    });
+}
+
+criterion_group!(benches, signature_ops, lockset_register);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end Criterion benchmarks: whole-kernel simulation throughput
+//! with detection off, shared-only, and combined — the Fig. 7 comparison
+//! as a continuously tracked regression benchmark (on the SCAN kernel at
+//! tiny scale so a run stays in milliseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haccrg::config::DetectorConfig;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::scan::Scan;
+use haccrg_workloads::Scale;
+
+fn simulate_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_scan_tiny");
+    g.sample_size(20);
+    g.bench_function("no_detection", |b| {
+        b.iter(|| black_box(run(&Scan::single_block(), &RunConfig::base(Scale::Tiny)).unwrap().stats.cycles))
+    });
+    g.bench_function("shared_only", |b| {
+        b.iter(|| {
+            black_box(
+                run(
+                    &Scan::single_block(),
+                    &RunConfig::with_detector(Scale::Tiny, DetectorConfig::shared_only()),
+                )
+                .unwrap()
+                .stats
+                .cycles,
+            )
+        })
+    });
+    g.bench_function("shared_and_global", |b| {
+        b.iter(|| {
+            black_box(run(&Scan::single_block(), &RunConfig::detecting(Scale::Tiny)).unwrap().stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulate_scan);
+criterion_main!(benches);

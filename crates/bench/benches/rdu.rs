@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the shared and global RDUs on synthetic
+//! access streams: the per-access cost of the full detection path
+//! (granularity mapping, state machine, race logging).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use haccrg::prelude::*;
+
+fn shared_rdu_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_rdu");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("racefree_64_accesses", |b| {
+        let clocks = ClockFile::new(4, 32);
+        b.iter_with_setup(
+            || {
+                (
+                    SharedRdu::new(0, 16 * 1024, 16, Granularity::SHARED_DEFAULT, true, BloomConfig::PAPER_DEFAULT),
+                    RaceLog::default(),
+                )
+            },
+            |(mut rdu, mut log)| {
+                for t in 0..64u32 {
+                    let who = ThreadCoord::new(t, t / 32, 0, 0);
+                    let a = MemAccess::plain(t * 4, 4, AccessKind::Write, who);
+                    rdu.observe(&a, &clocks, &mut log);
+                }
+                black_box(log.distinct())
+            },
+        )
+    });
+
+    g.bench_function("racy_64_accesses", |b| {
+        let clocks = ClockFile::new(4, 32);
+        b.iter_with_setup(
+            || {
+                (
+                    SharedRdu::new(0, 16 * 1024, 16, Granularity::SHARED_DEFAULT, true, BloomConfig::PAPER_DEFAULT),
+                    RaceLog::default(),
+                )
+            },
+            |(mut rdu, mut log)| {
+                for t in 0..64u32 {
+                    let who = ThreadCoord::new(t, t / 32, 0, 0);
+                    // Everyone hammers the same word: one race per access
+                    // after the first.
+                    let a = MemAccess::plain(64, 4, AccessKind::Write, who);
+                    rdu.observe(&a, &clocks, &mut log);
+                }
+                black_box(log.distinct())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn barrier_reset(c: &mut Criterion) {
+    c.bench_function("shared_rdu_barrier_reset_16kb", |b| {
+        let mut rdu =
+            SharedRdu::new(0, 16 * 1024, 16, Granularity::SHARED_DEFAULT, true, BloomConfig::PAPER_DEFAULT);
+        b.iter(|| black_box(rdu.reset_block_range(0, 16 * 1024)))
+    });
+}
+
+fn global_rdu_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_rdu");
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("coalesced_warp_check", |b| {
+        let clocks = ClockFile::new(64, 2048);
+        b.iter_with_setup(
+            || {
+                (
+                    GlobalRdu::new(
+                        0x1000,
+                        1 << 20,
+                        0x100_0000,
+                        Granularity::GLOBAL_DEFAULT,
+                        true,
+                        true,
+                        BloomConfig::PAPER_DEFAULT,
+                    ),
+                    RaceLog::default(),
+                )
+            },
+            |(mut rdu, mut log)| {
+                let mut traffic = 0u32;
+                for l in 0..32u32 {
+                    let who = ThreadCoord::new(l, 0, 0, 0);
+                    let a = MemAccess::plain(0x1000 + l * 4, 4, AccessKind::Read, who);
+                    traffic += u32::from(rdu.observe(&a, &clocks, &mut log).reads);
+                }
+                black_box(traffic)
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, shared_rdu_stream, barrier_reset, global_rdu_stream);
+criterion_main!(benches);

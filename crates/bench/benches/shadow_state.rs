@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the shadow-entry state machine — the
+//! operation HAccRG hardware performs on every memory access, so its
+//! software cost bounds how fast trace-replay detection can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use haccrg::prelude::*;
+use haccrg::shadow::{ShadowPolicy, FRESH};
+
+fn observe_throughput(c: &mut Criterion) {
+    let clocks = ClockFile::new(64, 2048);
+    let policy = ShadowPolicy::global(true, true, BloomConfig::PAPER_DEFAULT);
+
+    let mut g = c.benchmark_group("shadow_observe");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("same_thread_rw", |b| {
+        let who = ThreadCoord::new(0, 0, 0, 0);
+        let rd = MemAccess::plain(0, 4, AccessKind::Read, who);
+        let wr = MemAccess::plain(0, 4, AccessKind::Write, who);
+        let mut e = FRESH;
+        e.observe(&wr, &clocks, &policy);
+        b.iter(|| {
+            black_box(e.observe(black_box(&rd), &clocks, &policy));
+            black_box(e.observe(black_box(&wr), &clocks, &policy));
+        });
+    });
+
+    g.bench_function("cross_warp_read_shared", |b| {
+        // State 4 steady state: reads from many warps.
+        let mut e = FRESH;
+        e.observe(
+            &MemAccess::plain(0, 4, AccessKind::Read, ThreadCoord::new(0, 0, 0, 0)),
+            &clocks,
+            &policy,
+        );
+        e.observe(
+            &MemAccess::plain(0, 4, AccessKind::Read, ThreadCoord::new(32, 1, 0, 0)),
+            &clocks,
+            &policy,
+        );
+        let rd = MemAccess::plain(0, 4, AccessKind::Read, ThreadCoord::new(64, 2, 1, 1));
+        b.iter(|| black_box(e.observe(black_box(&rd), &clocks, &policy)));
+    });
+
+    g.bench_function("lockset_intersection", |b| {
+        let cfg = BloomConfig::PAPER_DEFAULT;
+        let mut e = FRESH;
+        let a0 = MemAccess::plain(0, 4, AccessKind::Write, ThreadCoord::new(0, 0, 0, 0))
+            .locked(BloomSig::of_lock(0x100, cfg));
+        e.observe(&a0, &clocks, &policy);
+        let mut clocks2 = ClockFile::new(64, 2048);
+        clocks2.on_fence(0);
+        let a1 = MemAccess::plain(0, 4, AccessKind::Write, ThreadCoord::new(32, 1, 0, 0))
+            .locked(BloomSig::of_lock(0x100, cfg));
+        b.iter(|| black_box(e.observe(black_box(&a1), &clocks2, &policy)));
+    });
+    g.finish();
+}
+
+fn fresh_epoch_open(c: &mut Criterion) {
+    let clocks = ClockFile::new(64, 2048);
+    let policy = ShadowPolicy::shared(true, BloomConfig::PAPER_DEFAULT);
+    let who = ThreadCoord::new(3, 0, 0, 0);
+    let wr = MemAccess::plain(0, 4, AccessKind::Write, who);
+    c.bench_function("shadow_epoch_open", |b| {
+        b.iter(|| {
+            let mut e = FRESH;
+            black_box(e.observe(black_box(&wr), &clocks, &policy));
+            e
+        })
+    });
+}
+
+criterion_group!(benches, observe_throughput, fresh_epoch_open);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerate the §VI-A2 atomic-ID (Bloom signature) stress test over one
+//! million random lock pairs.
+//! Usage: `cargo run --release -p haccrg-bench --bin bloom_stress [--pairs N]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pairs = args
+        .iter()
+        .position(|a| a == "--pairs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    println!("{}", haccrg_bench::figures::bloom_stress(pairs).render());
+}

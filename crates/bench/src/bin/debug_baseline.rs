@@ -1,0 +1,22 @@
+//! Debug utility: run the software baselines on SCAN at tiny scale with a
+//! short watchdog to expose hangs quickly.
+
+use gpu_sim::prelude::*;
+use haccrg_baselines::{run_baseline, BaselineKind};
+use haccrg_workloads::scan::Scan;
+use haccrg_workloads::Scale;
+
+fn main() {
+    let mut cfg = GpuConfig::quadro_fx5800();
+    cfg.watchdog_cycles = 3_000_000;
+    println!("running SW baseline…");
+    match run_baseline(&Scan::single_block(), BaselineKind::SwHaccrg, cfg, Scale::Tiny) {
+        Ok(o) => println!("SW ok: {} cycles, verify {:?}", o.stats.cycles, o.verified.is_ok()),
+        Err(e) => println!("SW ERR: {e}"),
+    }
+    println!("running GRace baseline…");
+    match run_baseline(&Scan::single_block(), BaselineKind::GraceAdd, cfg, Scale::Tiny) {
+        Ok(o) => println!("GRace ok: {} cycles, verify {:?}", o.stats.cycles, o.verified.is_ok()),
+        Err(e) => println!("GRace ERR: {e}"),
+    }
+}

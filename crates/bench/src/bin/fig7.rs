@@ -1,0 +1,8 @@
+//! Regenerate Fig. 7 (normalized execution time; HW vs SW vs GRace).
+//! Usage: `cargo run --release -p haccrg-bench --bin fig7 [--scale …] [--no-software]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    let with_sw = !std::env::args().any(|a| a == "--no-software");
+    println!("{}", haccrg_bench::figures::fig7(scale, with_sw).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Fig. 8 (shared shadow entries in hardware vs global memory).
+//! Usage: `cargo run --release -p haccrg-bench --bin fig8 [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::figures::fig8(scale).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Fig. 9 (DRAM bandwidth utilization).
+//! Usage: `cargo run --release -p haccrg-bench --bin fig9 [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::figures::fig9(scale).render());
+}

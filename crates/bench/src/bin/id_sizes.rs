@@ -1,0 +1,7 @@
+//! §VI-A2 — sizing of sync and fence IDs across the suite.
+//! Usage: `cargo run --release -p haccrg-bench --bin id_sizes [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::tables::id_sizing(scale).render());
+}

@@ -1,0 +1,97 @@
+//! Run one Table II benchmark under a chosen detector configuration and
+//! print its statistics and race report.
+//!
+//! ```console
+//! $ cargo run --release -p haccrg-bench --bin runbench -- \
+//!       --bench SCAN --detector full --scale tiny
+//! ```
+//!
+//! Options:
+//! * `--bench NAME`      — Table II name (required; see `--list`)
+//! * `--detector MODE`   — `off` | `shared` | `full` (default `full`)
+//! * `--scale SCALE`     — `paper` | `repro` | `tiny` (default `repro`)
+//! * `--multi-block`     — use the racy multi-block variants of SCAN/KMEANS
+//!                          and the buggy OFFT (the default); `--clean`
+//!                          selects the fixed variants
+//! * `--list`            — list benchmarks and exit
+
+use haccrg::config::DetectorConfig;
+use haccrg_workloads::kmeans::KMeans;
+use haccrg_workloads::offt::OffT;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::scan::Scan;
+use haccrg_workloads::{all_benchmarks, benchmark_by_name, Benchmark};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+
+    if args.iter().any(|a| a == "--list") {
+        for b in all_benchmarks() {
+            println!("{:8} {}", b.name(), b.paper_inputs());
+        }
+        return;
+    }
+
+    let Some(name) = get("--bench") else {
+        eprintln!("usage: runbench --bench NAME [--detector off|shared|full] [--scale paper|repro|tiny] [--clean] [--list]");
+        std::process::exit(2);
+    };
+    let scale = haccrg_bench::scale_from_args();
+    let clean = args.iter().any(|a| a == "--clean");
+
+    let bench: Box<dyn Benchmark> = match (name.to_uppercase().as_str(), clean) {
+        ("SCAN", true) => Box::new(Scan::single_block()),
+        ("KMEANS", true) => Box::new(KMeans::single_block()),
+        ("OFFT", true) => Box::new(OffT::fixed()),
+        _ => match benchmark_by_name(&name) {
+            Some(b) => b,
+            None => {
+                eprintln!("unknown benchmark {name:?}; try --list");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let cfg = match get("--detector").as_deref() {
+        Some("off") => RunConfig::base(scale),
+        Some("shared") => RunConfig::with_detector(scale, DetectorConfig::shared_only()),
+        _ => RunConfig::detecting(scale),
+    };
+
+    let out = run(bench.as_ref(), &cfg).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("benchmark : {}", bench.name());
+    println!("launches  : {}", out.launches);
+    println!("verify    : {}", match &out.verified { Ok(()) => "ok".into(), Err(e) => format!("FAIL — {e}") });
+    let s = &out.stats;
+    println!("cycles    : {}", s.cycles);
+    println!("warp inst : {}  (IPC {:.3})", s.warp_instructions, s.ipc());
+    println!(
+        "mix       : {:.1}% shared, {:.1}% global",
+        s.shared_inst_fraction() * 100.0,
+        s.global_inst_fraction() * 100.0
+    );
+    println!(
+        "caches    : L1 {:.1}% hit, L2 {:.1}% hit",
+        s.l1.hit_rate() * 100.0,
+        s.l2.hit_rate() * 100.0
+    );
+    println!("DRAM util : {:.2}%", s.dram_utilization(8) * 100.0);
+    println!(
+        "detector  : {} shadow L2 accesses, {} probes, {} reset-stall cycles",
+        s.shadow_l2_accesses, s.probe_packets, s.shadow_reset_stall_cycles
+    );
+    println!("max IDs   : sync {}, fence {}", out.max_sync_id, out.max_fence_id);
+    println!("shadow mem: {} bytes packed over {} tracked", out.shadow_packed_bytes, out.tracked_bytes);
+    println!("races     : {} distinct ({} dynamic)", out.races.distinct(), out.races.total());
+    for r in out.races.records().iter().take(20) {
+        println!("  {r}");
+    }
+    if out.races.distinct() > 20 {
+        println!("  … and {} more", out.races.distinct() - 20);
+    }
+}

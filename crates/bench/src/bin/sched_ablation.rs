@@ -1,0 +1,57 @@
+//! Scheduler ablation: HAccRG's overhead under round-robin (Table I)
+//! versus greedy-then-oldest warp scheduling. Detection verdicts must be
+//! scheduling-independent; the overhead ratios should be similar — the
+//! detector burdens memory traffic, not the issue policy.
+//!
+//! Usage: `cargo run --release -p haccrg-bench --bin sched_ablation [--scale …]`
+
+use gpu_sim::config::SchedPolicy;
+use gpu_sim::prelude::GpuConfig;
+use haccrg::config::DetectorConfig;
+use haccrg_bench::parallel_map;
+use haccrg_bench::report::Table;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::all_benchmarks;
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    let rows = parallel_map(all_benchmarks(), |b| {
+        let mut result = vec![b.name().to_string()];
+        let mut races = Vec::new();
+        for policy in [SchedPolicy::RoundRobin, SchedPolicy::GreedyThenOldest] {
+            let mut gpu_cfg = GpuConfig::quadro_fx5800();
+            gpu_cfg.sched = policy;
+            let base = run(
+                b.as_ref(),
+                &RunConfig { gpu: gpu_cfg, detector: None, scale },
+            )
+            .expect("base");
+            let det = run(
+                b.as_ref(),
+                &RunConfig {
+                    gpu: gpu_cfg,
+                    detector: Some(gpu_sim::prelude::DetectorSetup {
+                        cfg: DetectorConfig::paper_default(),
+                        mode: gpu_sim::detector::DetectorMode::Hardware,
+                    }),
+                    scale,
+                },
+            )
+            .expect("detect");
+            result.push(base.stats.cycles.to_string());
+            result.push(format!("{:.3}", det.stats.cycles as f64 / base.stats.cycles as f64));
+            races.push(det.races.any());
+        }
+        result.push(if races[0] == races[1] { "agree".into() } else { "DISAGREE".into() });
+        result
+    });
+
+    let mut t = Table::new(
+        "Scheduler ablation — detection overhead under RR vs GTO",
+        &["benchmark", "RR base cycles", "RR overhead", "GTO base cycles", "GTO overhead", "verdicts"],
+    );
+    for r in rows {
+        t.row(r);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table II (benchmark suite & instruction mix).
+//! Usage: `cargo run --release -p haccrg-bench --bin table2 [--scale paper|repro|tiny]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::tables::table1().render());
+    println!("{}", haccrg_bench::tables::table2(scale).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table III (false races vs tracking granularity).
+//! Usage: `cargo run --release -p haccrg-bench --bin table3 [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::tables::table3(scale, true).render());
+    println!("{}", haccrg_bench::tables::table3(scale, false).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table IV (global shadow overhead) and the §VI-C2 hardware
+//! budget. Usage: `cargo run --release -p haccrg-bench --bin table4 [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::tables::table4(scale).render());
+    println!("{}", haccrg_bench::tables::hardware_budget_table().render());
+}

@@ -1,0 +1,8 @@
+//! §IV-B virtual-memory ablation: the paper's two dual-translation TLB
+//! mechanisms over recorded per-benchmark page streams.
+//! Usage: `cargo run --release -p haccrg-bench --bin tlb_ablation [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::figures::tlb_ablation(scale, 64, 4, 16).render());
+}

@@ -1,0 +1,10 @@
+//! Algorithm-variant ablation: the SDK's alternative implementations of
+//! SCAN (work-efficient Blelloch) and HIST (256-bin shared atomics) under
+//! HAccRG.
+//!
+//! Usage: `cargo run --release -p haccrg-bench --bin variants [--scale …]`
+
+fn main() {
+    let scale = haccrg_bench::scale_from_args();
+    println!("{}", haccrg_bench::tables::variants_table(scale).render());
+}

@@ -1,0 +1,300 @@
+//! §VI-A — detection effectiveness: the three *real* races the paper
+//! found (multi-block SCAN and KMEANS, buggy OFFT) and the campaign of 41
+//! *injected* races (23 barrier removals, 13 cross-block dummy accesses,
+//! 3 fence removals, 2 critical-section violations), all of which HAccRG
+//! must detect.
+
+use haccrg::access::MemSpace;
+use haccrg::prelude::RaceCategory;
+use haccrg_workloads::hash::{hash_of, Hash};
+use haccrg_workloads::inject::{apply, Injection};
+use haccrg_workloads::kmeans::KMeans;
+use haccrg_workloads::offt::OffT;
+use haccrg_workloads::runner::{run, run_instance, RunConfig};
+use haccrg_workloads::scan::Scan;
+use haccrg_workloads::{benchmark_by_name, Benchmark, Scale};
+
+use gpu_sim::prelude::Gpu;
+
+use crate::parallel_map;
+use crate::report::Table;
+
+/// The four §VI-A injection categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjKind {
+    Barrier,
+    CrossBlock,
+    Fence,
+    CriticalSection,
+}
+
+impl InjKind {
+    fn label(self) -> &'static str {
+        match self {
+            InjKind::Barrier => "barrier removal",
+            InjKind::CrossBlock => "cross-block access",
+            InjKind::Fence => "fence removal",
+            InjKind::CriticalSection => "critical section",
+        }
+    }
+}
+
+/// One planned fault.
+pub struct Plan {
+    /// Human-readable label.
+    pub label: String,
+    /// Benchmark factory (fresh instance per run).
+    pub bench: Box<dyn Benchmark>,
+    /// Which launch's kernel is mutated.
+    pub launch: usize,
+    pub injection: Injection,
+    pub kind: InjKind,
+}
+
+fn plan(
+    name: &str,
+    launch: usize,
+    injection: Injection,
+    kind: InjKind,
+) -> Plan {
+    Plan {
+        label: format!("{name}/{injection:?}"),
+        bench: boxed(name),
+        launch,
+        injection,
+        kind,
+    }
+}
+
+fn boxed(name: &str) -> Box<dyn Benchmark> {
+    // Clean variants for the benchmarks whose default configuration has
+    // real races, so injected effects are attributable.
+    match name {
+        "SCAN" => Box::new(Scan::single_block()),
+        "SCAN-multi" => Box::new(Scan::default()),
+        "KMEANS" => Box::new(KMeans::single_block()),
+        "OFFT" => Box::new(OffT::fixed()),
+        other => benchmark_by_name(other).unwrap_or_else(|| panic!("unknown benchmark {other}")),
+    }
+}
+
+/// The 41-fault campaign of §VI-A, mirroring the paper's distribution:
+/// 23 barrier removals + 13 cross-block accesses + 3 fence removals +
+/// 2 critical-section violations.
+pub fn campaign(scale: Scale) -> Vec<Plan> {
+    let mut plans = Vec::new();
+
+    // --- 23 barrier removals ---
+    // Sites are chosen so removal creates *cross-warp* conflicts: barriers
+    // that only order same-warp accesses (e.g. small-stride bitonic
+    // stages, narrow tree-reduce levels) are ordered by lockstep execution
+    // anyway and correctly yield no race when dropped — exactly the
+    // §III-A warp rule.
+    for i in 0..6 {
+        plans.push(plan("SCAN", 0, Injection::DropBarrier(i), InjKind::Barrier));
+    }
+    // SORTNW: barriers adjacent to stride ≥ 32 stages.
+    for i in [22usize, 28, 29, 30, 37, 38, 39] {
+        plans.push(plan("SORTNW", 0, Injection::DropBarrier(i), InjKind::Barrier));
+    }
+    // MCARLO: the store barrier and the s=64 tree level.
+    for i in 0..2 {
+        plans.push(plan("MCARLO", 0, Injection::DropBarrier(i), InjKind::Barrier));
+    }
+    // FWALSH: barriers before the h ≥ 64 butterfly stages.
+    for i in [6usize, 7, 8, 9] {
+        // FWALSH's shared-memory kernel is the last launch.
+        plans.push(Plan {
+            label: format!("FWALSH/DropBarrier({i})"),
+            bench: boxed("FWALSH"),
+            launch: usize::MAX, // resolved to the last launch at run time
+            injection: Injection::DropBarrier(i),
+            kind: InjKind::Barrier,
+        });
+    }
+    plans.push(plan("HIST", 0, Injection::DropBarrier(1), InjKind::Barrier));
+    for i in 0..2 {
+        plans.push(plan("REDUCE", 0, Injection::DropBarrier(i), InjKind::Barrier));
+    }
+    plans.push(plan("OFFT", 1, Injection::DropBarrier(0), InjKind::Barrier));
+
+    // --- 13 cross-block dummy accesses ---
+    for (name, launch, p) in [
+        ("MCARLO", 0, 0),
+        ("MCARLO", 0, 1),
+        ("SCAN-multi", 0, 0),
+        ("HIST", 0, 0),
+        ("HIST", 0, 1),
+        ("SORTNW", 0, 0),
+        ("SORTNW", 0, 1),
+        ("REDUCE", 0, 0),
+        ("REDUCE", 0, 1),
+        ("PSUM", 0, 0),
+        ("PSUM", 0, 1),
+        ("KMEANS", 0, 0),
+        ("HASH", 0, 0),
+    ] {
+        plans.push(plan(name, launch, Injection::CrossBlockWrite { param_idx: p }, InjKind::CrossBlock));
+    }
+
+    // --- 3 fence removals ---
+    plans.push(plan("REDUCE", 0, Injection::DropFence(0), InjKind::Fence));
+    plans.push(plan("PSUM", 0, Injection::DropFence(1), InjKind::Fence));
+    plans.push(plan("HASH", 0, Injection::DropFence(0), InjKind::Fence));
+
+    // --- 2 critical-section violations ---
+    // Target buckets owned by threads 1 and 2 (not thread 0, which is the
+    // first to execute the injected unprotected write and would make the
+    // later protected access same-thread).
+    let (table_n, keys_n, _) = Hash::geometry(scale);
+    let keys = Hash::keys(keys_n);
+    for &k in keys.iter().skip(1).take(2) {
+        let bucket = hash_of(k, table_n - 1);
+        plans.push(plan(
+            "HASH",
+            0,
+            Injection::UnprotectedWrite { param_idx: 1, offset: bucket * 4 },
+            InjKind::CriticalSection,
+        ));
+    }
+
+    assert_eq!(plans.len(), 41);
+    plans
+}
+
+/// Result of one injected run.
+pub struct InjectionResult {
+    pub label: String,
+    pub kind: InjKind,
+    pub detected: bool,
+    pub new_distinct: usize,
+    pub categories: Vec<RaceCategory>,
+}
+
+/// Execute one plan: run clean, run injected, compare.
+pub fn run_plan(p: &Plan, scale: Scale) -> InjectionResult {
+    let clean = run(p.bench.as_ref(), &RunConfig::detecting(scale)).expect("clean run");
+    let cfg = RunConfig::detecting(scale);
+    let mut gpu = Gpu::new(cfg.gpu);
+    gpu.set_detector(cfg.detector);
+    let mut inst = p.bench.prepare(&mut gpu, scale);
+    let li = if p.launch == usize::MAX { inst.launches.len() - 1 } else { p.launch };
+    let (mutated, planted) = apply(&inst.launches[li].kernel, p.injection);
+    assert!(planted > 0, "{}: injection site missing", p.label);
+    inst.launches[li].kernel = mutated;
+    let injected = run_instance(&mut gpu, &inst).expect("injected run");
+
+    // A fault counts as detected when the injected run reports a race the
+    // clean run did not — set difference on dedup keys, so benchmarks
+    // with pre-existing reports (e.g. HIST's granularity false positives)
+    // cannot mask the planted fault.
+    let key = |r: &haccrg::prelude::RaceRecord| (r.space, r.addr, r.kind, r.category, r.pc);
+    let clean_keys: std::collections::HashSet<_> = clean.races.records().iter().map(key).collect();
+    let fresh: Vec<_> =
+        injected.races.records().iter().filter(|r| !clean_keys.contains(&key(r))).collect();
+    let categories: Vec<RaceCategory> = fresh.iter().map(|r| r.category).collect();
+    InjectionResult {
+        label: p.label.clone(),
+        kind: p.kind,
+        detected: !fresh.is_empty(),
+        new_distinct: fresh.len(),
+        categories,
+    }
+}
+
+/// Run the whole campaign; returns per-injection results.
+pub fn run_campaign(scale: Scale) -> Vec<InjectionResult> {
+    parallel_map(campaign(scale), |p| run_plan(&p, scale))
+}
+
+/// Render the campaign as a summary table.
+pub fn campaign_table(results: &[InjectionResult]) -> Table {
+    let mut t = Table::new(
+        "§VI-A — injected races (paper: 41 injected, 41 detected)",
+        &["category", "injected", "detected"],
+    );
+    for kind in [InjKind::Barrier, InjKind::CrossBlock, InjKind::Fence, InjKind::CriticalSection] {
+        let of_kind: Vec<_> = results.iter().filter(|r| r.kind == kind).collect();
+        let detected = of_kind.iter().filter(|r| r.detected).count();
+        t.row(vec![kind.label().into(), of_kind.len().to_string(), detected.to_string()]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        results.len().to_string(),
+        results.iter().filter(|r| r.detected).count().to_string(),
+    ]);
+    t
+}
+
+/// The §VI-A real-race table: per benchmark (paper-default variants),
+/// races by space and category.
+pub fn real_races(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "§VI-A — real races in the suite (documented: SCAN, KMEANS multi-block; OFFT address bug)",
+        &["benchmark", "shared races", "global races", "categories", "expected?"],
+    );
+    let rows = parallel_map(haccrg_workloads::all_benchmarks(), |b| {
+        let out = run(b.as_ref(), &RunConfig::detecting(scale)).expect("run");
+        let shared = out.races.count_space(MemSpace::Shared);
+        let global = out.races.count_space(MemSpace::Global);
+        let mut cats: Vec<String> =
+            out.races.records().iter().map(|r| r.category.to_string()).collect();
+        cats.sort();
+        cats.dedup();
+        vec![
+            b.name().to_string(),
+            shared.to_string(),
+            global.to_string(),
+            if cats.is_empty() { "-".into() } else { cats.join(",") },
+            if out.expect_races { "yes".into() } else { "no".into() },
+        ]
+    });
+    for r in rows {
+        t.row(r);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_has_the_paper_distribution() {
+        let plans = campaign(Scale::Tiny);
+        let count = |k: InjKind| plans.iter().filter(|p| p.kind == k).count();
+        assert_eq!(count(InjKind::Barrier), 23);
+        assert_eq!(count(InjKind::CrossBlock), 13);
+        assert_eq!(count(InjKind::Fence), 3);
+        assert_eq!(count(InjKind::CriticalSection), 2);
+    }
+
+    #[test]
+    fn a_barrier_injection_is_detected() {
+        let plans = campaign(Scale::Tiny);
+        let p = plans.iter().find(|p| p.kind == InjKind::Barrier).unwrap();
+        let r = run_plan(p, Scale::Tiny);
+        assert!(r.detected, "{}: no race detected", r.label);
+    }
+
+    #[test]
+    fn a_critical_section_injection_is_detected() {
+        let plans = campaign(Scale::Tiny);
+        let p = plans.iter().find(|p| p.kind == InjKind::CriticalSection).unwrap();
+        let r = run_plan(p, Scale::Tiny);
+        assert!(r.detected, "{}: no race detected", r.label);
+        assert!(
+            r.categories.contains(&RaceCategory::CriticalSection),
+            "{:?}",
+            r.categories
+        );
+    }
+
+    #[test]
+    fn a_fence_injection_is_detected() {
+        let plans = campaign(Scale::Tiny);
+        let p = plans.iter().find(|p| p.kind == InjKind::Fence).unwrap();
+        let r = run_plan(p, Scale::Tiny);
+        assert!(r.detected, "{}: no race detected", r.label);
+    }
+}

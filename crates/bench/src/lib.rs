@@ -1,0 +1,76 @@
+//! # haccrg-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §V–VI:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table2` | Table II — benchmark suite & instruction mix |
+//! | `table3` | Table III — false races vs tracking granularity |
+//! | `table4` | Table IV — global shadow-memory overhead (+ §VI-C2 hardware budget) |
+//! | `fig7`   | Fig. 7 — normalized execution time (HW, SW, GRace) |
+//! | `fig8`   | Fig. 8 — shared shadow entries spilled to global memory |
+//! | `fig9`   | Fig. 9 — DRAM bandwidth utilization |
+//! | `effectiveness` | §VI-A — real + injected race detection |
+//! | `bloom_stress`  | §VI-A2 — atomic-ID signature accuracy |
+//! | `all`    | everything above, writing `EXPERIMENTS.md` |
+//!
+//! Criterion micro-benchmarks for the detector and simulator hot paths
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod effectiveness;
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+use haccrg_workloads::Scale;
+
+/// Parse the common `--scale` CLI argument (`paper|repro|tiny`; default
+/// repro).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("paper") => Scale::Paper,
+            Some("tiny") => Scale::Tiny,
+            _ => Scale::Repro,
+        },
+        None => Scale::Repro,
+    }
+}
+
+/// Run one closure per item on scoped threads and collect results in
+/// input order. The simulator is single-threaded; independent runs
+/// parallelize perfectly.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = &f;
+            handles.push((i, s.spawn(move |_| f(item))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let r = parallel_map((0..16).collect(), |x: i32| x * x);
+        assert_eq!(r, (0..16).map(|x| x * x).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,195 @@
+//! Hardware- and memory-overhead model (§VI-C2, §VI-C3, Table IV).
+//!
+//! The paper budgets HAccRG's cost as (a) comparator logic in each SM and
+//! memory slice, (b) dedicated storage for shared shadow entries and the
+//! ID registers, and (c) a reserved slice of device memory for the global
+//! shadow table. These functions reproduce that arithmetic so the
+//! `table4` harness and the documentation can derive every number from the
+//! configuration instead of hard-coding it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::granularity::Granularity;
+
+/// Shared-memory shadow entry width: 1-bit modified + 1-bit shared +
+/// 10-bit tid (§VI-C2).
+pub const SHARED_ENTRY_BITS: u32 = 12;
+
+/// Global shadow entry, basic fields: 1-bit modified + 1-bit shared +
+/// 10-bit tid + 3-bit bid + 5-bit sid + 8-bit sync ID (§VI-C2).
+pub const GLOBAL_ENTRY_BASIC_BITS: u32 = 28;
+/// Basic + 8-bit fence ID.
+pub const GLOBAL_ENTRY_FENCE_BITS: u32 = GLOBAL_ENTRY_BASIC_BITS + 8;
+/// Basic + fence + 16-bit atomic ID — the full entry.
+pub const GLOBAL_ENTRY_FULL_BITS: u32 = GLOBAL_ENTRY_FENCE_BITS + 16;
+
+/// Addressable stride of one packed global shadow word in device memory.
+/// 52 bits round up to the next power-of-two-addressable size the memory
+/// system can fetch atomically.
+pub const GLOBAL_SHADOW_STRIDE_BYTES: u32 = 8;
+
+/// Per-ID register widths (§VI-A2).
+pub const SYNC_ID_BITS: u32 = 8;
+/// Fence-ID register width (§VI-A2).
+pub const FENCE_ID_BITS: u32 = 8;
+/// Atomic-ID (Bloom signature) register width (§VI-A2).
+pub const ATOMIC_ID_BITS: u32 = 16;
+
+/// Storage budget summary for a GPU configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareBudget {
+    /// Shared shadow storage per SM, bytes.
+    pub shared_shadow_bytes_per_sm: u64,
+    /// ID registers (sync + fence + atomic) per SM, bytes.
+    pub id_storage_bytes_per_sm: u64,
+    /// Race register file (all SMs' fence IDs), bytes per replica.
+    pub race_register_file_bytes: u64,
+    /// Shared-RDU comparators per SM (one per bank, entry-wide).
+    pub shared_comparators_per_sm: u32,
+    /// Global-RDU comparators per memory slice for the basic fields.
+    pub global_basic_comparators_per_slice: u32,
+    /// Global-RDU comparators per memory slice for fence/atomic IDs.
+    pub global_id_comparators_per_slice: u32,
+}
+
+/// Parameters the budget depends on.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct BudgetParams {
+    #[allow(missing_docs)]
+    pub num_sms: u32,
+    pub shared_bytes_per_sm: u32,
+    pub shared_granularity: Granularity,
+    pub global_granularity: Granularity,
+    pub shared_banks: u32,
+    pub max_blocks_per_sm: u32,
+    pub max_warps_per_sm: u32,
+    pub max_threads_per_sm: u32,
+    pub l2_line_bytes: u32,
+}
+
+impl BudgetParams {
+    /// NVIDIA Fermi sizing used for the §VI-C2 numbers: 48 KB shared per
+    /// SM, 8 blocks / 48 warps / 1536 threads per SM, 16 SMs.
+    pub fn fermi() -> Self {
+        Self {
+            num_sms: 16,
+            shared_bytes_per_sm: 48 * 1024,
+            shared_granularity: Granularity::SHARED_DEFAULT,
+            global_granularity: Granularity::GLOBAL_DEFAULT,
+            shared_banks: 8,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 48,
+            max_threads_per_sm: 1536,
+            l2_line_bytes: 128,
+        }
+    }
+}
+
+/// Compute the full storage/logic budget.
+pub fn hardware_budget(p: &BudgetParams) -> HardwareBudget {
+    let shared_entries = p.shared_granularity.entries_for(p.shared_bytes_per_sm) as u64;
+    let shared_shadow_bits = shared_entries * u64::from(SHARED_ENTRY_BITS);
+
+    let id_bits = u64::from(p.max_blocks_per_sm) * u64::from(SYNC_ID_BITS)
+        + u64::from(p.max_warps_per_sm) * u64::from(FENCE_ID_BITS)
+        + u64::from(p.max_threads_per_sm) * u64::from(ATOMIC_ID_BITS);
+
+    let rrf_bits = u64::from(p.num_sms) * u64::from(p.max_warps_per_sm) * u64::from(FENCE_ID_BITS);
+
+    // §VI-C2: "For parallel comparison across shared memory banks at
+    // 16-byte granularity, HAccRG requires 8 12-bit comparators per SM"
+    // and, for a 128-byte line at 4-byte granularity, "32 28-bit
+    // comparators for basic shadow entries and 16 24-bit comparators for
+    // fence and atomic IDs per memory slice".
+    let global_chunks_per_line = p.l2_line_bytes / p.global_granularity.bytes();
+
+    HardwareBudget {
+        shared_shadow_bytes_per_sm: shared_shadow_bits / 8,
+        id_storage_bytes_per_sm: id_bits / 8,
+        race_register_file_bytes: rrf_bits / 8,
+        shared_comparators_per_sm: p.shared_banks,
+        global_basic_comparators_per_slice: global_chunks_per_line,
+        global_id_comparators_per_slice: global_chunks_per_line / 2,
+    }
+}
+
+/// Reserved device memory for the global shadow table over a kernel
+/// footprint of `tracked_bytes` (Table IV). Reported both as packed bits
+/// (the paper's accounting) and as the addressable stride the simulator
+/// actually allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowFootprint {
+    /// Number of shadow entries.
+    pub entries: u64,
+    /// Packed size: entries × 52 bits (the §VI-C2 full entry).
+    pub packed_bytes: u64,
+    /// Allocated size: entries × 8-byte stride.
+    pub allocated_bytes: u64,
+}
+
+/// Compute the Table IV shadow-memory overhead for a kernel footprint.
+pub fn global_shadow_footprint(tracked_bytes: u64, gran: Granularity) -> ShadowFootprint {
+    let entries = tracked_bytes.div_ceil(u64::from(gran.bytes()));
+    ShadowFootprint {
+        entries,
+        packed_bytes: (entries * u64::from(GLOBAL_ENTRY_FULL_BITS)).div_ceil(8),
+        allocated_bytes: entries * u64::from(GLOBAL_SHADOW_STRIDE_BYTES),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_bit_widths_match_section_6c2() {
+        assert_eq!(SHARED_ENTRY_BITS, 12);
+        assert_eq!(GLOBAL_ENTRY_BASIC_BITS, 28);
+        assert_eq!(GLOBAL_ENTRY_FENCE_BITS, 36);
+        assert_eq!(GLOBAL_ENTRY_FULL_BITS, 52);
+    }
+
+    #[test]
+    fn fermi_budget_reproduces_paper_numbers() {
+        let b = hardware_budget(&BudgetParams::fermi());
+        // "HAccRG will require 4.5KB storage per SM on Fermi for the
+        // shared memory shadow entries."
+        assert_eq!(b.shared_shadow_bytes_per_sm, 4608); // 4.5 KB
+        // "the storage size for global memory data race detection will be
+        // 3KB per SM" (8×8b + 48×8b + 1536×16b = 25,024 bits ≈ 3.05 KB).
+        assert!((3000..3200).contains(&b.id_storage_bytes_per_sm), "{}", b.id_storage_bytes_per_sm);
+        // "The race register file ... takes 0.75KB per copy."
+        assert_eq!(b.race_register_file_bytes, 768);
+        // Comparator counts of §VI-C2.
+        assert_eq!(b.shared_comparators_per_sm, 8);
+        assert_eq!(b.global_basic_comparators_per_slice, 32);
+        assert_eq!(b.global_id_comparators_per_slice, 16);
+    }
+
+    #[test]
+    fn shadow_footprint_scales_inversely_with_granularity() {
+        let g4 = global_shadow_footprint(1 << 20, Granularity::new(4).unwrap());
+        let g64 = global_shadow_footprint(1 << 20, Granularity::new(64).unwrap());
+        assert_eq!(g4.entries, 1 << 18);
+        assert_eq!(g64.entries, 1 << 14);
+        assert_eq!(g4.entries, g64.entries * 16);
+        assert!(g4.packed_bytes > g64.packed_bytes);
+    }
+
+    #[test]
+    fn packed_accounting_uses_52_bits() {
+        let f = global_shadow_footprint(4096, Granularity::GLOBAL_DEFAULT);
+        assert_eq!(f.entries, 1024);
+        assert_eq!(f.packed_bytes, 1024 * 52 / 8);
+        assert_eq!(f.allocated_bytes, 1024 * 8);
+    }
+
+    #[test]
+    fn zero_footprint_is_zero_overhead() {
+        let f = global_shadow_footprint(0, Granularity::GLOBAL_DEFAULT);
+        assert_eq!(f.entries, 0);
+        assert_eq!(f.packed_bytes, 0);
+        assert_eq!(f.allocated_bytes, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pre-issue intra-warp write-after-write check (§III-A "Impact of Warps
+//! on Reporting Races").
+//!
+//! Threads within a warp execute in lockstep, so accesses from *different
+//! instructions* of one warp are ordered and never race — and the paper is
+//! explicit that shadow-entry conflation never produces same-warp reports
+//! either ("HAccRG does not report a data race even when the entire warp's
+//! accesses map to a single shadow entry", §VI-A1). The one true hazard
+//! left inside a warp is two lanes of the *same* store instruction writing
+//! the **same bytes**: "HAccRG does detect write-after-write violations
+//! within the same warp before the memory request is issued". The RDU
+//! compares the lane addresses exactly (byte overlap, not tracking
+//! granularity) while the request sits in the issue stage.
+
+use crate::access::{AccessKind, MemAccess, MemSpace, ThreadCoord};
+use crate::race::{RaceCategory, RaceKind, RaceRecord};
+
+/// Check the lane accesses of a single warp store instruction for
+/// overlapping writes by different lanes.
+///
+/// Lanes whose address is below `base` are ignored (untracked region).
+/// Atomic lanes are exempt: the memory system serializes them. At most one
+/// race per overlapping address is reported, mirroring a comparator tree
+/// raising one violation signal per conflict.
+pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> Vec<RaceRecord> {
+    let mut races = Vec::new();
+    // Warps are ≤32 lanes: a quadratic scan is exactly what the hardware's
+    // pairwise comparator array does, and is cheap here.
+    let mut reported: Vec<u32> = Vec::new();
+    for (i, a) in lanes.iter().enumerate() {
+        if a.kind != AccessKind::Write || a.addr < base {
+            continue;
+        }
+        let (alo, ahi) = (a.addr, a.addr + u32::from(a.size.max(1)) - 1);
+        for b in &lanes[i + 1..] {
+            if b.kind != AccessKind::Write || b.addr < base || b.who.tid == a.who.tid {
+                continue;
+            }
+            let (blo, bhi) = (b.addr, b.addr + u32::from(b.size.max(1)) - 1);
+            if alo > bhi || blo > ahi {
+                continue;
+            }
+            let overlap = alo.max(blo);
+            if reported.contains(&overlap) {
+                continue;
+            }
+            reported.push(overlap);
+            races.push(RaceRecord {
+                kind: RaceKind::Waw,
+                category: RaceCategory::IntraWarp,
+                space,
+                addr: overlap,
+                pc: b.pc,
+                prev: a.who,
+                cur: b.who,
+            });
+        }
+    }
+    races
+}
+
+/// Convenience for building lane access lists in tests and the simulator.
+pub fn lane_store(addr: u32, size: u8, tid: u32, warp: u32, pc: u32) -> MemAccess {
+    MemAccess::plain(addr, size, AccessKind::Write, ThreadCoord::new(tid, warp, 0, 0)).at_pc(pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_words_no_race() {
+        let lanes: Vec<_> = (0..32).map(|l| lane_store(l * 4, 4, l, 0, 0)).collect();
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).is_empty());
+    }
+
+    #[test]
+    fn neighbouring_words_in_one_chunk_do_not_race() {
+        // §VI-A1: same-warp accesses conflated by coarse tracking
+        // granularity must not be reported.
+        let lanes = vec![lane_store(0, 4, 0, 0, 0), lane_store(4, 4, 1, 0, 0)];
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).is_empty());
+    }
+
+    #[test]
+    fn two_lanes_same_word_race() {
+        let lanes = vec![lane_store(8, 4, 0, 0, 5), lane_store(8, 4, 1, 0, 5)];
+        let races = check_intra_warp_waw(&lanes, 0, MemSpace::Shared);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::Waw);
+        assert_eq!(races[0].category, RaceCategory::IntraWarp);
+        assert_eq!(races[0].addr, 8);
+    }
+
+    #[test]
+    fn byte_stores_to_different_bytes_never_race() {
+        // The HIST pattern: byte-sized elements packed into one word are
+        // still distinct locations for the exact pre-issue comparison.
+        let lanes = vec![lane_store(8, 1, 0, 0, 0), lane_store(9, 1, 1, 0, 0)];
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).is_empty());
+        // Same byte: a true WAW.
+        let clash = vec![lane_store(8, 1, 0, 0, 0), lane_store(8, 1, 1, 0, 0)];
+        assert_eq!(check_intra_warp_waw(&clash, 0, MemSpace::Shared).len(), 1);
+    }
+
+    #[test]
+    fn one_race_per_overlap_address() {
+        // Four lanes piling onto the same word: one report, not six.
+        let lanes: Vec<_> = (0..4).map(|l| lane_store(16, 4, l, 0, 0)).collect();
+        assert_eq!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).len(), 1);
+    }
+
+    #[test]
+    fn same_tid_lanes_do_not_race() {
+        // A lane appearing twice (replayed access) is the same thread.
+        let lanes = vec![lane_store(8, 4, 3, 0, 0), lane_store(8, 4, 3, 0, 0)];
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).is_empty());
+    }
+
+    #[test]
+    fn reads_are_exempt() {
+        let mut lanes = vec![lane_store(8, 4, 0, 0, 0)];
+        let who = ThreadCoord::new(1, 0, 0, 0);
+        lanes.push(MemAccess::plain(8, 4, AccessKind::Read, who));
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Shared).is_empty());
+    }
+
+    #[test]
+    fn atomics_are_exempt() {
+        let who0 = ThreadCoord::new(0, 0, 0, 0);
+        let who1 = ThreadCoord::new(1, 0, 0, 0);
+        let lanes = vec![
+            MemAccess::plain(8, 4, AccessKind::Atomic, who0),
+            MemAccess::plain(8, 4, AccessKind::Atomic, who1),
+        ];
+        assert!(check_intra_warp_waw(&lanes, 0, MemSpace::Global).is_empty());
+    }
+
+    #[test]
+    fn untracked_lanes_below_base_are_ignored() {
+        let lanes = vec![lane_store(8, 4, 0, 0, 0), lane_store(8, 4, 1, 0, 0)];
+        assert!(check_intra_warp_waw(&lanes, 0x100, MemSpace::Global).is_empty());
+    }
+
+    #[test]
+    fn straddling_writes_conflict() {
+        // 8-byte store at addr 4 covers bytes 4..=11; word store at 8
+        // covers 8..=11: true overlap.
+        let lanes = vec![lane_store(4, 8, 0, 0, 0), lane_store(8, 4, 1, 0, 0)];
+        assert_eq!(check_intra_warp_waw(&lanes, 0, MemSpace::Global).len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The per-thread *atomic ID register* (§III-B): a Bloom-filter signature
+//! of the locks the thread currently holds, plus the nesting counter that
+//! lets the hardware clear the signature when the last lock is released.
+//!
+//! The paper observes that GPU kernels use single-level or shallowly
+//! nested locks, so instead of supporting removal of individual addresses
+//! (impossible in a plain Bloom filter) the register is simply cleared
+//! when the thread releases all locks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bloom::{BloomConfig, BloomSig};
+
+/// One thread's lock-tracking register.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct AtomicIdRegister {
+    sig: BloomSig,
+    depth: u32,
+}
+
+impl AtomicIdRegister {
+    /// Current signature (attached to every memory request issued inside a
+    /// critical section).
+    pub fn signature(&self) -> BloomSig {
+        self.sig
+    }
+
+    /// Whether the thread is inside at least one critical section.
+    pub fn in_critical_section(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The thread acquired `lock_addr` (marker inserted after the lock
+    /// acquire's atomic succeeds).
+    pub fn acquire(&mut self, lock_addr: u32, cfg: BloomConfig) {
+        self.sig.insert(lock_addr, cfg);
+        self.depth += 1;
+    }
+
+    /// The thread is about to release a lock (marker inserted before the
+    /// releasing store). When the last lock goes, the signature is
+    /// cleared wholesale.
+    pub fn release(&mut self) {
+        debug_assert!(self.depth > 0, "release without matching acquire");
+        self.depth = self.depth.saturating_sub(1);
+        if self.depth == 0 {
+            self.sig.clear();
+        }
+    }
+
+    /// Force-clear (kernel exit with unbalanced markers).
+    pub fn reset(&mut self) {
+        self.sig.clear();
+        self.depth = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: BloomConfig = BloomConfig::PAPER_DEFAULT;
+
+    #[test]
+    fn starts_outside_critical_section() {
+        let r = AtomicIdRegister::default();
+        assert!(!r.in_critical_section());
+        assert!(r.signature().is_empty());
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut r = AtomicIdRegister::default();
+        r.acquire(0x100, CFG);
+        assert!(r.in_critical_section());
+        assert_eq!(r.signature(), BloomSig::of_lock(0x100, CFG));
+        r.release();
+        assert!(!r.in_critical_section());
+        assert!(r.signature().is_empty());
+    }
+
+    #[test]
+    fn nested_locks_accumulate_until_last_release() {
+        let mut r = AtomicIdRegister::default();
+        r.acquire(0x100, CFG);
+        r.acquire(0x204, CFG);
+        assert_eq!(r.depth(), 2);
+        let both = r.signature();
+        r.release();
+        // Bloom filters cannot remove one element: the signature keeps
+        // both locks until the outermost release clears it.
+        assert_eq!(r.signature(), both);
+        assert!(r.in_critical_section());
+        r.release();
+        assert!(r.signature().is_empty());
+    }
+
+    #[test]
+    fn release_on_empty_is_saturating() {
+        let mut r = AtomicIdRegister::default();
+        // debug_assert fires in debug tests, so only exercise in release;
+        // here we validate reset() instead.
+        r.acquire(0x8, CFG);
+        r.reset();
+        assert_eq!(r.depth(), 0);
+        assert!(r.signature().is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Race reports: what kind of hazard, which detection mechanism fired, who
+//! was involved — plus a deduplicating [`RaceLog`] mirroring how the paper
+//! counts races (one per static program location/address pair, §VI-A).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{MemSpace, ThreadCoord};
+
+/// Hazard kind, named as in Fig. 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceKind {
+    /// Read-after-write.
+    Raw,
+    /// Write-after-read.
+    War,
+    /// Write-after-write.
+    Waw,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceKind::Raw => "RAW",
+            RaceKind::War => "WAR",
+            RaceKind::Waw => "WAW",
+        })
+    }
+}
+
+/// Which of HAccRG's detection mechanisms flagged the race. These map to
+/// the four categories of §VI-A's effectiveness evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceCategory {
+    /// Happens-before violation between two barrier synchronizations
+    /// (§III-A): concurrent epochs touched the same location.
+    Barrier,
+    /// Lockset violation inside/around critical sections (§III-B): no
+    /// common lock, or a protected/unprotected mix.
+    CriticalSection,
+    /// Missing memory fence (§III-C): a consumer read data whose producer
+    /// has not executed a fence since writing it.
+    Fence,
+    /// Write-after-write between lanes of a *single warp instruction*,
+    /// detected before the request is issued (§III-A "Impact of Warps").
+    IntraWarp,
+    /// Cross-SM read-after-write satisfied from a stale non-coherent L1
+    /// line (§IV-B "Effect of L1 Caches").
+    StaleL1,
+}
+
+impl fmt::Display for RaceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceCategory::Barrier => "barrier",
+            RaceCategory::CriticalSection => "critical-section",
+            RaceCategory::Fence => "fence",
+            RaceCategory::IntraWarp => "intra-warp",
+            RaceCategory::StaleL1 => "stale-L1",
+        })
+    }
+}
+
+/// One detected data race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct RaceRecord {
+    pub kind: RaceKind,
+    pub category: RaceCategory,
+    pub space: MemSpace,
+    /// Byte address of the conflicting location (chunk base at the
+    /// detector's tracking granularity).
+    pub addr: u32,
+    /// Static instruction of the *current* (second) access.
+    pub pc: u32,
+    /// The thread recorded in the shadow entry (first access of the pair).
+    pub prev: ThreadCoord,
+    /// The thread whose access triggered the report.
+    pub cur: ThreadCoord,
+}
+
+impl fmt::Display for RaceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} race @ {:?}:{:#x} (pc {:#x}): thread {} (warp {}, block {}) vs thread {} (warp {}, block {})",
+            self.category,
+            self.kind,
+            self.space,
+            self.addr,
+            self.pc,
+            self.prev.tid,
+            self.prev.warp,
+            self.prev.block,
+            self.cur.tid,
+            self.cur.warp,
+            self.cur.block,
+        )
+    }
+}
+
+/// Deduplicating race sink.
+///
+/// Hardware would raise an interrupt / write a record to a debug buffer per
+/// dynamic occurrence; for reporting, the paper counts *distinct* races.
+/// The log stores every record (bounded by `capacity`) and tracks distinct
+/// races keyed by `(space, addr, kind, category, pc)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RaceLog {
+    records: Vec<RaceRecord>,
+    #[serde(skip)]
+    seen: HashSet<(MemSpace, u32, RaceKind, RaceCategory, u32)>,
+    distinct: usize,
+    total: u64,
+    capacity: usize,
+}
+
+impl Default for RaceLog {
+    fn default() -> Self {
+        Self::new(1 << 16)
+    }
+}
+
+impl RaceLog {
+    /// A log retaining at most `capacity` full records (counters keep
+    /// counting past the cap).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: Vec::new(),
+            seen: HashSet::new(),
+            distinct: 0,
+            total: 0,
+            capacity,
+        }
+    }
+
+    /// Record a race. Returns `true` if it was a *new distinct* race.
+    pub fn push(&mut self, r: RaceRecord) -> bool {
+        self.total += 1;
+        let key = (r.space, r.addr, r.kind, r.category, r.pc);
+        let fresh = self.seen.insert(key);
+        if fresh {
+            self.distinct += 1;
+            if self.records.len() < self.capacity {
+                self.records.push(r);
+            }
+        }
+        fresh
+    }
+
+    /// All retained distinct records.
+    pub fn records(&self) -> &[RaceRecord] {
+        &self.records
+    }
+
+    /// Number of distinct races (the paper's reporting unit).
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total dynamic race occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any race has been observed.
+    pub fn any(&self) -> bool {
+        self.total > 0
+    }
+
+    /// Distinct races matching a category.
+    pub fn count_category(&self, cat: RaceCategory) -> usize {
+        self.records.iter().filter(|r| r.category == cat).count()
+    }
+
+    /// Distinct races matching a memory space.
+    pub fn count_space(&self, space: MemSpace) -> usize {
+        self.records.iter().filter(|r| r.space == space).count()
+    }
+
+    /// Clear everything (kernel relaunch).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.seen.clear();
+        self.distinct = 0;
+        self.total = 0;
+    }
+
+    /// Merge another log into this one, preserving distinctness.
+    pub fn absorb(&mut self, other: &RaceLog) {
+        for r in other.records() {
+            self.push(*r);
+        }
+        // Dynamic occurrences beyond the other's retained records.
+        self.total += other.total - other.records.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MemSpace;
+
+    fn rec(addr: u32, pc: u32, kind: RaceKind) -> RaceRecord {
+        RaceRecord {
+            kind,
+            category: RaceCategory::Barrier,
+            space: MemSpace::Shared,
+            addr,
+            pc,
+            prev: ThreadCoord::new(0, 0, 0, 0),
+            cur: ThreadCoord::new(1, 1, 0, 0),
+        }
+    }
+
+    #[test]
+    fn duplicates_counted_once_distinct() {
+        let mut log = RaceLog::default();
+        assert!(log.push(rec(4, 1, RaceKind::Raw)));
+        assert!(!log.push(rec(4, 1, RaceKind::Raw)));
+        assert!(log.push(rec(4, 1, RaceKind::War)));
+        assert!(log.push(rec(8, 1, RaceKind::Raw)));
+        assert_eq!(log.distinct(), 3);
+        assert_eq!(log.total(), 4);
+        assert!(log.any());
+    }
+
+    #[test]
+    fn capacity_bounds_records_not_counts() {
+        let mut log = RaceLog::new(2);
+        for a in 0..10 {
+            log.push(rec(a * 4, 0, RaceKind::Waw));
+        }
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.distinct(), 10);
+        assert_eq!(log.total(), 10);
+    }
+
+    #[test]
+    fn category_and_space_counters() {
+        let mut log = RaceLog::default();
+        log.push(rec(0, 0, RaceKind::Raw));
+        let mut g = rec(4, 0, RaceKind::Raw);
+        g.space = MemSpace::Global;
+        g.category = RaceCategory::Fence;
+        log.push(g);
+        assert_eq!(log.count_category(RaceCategory::Barrier), 1);
+        assert_eq!(log.count_category(RaceCategory::Fence), 1);
+        assert_eq!(log.count_space(MemSpace::Global), 1);
+        assert_eq!(log.count_space(MemSpace::Shared), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = RaceLog::default();
+        log.push(rec(0, 0, RaceKind::Raw));
+        log.clear();
+        assert_eq!(log.distinct(), 0);
+        assert_eq!(log.total(), 0);
+        assert!(!log.any());
+        // Re-pushing after clear is fresh again.
+        assert!(log.push(rec(0, 0, RaceKind::Raw)));
+    }
+
+    #[test]
+    fn absorb_merges_distinctness() {
+        let mut a = RaceLog::default();
+        let mut b = RaceLog::default();
+        a.push(rec(0, 0, RaceKind::Raw));
+        b.push(rec(0, 0, RaceKind::Raw));
+        b.push(rec(4, 0, RaceKind::Raw));
+        a.absorb(&b);
+        assert_eq!(a.distinct(), 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = rec(64, 3, RaceKind::War).to_string();
+        assert!(s.contains("WAR"));
+        assert!(s.contains("barrier"));
+        assert!(s.contains("warp"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The per-SM shared-memory Race Detection Unit (§IV-A).
+//!
+//! Shared memory is small, on-chip and private to an SM, so its shadow
+//! entries live in dedicated storage next to the banks and every access is
+//! checked *in parallel* with the data access — detection itself costs no
+//! cycles. The only timing effect is the bulk invalidation of a block's
+//! entries when it passes a barrier, which the simulator charges using
+//! [`SharedRdu::reset_block_range`]'s returned cycle count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{MemAccess, MemSpace};
+use crate::bloom::BloomConfig;
+use crate::clocks::ClockFile;
+use crate::granularity::Granularity;
+use crate::intra_warp::check_intra_warp_waw;
+use crate::race::{RaceLog, RaceRecord};
+use crate::shadow::{ShadowEntry, ShadowPolicy, FRESH};
+
+/// Counters the evaluation harness reads off each shared RDU.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct SharedRduStats {
+    /// Accesses checked against shadow entries.
+    pub checks: u64,
+    /// Barrier-triggered bulk resets.
+    pub resets: u64,
+    /// Shadow entries invalidated by those resets.
+    pub reset_entries: u64,
+    /// Cycles charged for resets (entries / banks, rounded up).
+    pub reset_cycles: u64,
+    /// Intra-warp pre-issue WAW checks performed.
+    pub intra_warp_checks: u64,
+}
+
+/// Shared-memory RDU for one streaming multiprocessor.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub struct SharedRdu {
+    sm: u32,
+    gran: Granularity,
+    banks: u32,
+    entries: Vec<ShadowEntry>,
+    policy: ShadowPolicy,
+    pub stats: SharedRduStats,
+}
+
+impl SharedRdu {
+    /// Build an RDU covering `shared_bytes` of shared memory, split into
+    /// `banks` banks (16 on the paper's configuration), with the given
+    /// tracking granularity. `warp_filter` should be `!warp_regrouping`.
+    pub fn new(
+        sm: u32,
+        shared_bytes: u32,
+        banks: u32,
+        gran: Granularity,
+        warp_filter: bool,
+        bloom: BloomConfig,
+    ) -> Self {
+        Self {
+            sm,
+            gran,
+            banks: banks.max(1),
+            entries: vec![FRESH; gran.entries_for(shared_bytes)],
+            policy: ShadowPolicy::shared(warp_filter, bloom),
+            stats: SharedRduStats::default(),
+        }
+    }
+
+    /// SM this RDU belongs to.
+    pub fn sm(&self) -> u32 {
+        self.sm
+    }
+
+    /// Tracking granularity in use.
+    pub fn granularity(&self) -> Granularity {
+        self.gran
+    }
+
+    /// Number of shadow entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Check one lane access. `addr` in the access is a byte offset into
+    /// this SM's shared memory. Races are pushed into `log`.
+    pub fn observe(&mut self, a: &MemAccess, clocks: &ClockFile, log: &mut RaceLog) {
+        debug_assert_eq!(a.who.sm, self.sm, "access routed to the wrong SM's RDU");
+        self.stats.checks += 1;
+        let (lo, hi) = self.gran.index_range(0, a.addr, a.size);
+        for idx in lo..=hi.min(self.entries.len().saturating_sub(1)) {
+            let mut chunk_access = *a;
+            chunk_access.addr = (idx as u32) << self.gran.shift();
+            if let Some(r) = self.entries[idx].observe(&chunk_access, clocks, &self.policy) {
+                log.push(r);
+            }
+        }
+    }
+
+    /// Pre-issue intra-warp WAW check over one warp instruction's lanes
+    /// (exact byte overlap — same-warp chunk conflation never reports).
+    pub fn check_warp_stores(&mut self, lanes: &[MemAccess]) -> Vec<RaceRecord> {
+        self.stats.intra_warp_checks += 1;
+        check_intra_warp_waw(lanes, 0, MemSpace::Shared)
+    }
+
+    /// A block resident on this SM reached a barrier: invalidate the shadow
+    /// entries covering its shared-memory allocation `[lo, hi)` and return
+    /// the stall cycles the invalidation costs (`entries / banks` — the
+    /// banked shadow storage clears one row per bank per cycle).
+    pub fn reset_block_range(&mut self, lo: u32, hi: u32) -> u64 {
+        let first = self.gran.index(0, lo);
+        let last = self.gran.entries_for(hi).min(self.entries.len());
+        let count = last.saturating_sub(first);
+        for e in &mut self.entries[first..last] {
+            e.reset();
+        }
+        self.stats.resets += 1;
+        self.stats.reset_entries += count as u64;
+        let cycles = (count as u64).div_ceil(u64::from(self.banks));
+        self.stats.reset_cycles += cycles;
+        cycles
+    }
+
+    /// Invalidate everything (kernel launch/termination).
+    pub fn reset_all(&mut self) {
+        for e in &mut self.entries {
+            e.reset();
+        }
+    }
+
+    /// Inspect a shadow entry (tests/debugging).
+    pub fn entry(&self, idx: usize) -> &ShadowEntry {
+        &self.entries[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessKind, ThreadCoord};
+
+    fn rdu() -> SharedRdu {
+        SharedRdu::new(
+            0,
+            16 * 1024,
+            16,
+            Granularity::SHARED_DEFAULT,
+            true,
+            BloomConfig::PAPER_DEFAULT,
+        )
+    }
+
+    fn acc(addr: u32, kind: AccessKind, tid: u32, warp: u32) -> MemAccess {
+        MemAccess::plain(addr, 4, kind, ThreadCoord::new(tid, warp, 0, 0))
+    }
+
+    #[test]
+    fn sizing_follows_granularity() {
+        assert_eq!(rdu().num_entries(), 1024);
+        let fine = SharedRdu::new(0, 16 * 1024, 16, Granularity::new(4).unwrap(), true, BloomConfig::PAPER_DEFAULT);
+        assert_eq!(fine.num_entries(), 4096);
+    }
+
+    #[test]
+    fn detects_cross_warp_conflict() {
+        let mut r = rdu();
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        r.observe(&acc(64, AccessKind::Write, 0, 0), &c, &mut log);
+        r.observe(&acc(64, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+        assert_eq!(r.stats.checks, 2);
+    }
+
+    #[test]
+    fn sixteen_byte_chunks_conflate_neighbours() {
+        let mut r = rdu();
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        // Different words, same 16-byte chunk: conflated (false positive
+        // territory — exactly Table III's effect).
+        r.observe(&acc(0, AccessKind::Write, 0, 0), &c, &mut log);
+        r.observe(&acc(12, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+    }
+
+    #[test]
+    fn word_granularity_separates_neighbours() {
+        let mut r = SharedRdu::new(0, 16 * 1024, 16, Granularity::new(4).unwrap(), true, BloomConfig::PAPER_DEFAULT);
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        r.observe(&acc(0, AccessKind::Write, 0, 0), &c, &mut log);
+        r.observe(&acc(12, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 0);
+    }
+
+    #[test]
+    fn barrier_reset_clears_history_and_charges_cycles() {
+        let mut r = rdu();
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        r.observe(&acc(64, AccessKind::Write, 0, 0), &c, &mut log);
+        // A block owning the whole 16KB: 1024 entries / 16 banks = 64 cycles.
+        let cycles = r.reset_block_range(0, 16 * 1024);
+        assert_eq!(cycles, 64);
+        assert_eq!(r.stats.reset_entries, 1024);
+        r.observe(&acc(64, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 0, "barrier ordered the accesses");
+    }
+
+    #[test]
+    fn partial_reset_only_touches_the_block_range() {
+        let mut r = rdu();
+        let c = ClockFile::new(2, 4);
+        let mut log = RaceLog::default();
+        // Two blocks each own 8KB of the SM's shared memory.
+        r.observe(&acc(0, AccessKind::Write, 0, 0), &c, &mut log);
+        r.observe(&acc(8192, AccessKind::Write, 64, 2), &c, &mut log);
+        r.reset_block_range(0, 8192); // block 0's barrier
+        r.observe(&acc(0, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 0);
+        // Block 1's history survived.
+        r.observe(&acc(8192, AccessKind::Read, 96, 3), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+    }
+
+    #[test]
+    fn straddling_access_checks_both_chunks() {
+        let mut r = SharedRdu::new(0, 1024, 16, Granularity::new(4).unwrap(), true, BloomConfig::PAPER_DEFAULT);
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        // 8-byte write covering words 0 and 1.
+        let mut w = acc(0, AccessKind::Write, 0, 0);
+        w.size = 8;
+        r.observe(&w, &c, &mut log);
+        r.observe(&acc(4, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+    }
+
+    #[test]
+    fn out_of_range_access_is_clamped() {
+        let mut r = SharedRdu::new(0, 64, 16, Granularity::new(4).unwrap(), true, BloomConfig::PAPER_DEFAULT);
+        let c = ClockFile::new(1, 1);
+        let mut log = RaceLog::default();
+        // Address past the end must not panic.
+        r.observe(&acc(1 << 20, AccessKind::Write, 0, 0), &c, &mut log);
+    }
+
+    #[test]
+    fn intra_warp_waw_reported_via_rdu() {
+        let mut r = rdu();
+        // Same 16-byte chunk, different words: NOT a race (§VI-A1).
+        let benign = vec![
+            crate::intra_warp::lane_store(0, 4, 0, 0, 9),
+            crate::intra_warp::lane_store(4, 4, 1, 0, 9),
+        ];
+        assert_eq!(r.check_warp_stores(&benign).len(), 0);
+        // Same word from two lanes: a true intra-warp WAW.
+        let clash = vec![
+            crate::intra_warp::lane_store(0, 4, 0, 0, 9),
+            crate::intra_warp::lane_store(0, 4, 1, 0, 9),
+        ];
+        assert_eq!(r.check_warp_stores(&clash).len(), 1);
+        assert_eq!(r.stats.intra_warp_checks, 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the detector's core invariants.
+
+use haccrg::prelude::*;
+use haccrg::shadow::{ShadowPolicy, FRESH};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write), Just(AccessKind::Atomic)]
+}
+
+fn arb_coord(max_threads: u32) -> impl Strategy<Value = ThreadCoord> {
+    (0..max_threads).prop_map(|tid| ThreadCoord::from_flat(tid, 64, 32, 4))
+}
+
+fn shared_policy() -> ShadowPolicy {
+    ShadowPolicy::shared(true, BloomConfig::PAPER_DEFAULT)
+}
+
+fn global_policy() -> ShadowPolicy {
+    ShadowPolicy::global(true, true, BloomConfig::PAPER_DEFAULT)
+}
+
+proptest! {
+    /// A single thread can never race with itself, whatever it does.
+    #[test]
+    fn single_thread_streams_are_race_free(
+        kinds in proptest::collection::vec(arb_kind(), 1..64),
+        tid in 0u32..256,
+    ) {
+        let clocks = ClockFile::new(8, 64);
+        let who = ThreadCoord::from_flat(tid, 64, 32, 4);
+        let mut e = FRESH;
+        for k in kinds {
+            let a = MemAccess::plain(0, 4, k, who);
+            prop_assert!(e.observe(&a, &clocks, &shared_policy()).is_none());
+        }
+    }
+
+    /// Threads of one warp are lockstep-ordered: no shared-memory stream
+    /// from a single warp ever races (the §III-A warp filter), except the
+    /// separate pre-issue intra-warp WAW check.
+    #[test]
+    fn same_warp_streams_are_race_free(
+        ops in proptest::collection::vec((0u32..32, arb_kind()), 1..64),
+        warp in 0u32..4,
+    ) {
+        let clocks = ClockFile::new(8, 64);
+        let mut e = FRESH;
+        for (lane, k) in ops {
+            let tid = warp * 32 + lane;
+            let who = ThreadCoord::new(tid, warp, warp / 2, 0);
+            let a = MemAccess::plain(0, 4, k, who);
+            prop_assert!(e.observe(&a, &clocks, &shared_policy()).is_none());
+        }
+    }
+
+    /// Read-only location: any number of readers from any warps, never a
+    /// race; the first cross-warp write afterwards always races.
+    #[test]
+    fn read_sharing_is_order_independent(
+        readers in proptest::collection::vec(arb_coord(512), 2..32),
+    ) {
+        let clocks = ClockFile::new(16, 64);
+        let mut e = FRESH;
+        for who in &readers {
+            let a = MemAccess::plain(0, 4, AccessKind::Read, *who);
+            prop_assert!(e.observe(&a, &clocks, &shared_policy()).is_none());
+        }
+        // A write from a warp different from the first reader's must race
+        // (either WAR via state 2 or state 4).
+        let w = ThreadCoord::new(1000, 999, 99, 3);
+        let wa = MemAccess::plain(0, 4, AccessKind::Write, w);
+        prop_assert!(e.observe(&wa, &clocks, &shared_policy()).is_some());
+    }
+
+    /// Atomics never perturb the shadow state.
+    #[test]
+    fn atomics_are_invisible(
+        coords in proptest::collection::vec(arb_coord(512), 1..32),
+    ) {
+        let clocks = ClockFile::new(16, 64);
+        let mut e = FRESH;
+        for who in coords {
+            let a = MemAccess::plain(0, 4, AccessKind::Atomic, who);
+            prop_assert!(e.observe(&a, &clocks, &global_policy()).is_none());
+        }
+        prop_assert!(e.is_fresh());
+    }
+
+    /// Bloom signatures have no false negatives for the null-intersection
+    /// test: if two threads share a lock, the intersection is never null.
+    #[test]
+    fn common_lock_never_reports_null_intersection(
+        common in (0u32..0x1000).prop_map(|x| x * 4),
+        extra_a in proptest::collection::vec((0u32..0x1000).prop_map(|x| x * 4), 0..4),
+        extra_b in proptest::collection::vec((0u32..0x1000).prop_map(|x| x * 4), 0..4),
+        bits in prop_oneof![Just(8u8), Just(16), Just(32)],
+        bins in prop_oneof![Just(2u8), Just(4)],
+    ) {
+        let cfg = BloomConfig { bits, bins };
+        let mut sa = BloomSig::of_lock(common, cfg);
+        for l in extra_a {
+            sa.insert(l, cfg);
+        }
+        let mut sb = BloomSig::of_lock(common, cfg);
+        for l in extra_b {
+            sb.insert(l, cfg);
+        }
+        prop_assert!(!sa.is_null_intersection(sb, cfg));
+    }
+
+    /// Coarsening granularity can only merge chunks: two addresses in the
+    /// same chunk at granularity g stay together at any coarser g'.
+    #[test]
+    fn granularity_merging_is_monotonic(
+        a in 0u32..0x10000,
+        b in 0u32..0x10000,
+        shift in 2u32..6,
+    ) {
+        let fine = Granularity::new(1 << shift).unwrap();
+        let coarse = Granularity::new(1 << (shift + 1)).unwrap();
+        if fine.index(0, a) == fine.index(0, b) {
+            prop_assert_eq!(coarse.index(0, a), coarse.index(0, b));
+        }
+    }
+
+    /// The race log's distinct count never exceeds total occurrences and
+    /// is permutation-stable for a fixed set of records.
+    #[test]
+    fn race_log_dedup_is_permutation_invariant(
+        mut records in proptest::collection::vec((0u32..16, 0u32..4), 1..64),
+    ) {
+        use haccrg::access::MemSpace;
+        use haccrg::prelude::{RaceCategory, RaceKind, RaceRecord};
+        let mk = |(addr, pc): (u32, u32)| RaceRecord {
+            kind: RaceKind::Waw,
+            category: RaceCategory::Barrier,
+            space: MemSpace::Shared,
+            addr: addr * 4,
+            pc,
+            prev: ThreadCoord::new(0, 0, 0, 0),
+            cur: ThreadCoord::new(1, 1, 0, 0),
+        };
+        let mut log1 = RaceLog::default();
+        for &r in &records {
+            log1.push(mk(r));
+        }
+        records.reverse();
+        let mut log2 = RaceLog::default();
+        for &r in &records {
+            log2.push(mk(r));
+        }
+        prop_assert_eq!(log1.distinct(), log2.distinct());
+        prop_assert!(log1.distinct() as u64 <= log1.total());
+    }
+
+    /// Sync-ID epochs: once a block passes a barrier (after touching
+    /// global memory), its own earlier accesses can no longer race with
+    /// its later ones.
+    #[test]
+    fn barrier_epochs_cut_same_block_histories(
+        w1 in 0u32..4,
+        w2 in 0u32..4,
+    ) {
+        let mut clocks = ClockFile::new(4, 64);
+        let mut e = FRESH;
+        let p = global_policy();
+        // Writer in block 0.
+        let writer = ThreadCoord::new(w1 * 32, w1, 0, 0);
+        let wa = MemAccess::plain(0x1000, 4, AccessKind::Write, writer)
+            .with_clocks(clocks.sync_id(0), 0);
+        e.observe(&wa, &clocks, &p);
+        // Barrier (block touched global memory).
+        clocks.note_global_access(0);
+        clocks.on_barrier(0);
+        // Any same-block access in the new epoch is ordered.
+        let reader = ThreadCoord::new(w2 * 32 + 1, w2, 0, 0);
+        let ra = MemAccess::plain(0x1000, 4, AccessKind::Read, reader)
+            .with_clocks(clocks.sync_id(0), 0);
+        prop_assert!(e.observe(&ra, &clocks, &p).is_none());
+    }
+}
+
+/// Exhaustive check of the Fig. 3 state machine over all two-access
+/// sequences from two distinct threads (not property-based but
+/// enumerative — the state space is tiny and worth pinning down).
+#[test]
+fn two_access_matrix_matches_fig3() {
+    use AccessKind::{Read, Write};
+    let clocks = ClockFile::new(8, 64);
+    let p = shared_policy();
+
+    // (first kind, second kind, same warp?, expect race?)
+    let cases = [
+        (Read, Read, true, false),
+        (Read, Read, false, false),
+        (Read, Write, true, false),
+        (Read, Write, false, true),  // WAR
+        (Write, Read, true, false),
+        (Write, Read, false, true),  // RAW
+        (Write, Write, true, false), // lockstep-ordered
+        (Write, Write, false, true), // WAW
+    ];
+    for (k1, k2, same_warp, expect) in cases {
+        let t1 = ThreadCoord::new(0, 0, 0, 0);
+        let t2 = if same_warp {
+            ThreadCoord::new(1, 0, 0, 0)
+        } else {
+            ThreadCoord::new(40, 1, 0, 0)
+        };
+        let mut e = FRESH;
+        assert!(e
+            .observe(&MemAccess::plain(0, 4, k1, t1), &clocks, &p)
+            .is_none());
+        let got = e.observe(&MemAccess::plain(0, 4, k2, t2), &clocks, &p);
+        assert_eq!(
+            got.is_some(),
+            expect,
+            "{k1:?} then {k2:?} (same_warp={same_warp}): got {got:?}"
+        );
+    }
+}

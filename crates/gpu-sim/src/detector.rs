@@ -1,0 +1,148 @@
+//! Wiring between the simulator and the `haccrg` detector core.
+//!
+//! [`DetectorState`] owns the per-SM shared RDUs, the global RDU, the
+//! logical clocks and the race log for one kernel launch. The
+//! [`DetectorMode`] distinguishes the *hardware* proposal (detection
+//! results **and** timing costs: shadow traffic, barrier reset stalls,
+//! probe packets) from an *oracle* mode that detects identically but
+//! charges nothing — used by the software baselines, whose cost comes
+//! from instrumentation instructions instead.
+
+use haccrg::config::{DetectorConfig, SharedShadowPlacement};
+use haccrg::prelude::*;
+
+/// How detection is costed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorMode {
+    /// The paper's proposal: RDU hardware, with all timing side effects.
+    Hardware,
+    /// Detection logic only, zero timing cost (software baselines get
+    /// their cost from instrumentation).
+    Oracle,
+}
+
+/// Per-launch detector state.
+#[allow(missing_docs)]
+pub struct DetectorState {
+    pub cfg: DetectorConfig,
+    pub mode: DetectorMode,
+    pub shared: Vec<SharedRdu>,
+    pub global: Option<GlobalRdu>,
+    pub clocks: ClockFile,
+    pub log: RaceLog,
+}
+
+impl DetectorState {
+    /// Build detector state for a launch.
+    ///
+    /// `tracked` is the `[base, base+len)` device region covered by the
+    /// global shadow table (everything allocated before the launch);
+    /// `shadow_base` is where the shadow table itself is addressed.
+    pub fn new(
+        cfg: DetectorConfig,
+        mode: DetectorMode,
+        num_sms: u32,
+        shared_per_sm: u32,
+        shared_banks: u32,
+        blocks: u32,
+        total_warps: u32,
+        tracked: (u32, u32),
+        shadow_base: u32,
+    ) -> Self {
+        cfg.validate().expect("invalid detector config");
+        let warp_filter = !cfg.warp_regrouping;
+        let shared = (0..num_sms)
+            .map(|sm| {
+                SharedRdu::new(sm, shared_per_sm, shared_banks, cfg.shared_granularity, warp_filter, cfg.bloom)
+            })
+            .collect();
+        let global = cfg.global_enabled.then(|| {
+            GlobalRdu::new(
+                tracked.0,
+                tracked.1,
+                shadow_base,
+                cfg.global_granularity,
+                warp_filter,
+                cfg.l1_stale_check,
+                cfg.bloom,
+            )
+        });
+        Self {
+            cfg,
+            mode,
+            shared,
+            global,
+            clocks: ClockFile::new(blocks, total_warps),
+            log: RaceLog::default(),
+        }
+    }
+
+    /// Whether timing costs should be charged.
+    pub fn hardware(&self) -> bool {
+        self.mode == DetectorMode::Hardware
+    }
+
+    /// Whether shared-shadow entries live in global memory (Fig. 8).
+    pub fn sw_shared_shadow(&self) -> bool {
+        self.hardware() && self.cfg.shared_shadow == SharedShadowPlacement::GlobalMemory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_per_config() {
+        let d = DetectorState::new(
+            DetectorConfig::paper_default(),
+            DetectorMode::Hardware,
+            4,
+            16 * 1024,
+            16,
+            8,
+            64,
+            (0x1000, 0x8000),
+            0x100_0000,
+        );
+        assert_eq!(d.shared.len(), 4);
+        assert!(d.global.is_some());
+        assert_eq!(d.clocks.num_blocks(), 8);
+        assert_eq!(d.clocks.num_warps(), 64);
+        assert!(d.hardware());
+        assert!(!d.sw_shared_shadow());
+    }
+
+    #[test]
+    fn shared_only_config_has_no_global_rdu() {
+        let d = DetectorState::new(
+            DetectorConfig::shared_only(),
+            DetectorMode::Hardware,
+            2,
+            16 * 1024,
+            16,
+            1,
+            8,
+            (0x1000, 0x1000),
+            0x100_0000,
+        );
+        assert!(d.global.is_none());
+    }
+
+    #[test]
+    fn oracle_mode_charges_nothing() {
+        let d = DetectorState::new(
+            DetectorConfig::paper_default(),
+            DetectorMode::Oracle,
+            1,
+            16 * 1024,
+            16,
+            1,
+            1,
+            (0x1000, 0x1000),
+            0x100_0000,
+        );
+        assert!(!d.hardware());
+        assert!(!d.sw_shared_shadow());
+    }
+}

@@ -1,0 +1,346 @@
+//! The top-level GPU: device memory, SMs, the interconnect, memory
+//! slices, the block dispatcher, and the per-launch cycle loop.
+//!
+//! A launch is deterministic: given the same kernel, launch geometry,
+//! device-memory contents and configuration, the simulator produces the
+//! same cycle count, statistics and race log every time (no wall-clock,
+//! no unseeded randomness, strictly ordered queues).
+
+use haccrg::config::DetectorConfig;
+use haccrg::cost;
+use haccrg::prelude::*;
+
+use crate::config::GpuConfig;
+use crate::detector::{DetectorMode, DetectorState};
+use crate::device::{DeviceMemory, HEAP_BASE};
+use crate::isa::Kernel;
+use crate::mem::icnt::Link;
+use crate::mem::slice::MemSlice;
+use crate::mem::MemReq;
+use crate::sm::{LaunchContext, Sm};
+use crate::stats::SimStats;
+
+/// Launch failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Kernel failed validation.
+    InvalidKernel(String),
+    /// Launch geometry exceeds hardware limits.
+    BadLaunch(String),
+    /// The watchdog expired (deadlock/livelock).
+    Hang {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            SimError::BadLaunch(e) => write!(f, "bad launch: {e}"),
+            SimError::Hang { cycles } => write!(f, "kernel hung after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Everything a finished launch reports.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub struct LaunchResult {
+    pub stats: SimStats,
+    /// Races detected by HAccRG (empty log when detection is off).
+    pub races: RaceLog,
+    /// Largest sync ID any block reached (§VI-A2).
+    pub max_sync_id: u8,
+    /// Largest fence ID any warp reached (§VI-A2).
+    pub max_fence_id: u8,
+    /// Reserved global shadow memory (Table IV), bytes (52-bit packed).
+    pub shadow_packed_bytes: u64,
+    /// Tracked global footprint at launch.
+    pub tracked_bytes: u32,
+}
+
+/// How the detector should run for subsequent launches.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+pub struct DetectorSetup {
+    pub cfg: DetectorConfig,
+    pub mode: DetectorMode,
+}
+
+/// The GPU device.
+#[allow(missing_docs)]
+pub struct Gpu {
+    pub cfg: GpuConfig,
+    pub mem: DeviceMemory,
+    detector: Option<DetectorSetup>,
+    /// When enabled, global transactions are recorded as
+    /// `(data line address, shadow line base if any)` pairs — input for
+    /// the §IV-B TLB ablation.
+    trace: Option<Vec<(u32, Option<u32>)>>,
+}
+
+impl Gpu {
+    /// A GPU with detection disabled (the baseline configuration).
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate().expect("invalid GPU config");
+        Self { cfg, mem: DeviceMemory::new(cfg.device_mem_bytes), detector: None, trace: None }
+    }
+
+    /// A GPU with HAccRG hardware detection enabled.
+    pub fn with_detector(cfg: GpuConfig, det: DetectorConfig) -> Self {
+        let mut g = Self::new(cfg);
+        g.set_detector(Some(DetectorSetup { cfg: det, mode: DetectorMode::Hardware }));
+        g
+    }
+
+    /// Enable/disable recording of global transactions for TLB studies.
+    pub fn record_trace(&mut self, on: bool) {
+        self.trace = on.then(Vec::new);
+    }
+
+    /// Take the recorded transaction trace (empty if recording was off).
+    pub fn take_trace(&mut self) -> Vec<(u32, Option<u32>)> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Install / remove / switch the detector for future launches.
+    pub fn set_detector(&mut self, det: Option<DetectorSetup>) {
+        if let Some(d) = &det {
+            d.cfg.validate().expect("invalid detector config");
+        }
+        self.detector = det;
+    }
+
+    /// `cudaMalloc`.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        self.mem.alloc(bytes).expect("device OOM")
+    }
+
+    /// Launch a kernel and simulate to completion.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        grid: u32,
+        block_dim: u32,
+        params: &[u32],
+    ) -> Result<LaunchResult, SimError> {
+        kernel.validate().map_err(SimError::InvalidKernel)?;
+        if block_dim == 0 || grid == 0 {
+            return Err(SimError::BadLaunch("empty launch".into()));
+        }
+        if block_dim > self.cfg.max_threads_per_sm {
+            return Err(SimError::BadLaunch(format!(
+                "block of {block_dim} threads exceeds {} per SM",
+                self.cfg.max_threads_per_sm
+            )));
+        }
+        if kernel.shared_bytes > self.cfg.shared_mem_per_sm {
+            return Err(SimError::BadLaunch(format!(
+                "kernel needs {} B shared, SM has {}",
+                kernel.shared_bytes, self.cfg.shared_mem_per_sm
+            )));
+        }
+        let warps_per_block = block_dim.div_ceil(self.cfg.warp_size);
+        if warps_per_block > self.cfg.max_warps_per_sm() {
+            return Err(SimError::BadLaunch("too many warps per block".into()));
+        }
+
+        // Global shadow layout: tracked region = everything allocated so
+        // far; the shadow table and the Fig. 8 shared-shadow region are
+        // addressed past the allocatable heap (their contents are modeled
+        // by the detector, only their addresses matter to the caches).
+        let tracked_base = HEAP_BASE;
+        let tracked_bytes = self.mem.alloc_ptr() - HEAP_BASE;
+        let shadow_base = self.cfg.device_mem_bytes;
+        let shadow_alloc = cost::global_shadow_footprint(
+            u64::from(tracked_bytes),
+            self.detector.map_or(Granularity::GLOBAL_DEFAULT, |d| d.cfg.global_granularity),
+        )
+        .allocated_bytes as u32;
+        let shared_shadow_base = shadow_base.saturating_add(shadow_alloc).saturating_add(4096);
+        let shared_shadow_stride =
+            ((self.cfg.shared_mem_per_sm / 4) * 2 + self.cfg.l1.line_bytes) & !(self.cfg.l1.line_bytes - 1);
+
+        let ctx = LaunchContext {
+            kernel: kernel.clone(),
+            grid,
+            block_dim,
+            warps_per_block,
+            params: params.to_vec(),
+            shared_shadow_base,
+            shared_shadow_stride,
+        };
+
+        let mut det: Option<DetectorState> = self.detector.map(|s| {
+            DetectorState::new(
+                s.cfg,
+                s.mode,
+                self.cfg.num_sms,
+                self.cfg.shared_mem_per_sm,
+                self.cfg.shared_banks,
+                grid,
+                grid * warps_per_block,
+                (tracked_base, tracked_bytes),
+                shadow_base,
+            )
+        });
+
+        let mut stats = SimStats::default();
+        let mut sms: Vec<Sm> = (0..self.cfg.num_sms).map(|i| Sm::new(i, self.cfg)).collect();
+        let mut slices: Vec<MemSlice> =
+            (0..self.cfg.num_mem_slices).map(|i| MemSlice::new(i, self.cfg)).collect();
+        let lat = u64::from(self.cfg.icnt.latency);
+        let mut sm_egress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(lat)).collect();
+        let mut sm_ingress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(0)).collect();
+        let mut slice_ingress: Vec<Link<MemReq>> =
+            (0..self.cfg.num_mem_slices).map(|_| Link::new(0)).collect();
+        let mut slice_egress: Vec<Link<MemReq>> =
+            (0..self.cfg.num_mem_slices).map(|_| Link::new(lat)).collect();
+
+        let mut next_block = 0u32;
+        let mut dispatch_rr = 0usize;
+        let mut now = 0u64;
+        let flit = self.cfg.icnt.flit_bytes;
+        // The placement scan is O(SMs × warp slots): run it only at launch
+        // and after a CTA retires, not every cycle.
+        let mut dispatch_needed = true;
+
+        loop {
+            // Block dispatcher: round-robin over SMs with capacity.
+            if dispatch_needed {
+                dispatch_needed = false;
+                while next_block < grid {
+                    let mut placed = false;
+                    for k in 0..sms.len() {
+                        let i = (dispatch_rr + k) % sms.len();
+                        if sms[i].can_place(&ctx) {
+                            sms[i].place(next_block, &ctx);
+                            next_block += 1;
+                            dispatch_rr = (i + 1) % sms.len();
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        break;
+                    }
+                }
+            }
+
+            // Core cycles.
+            for sm in &mut sms {
+                sm.cycle(now, &ctx, &mut self.mem, &mut det, &mut stats);
+                if sm.freed_capacity {
+                    sm.freed_capacity = false;
+                    dispatch_needed = true;
+                }
+            }
+
+            // SM → network.
+            for (i, sm) in sms.iter_mut().enumerate() {
+                for req in sm.out_req.drain(..) {
+                    if let Some(tr) = self.trace.as_mut() {
+                        let shadow = (req.shadow_ops > 0).then_some(req.shadow_base);
+                        tr.push((req.line_addr, shadow));
+                    }
+                    let flits = req.request_flits(flit);
+                    sm_egress[i].push(now, flits, req);
+                }
+            }
+            // Network → slices (slice ingress models the port).
+            for link in &mut sm_egress {
+                while let Some(req) = link.pop_ready(now) {
+                    let s = self.cfg.slice_of(req.line_addr) as usize;
+                    slice_ingress[s].push(now, 1, req);
+                }
+            }
+            for (s, link) in slice_ingress.iter_mut().enumerate() {
+                while let Some(req) = link.pop_ready(now) {
+                    slices[s].push_input(req);
+                }
+            }
+
+            // Memory slices.
+            for (s, slice) in slices.iter_mut().enumerate() {
+                for resp in slice.cycle(now, &mut self.mem) {
+                    let flits = resp.response_flits(flit);
+                    slice_egress[s].push(now, flits, resp);
+                }
+            }
+
+            // Network → SMs.
+            for link in &mut slice_egress {
+                while let Some(resp) = link.pop_ready(now) {
+                    sm_ingress[resp.sm as usize].push(now, 1, resp);
+                }
+            }
+            for (i, link) in sm_ingress.iter_mut().enumerate() {
+                while let Some(resp) = link.pop_ready(now) {
+                    sms[i].handle_response(resp, now, &ctx, &mut det, &mut stats);
+                }
+            }
+
+            now += 1;
+
+            // Completion: all blocks dispatched and retired, all queues dry.
+            if next_block >= grid
+                && sms.iter().all(|s| !s.busy())
+                && sm_egress.iter().all(Link::is_empty)
+                && sm_ingress.iter().all(Link::is_empty)
+                && slice_ingress.iter().all(Link::is_empty)
+                && slice_egress.iter().all(Link::is_empty)
+                && slices.iter().all(MemSlice::idle)
+            {
+                break;
+            }
+            if now > self.cfg.watchdog_cycles {
+                return Err(SimError::Hang { cycles: now });
+            }
+            // No-progress guard: blocks remain but nothing is resident and
+            // nothing is in flight — the launch can never be placed.
+            if next_block < grid
+                && sms.iter().all(|s| !s.busy())
+                && slices.iter().all(MemSlice::idle)
+            {
+                return Err(SimError::BadLaunch(format!(
+                    "block {next_block} can never be placed (exceeds SM resources)"
+                )));
+            }
+        }
+
+        // Aggregate statistics.
+        stats.cycles = now;
+        for sm in &sms {
+            stats.l1.merge(&sm.l1.stats);
+        }
+        for s in &slices {
+            stats.l2.merge(&s.l2.stats);
+            stats.dram.merge(&s.dram.stats);
+        }
+        for l in sm_egress.iter().chain(&sm_ingress).chain(&slice_ingress).chain(&slice_egress) {
+            stats.icnt_flits += l.flits;
+        }
+
+        let (races, max_sync, max_fence) = match det {
+            Some(d) => (d.log, d.clocks.max_sync_id(), d.clocks.max_fence_id()),
+            None => (RaceLog::default(), 0, 0),
+        };
+        let shadow = cost::global_shadow_footprint(
+            u64::from(tracked_bytes),
+            self.detector.map_or(Granularity::GLOBAL_DEFAULT, |d| d.cfg.global_granularity),
+        );
+
+        Ok(LaunchResult {
+            stats,
+            races,
+            max_sync_id: max_sync,
+            max_fence_id: max_fence,
+            shadow_packed_bytes: shadow.packed_bytes,
+            tracked_bytes,
+        })
+    }
+}

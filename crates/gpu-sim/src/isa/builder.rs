@@ -1,0 +1,559 @@
+//! Structured kernel builder: the CUDA-replacement DSL the workloads are
+//! written in.
+//!
+//! The builder emits [`super::Op`] sequences with every branch annotated
+//! with its reconvergence point (the construct's join), which is what the
+//! SIMT stack needs to rejoin divergent lanes. Only structured control
+//! flow is expressible — `if`/`if-else`/`while`/counted `for` — matching
+//! how the paper's CUDA benchmarks are written.
+//!
+//! ```
+//! use gpu_sim::isa::builder::KernelBuilder;
+//! use gpu_sim::isa::{CmpOp, Space};
+//!
+//! // out[tid] = in[tid] * 2 for the first `n` threads
+//! let mut b = KernelBuilder::new("double");
+//! let tid = b.tid();
+//! let n = b.param(2);
+//! let p = b.setp(CmpOp::LtU, tid, n);
+//! b.if_then(p, |b| {
+//!     let off = b.shl(tid, 2u32);
+//!     let inp = b.param(0);
+//!     let src = b.add(inp, off);
+//!     let v = b.ld(Space::Global, src, 0, 4);
+//!     let v2 = b.mul(v, 2u32);
+//!     let outp = b.param(1);
+//!     let dst = b.add(outp, off);
+//!     b.st(Space::Global, dst, 0, v2, 4);
+//! });
+//! let kernel = b.build();
+//! assert!(kernel.validate().is_ok());
+//! ```
+
+use super::{AtomOp, BinOp, CmpOp, Instr, Kernel, Op, Reg, Space, SpecialReg, Src, UnOp};
+
+/// Incrementally builds a [`Kernel`].
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: u16,
+    shared_bytes: u32,
+    line_override: Option<u32>,
+}
+
+impl KernelBuilder {
+    /// Start a new kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            shared_bytes: 0,
+            line_override: None,
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Reserve `bytes` of per-block shared memory; returns the base offset
+    /// of the reservation (16-byte aligned).
+    pub fn shared_alloc(&mut self, bytes: u32) -> u32 {
+        let base = (self.shared_bytes + 15) & !15;
+        self.shared_bytes = base + bytes;
+        base
+    }
+
+    /// Tag subsequent instructions with source line `l` (for race
+    /// reports); `clear_line` reverts to automatic PC tagging.
+    pub fn line(&mut self, l: u32) {
+        self.line_override = Some(l);
+    }
+
+    /// Revert to automatic line tagging.
+    pub fn clear_line(&mut self) {
+        self.line_override = None;
+    }
+
+    /// Current instruction count (the PC the next emission will get).
+    pub fn pc(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Emit a raw op; returns its PC.
+    pub fn emit(&mut self, op: Op) -> u32 {
+        let pc = self.pc();
+        let line = self.line_override.unwrap_or(pc);
+        self.instrs.push(Instr { op, line });
+        pc
+    }
+
+    // ---- ALU conveniences ----
+
+    /// `dest = src` into a fresh register.
+    pub fn mov(&mut self, a: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Un { op: UnOp::Mov, d, a: a.into() });
+        d
+    }
+
+    /// `d = src` into an existing register.
+    pub fn assign(&mut self, d: Reg, a: impl Into<Src>) {
+        self.emit(Op::Un { op: UnOp::Mov, d, a: a.into() });
+    }
+
+    /// Binary op into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Bin { op, d, a: a.into(), b: b.into() });
+        d
+    }
+
+    /// Binary op into an existing register.
+    pub fn bin_into(&mut self, op: BinOp, d: Reg, a: impl Into<Src>, b: impl Into<Src>) {
+        self.emit(Op::Bin { op, d, a: a.into(), b: b.into() });
+    }
+
+    /// Unary op into a fresh register.
+    pub fn un(&mut self, op: UnOp, a: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Un { op, d, a: a.into() });
+        d
+    }
+
+    /// Integer add into a fresh register.
+    pub fn add(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Integer subtract into a fresh register.
+    pub fn sub(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Integer multiply into a fresh register.
+    pub fn mul(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Unsigned divide into a fresh register.
+    pub fn div(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Div, a, b)
+    }
+
+    /// Unsigned remainder into a fresh register.
+    pub fn rem(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Rem, a, b)
+    }
+
+    /// Bitwise AND into a fresh register.
+    pub fn and(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR into a fresh register.
+    pub fn or(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR into a fresh register.
+    pub fn xor(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Shift left into a fresh register.
+    pub fn shl(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// Logical shift right into a fresh register.
+    pub fn shr(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::Shr, a, b)
+    }
+
+    /// Float add into a fresh register.
+    pub fn fadd(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::FAdd, a, b)
+    }
+
+    /// Float subtract into a fresh register.
+    pub fn fsub(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::FSub, a, b)
+    }
+
+    /// Float multiply into a fresh register.
+    pub fn fmul(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::FMul, a, b)
+    }
+
+    /// Float divide into a fresh register.
+    pub fn fdiv(&mut self, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        self.bin(BinOp::FDiv, a, b)
+    }
+
+    /// Integer multiply-add into a fresh register.
+    pub fn mad(&mut self, a: impl Into<Src>, b: impl Into<Src>, c: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Mad { d, a: a.into(), b: b.into(), c: c.into() });
+        d
+    }
+
+    /// Float multiply-add into a fresh register.
+    pub fn fmad(&mut self, a: impl Into<Src>, b: impl Into<Src>, c: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::FMad { d, a: a.into(), b: b.into(), c: c.into() });
+        d
+    }
+
+    /// Predicate: `(a <cmp> b) ? 1 : 0`.
+    pub fn setp(&mut self, cmp: CmpOp, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::SetP { cmp, d, a: a.into(), b: b.into() });
+        d
+    }
+
+    /// Select: `c != 0 ? a : b`.
+    pub fn sel(&mut self, c: Reg, a: impl Into<Src>, b: impl Into<Src>) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Sel { d, c, a: a.into(), b: b.into() });
+        d
+    }
+
+    // ---- special registers & parameters ----
+
+    fn sreg(&mut self, r: SpecialReg) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Sreg { d, r });
+        d
+    }
+
+    /// `threadIdx.x`
+    pub fn tid(&mut self) -> Reg {
+        self.sreg(SpecialReg::Tid)
+    }
+
+    /// `blockIdx.x`
+    pub fn ctaid(&mut self) -> Reg {
+        self.sreg(SpecialReg::Ctaid)
+    }
+
+    /// `blockDim.x`
+    pub fn ntid(&mut self) -> Reg {
+        self.sreg(SpecialReg::Ntid)
+    }
+
+    /// `gridDim.x`
+    pub fn nctaid(&mut self) -> Reg {
+        self.sreg(SpecialReg::Nctaid)
+    }
+
+    /// Lane index within the warp.
+    pub fn laneid(&mut self) -> Reg {
+        self.sreg(SpecialReg::LaneId)
+    }
+
+    /// Warp index within the block.
+    pub fn warpid(&mut self) -> Reg {
+        self.sreg(SpecialReg::WarpId)
+    }
+
+    /// Global thread ID: `blockIdx * blockDim + threadIdx`.
+    pub fn global_tid(&mut self) -> Reg {
+        let b = self.ctaid();
+        let n = self.ntid();
+        let t = self.tid();
+        self.mad(b, n, t)
+    }
+
+    /// Load kernel parameter `idx`.
+    pub fn param(&mut self, idx: u16) -> Reg {
+        let d = self.reg();
+        self.emit(Op::LdParam { d, idx });
+        d
+    }
+
+    // ---- memory ----
+
+    /// Load into a fresh register.
+    pub fn ld(&mut self, space: Space, addr: Reg, imm: u32, size: u8) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Ld { space, d, addr, imm, size });
+        d
+    }
+
+    /// Store.
+    pub fn st(&mut self, space: Space, addr: Reg, imm: u32, src: impl Into<Src>, size: u8) {
+        self.emit(Op::St { space, addr, imm, src: src.into(), size });
+    }
+
+    /// Atomic RMW; returns the old value.
+    pub fn atom(
+        &mut self,
+        space: Space,
+        op: AtomOp,
+        addr: Reg,
+        imm: u32,
+        src: impl Into<Src>,
+        src2: impl Into<Src>,
+    ) -> Reg {
+        let d = self.reg();
+        self.emit(Op::Atom { space, op, d, addr, imm, src: src.into(), src2: src2.into() });
+        d
+    }
+
+    // ---- synchronization ----
+
+    /// `__syncthreads()`
+    pub fn bar(&mut self) {
+        self.emit(Op::Bar);
+    }
+
+    /// `__threadfence()`
+    pub fn membar(&mut self) {
+        self.emit(Op::Membar);
+    }
+
+    /// Critical-section entry marker (lock address in `lock`).
+    pub fn cs_begin(&mut self, lock: Reg) {
+        self.emit(Op::CsBegin { lock });
+    }
+
+    /// Critical-section exit marker.
+    pub fn cs_end(&mut self) {
+        self.emit(Op::CsEnd);
+    }
+
+    // ---- structured control flow ----
+
+    fn patch_branch(&mut self, pc: u32, target: u32, reconv: u32) {
+        match &mut self.instrs[pc as usize].op {
+            Op::Bra { target: t, reconv: r, .. } => {
+                *t = target;
+                *r = reconv;
+            }
+            other => panic!("patching non-branch at pc {pc}: {other:?}"),
+        }
+    }
+
+    /// `if (pred) { then }`
+    pub fn if_then(&mut self, pred: Reg, then: impl FnOnce(&mut Self)) {
+        // Branch *around* the body when the predicate is false.
+        let br = self.emit(Op::Bra { pred: Some((pred, false)), target: 0, reconv: 0 });
+        then(self);
+        let end = self.pc();
+        self.patch_branch(br, end, end);
+    }
+
+    /// `if (pred) { t } else { e }`
+    pub fn if_then_else(
+        &mut self,
+        pred: Reg,
+        t: impl FnOnce(&mut Self),
+        e: impl FnOnce(&mut Self),
+    ) {
+        let br_else = self.emit(Op::Bra { pred: Some((pred, false)), target: 0, reconv: 0 });
+        t(self);
+        let br_end = self.emit(Op::Bra { pred: None, target: 0, reconv: 0 });
+        let else_pc = self.pc();
+        e(self);
+        let end = self.pc();
+        self.patch_branch(br_else, else_pc, end);
+        self.patch_branch(br_end, end, end);
+    }
+
+    /// `while (cond()) { body }` — `cond` emits code computing the loop
+    /// predicate each iteration.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.pc();
+        let c = cond(self);
+        let br_exit = self.emit(Op::Bra { pred: Some((c, false)), target: 0, reconv: 0 });
+        body(self);
+        let back = self.emit(Op::Bra { pred: None, target: head, reconv: 0 });
+        let end = self.pc();
+        self.patch_branch(br_exit, end, end);
+        self.patch_branch(back, head, end);
+    }
+
+    /// Counted loop: `for (i = start; i < end; i += step) { body(i) }`
+    /// with an unsigned comparison. The induction variable is handed to
+    /// the body.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Src>,
+        end: impl Into<Src>,
+        step: impl Into<Src>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.mov(start);
+        let end = end.into();
+        let step = step.into();
+        self.while_loop(
+            |b| b.setp(CmpOp::LtU, i, end),
+            |b| {
+                body(b, i);
+                b.bin_into(BinOp::Add, i, i, step);
+            },
+        );
+    }
+
+    /// Finalize: append `Exit`, validate, and return the kernel.
+    pub fn build(mut self) -> Kernel {
+        self.emit(Op::Exit);
+        let k = Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            num_regs: self.next_reg,
+            shared_bytes: self.shared_bytes,
+        };
+        if let Err(e) = k.validate() {
+            panic!("kernel {:?} failed validation: {e}", k.name);
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straightline_kernel_builds() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.tid();
+        let x = b.add(t, 1u32);
+        let base = b.param(0);
+        let a = b.add(base, x);
+        b.st(Space::Global, a, 0, x, 4);
+        let k = b.build();
+        assert_eq!(k.name, "k");
+        assert!(k.validate().is_ok());
+        assert!(matches!(k.instrs.last().unwrap().op, Op::Exit));
+    }
+
+    #[test]
+    fn if_then_branch_is_patched_to_join() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.tid();
+        let p = b.setp(CmpOp::Eq, t, 0u32);
+        b.if_then(p, |b| {
+            b.mov(5u32);
+        });
+        let k = b.build();
+        let bra = k
+            .instrs
+            .iter()
+            .find_map(|i| match i.op {
+                Op::Bra { pred: Some(_), target, reconv } => Some((target, reconv)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(bra.0, bra.1, "if-then branch target is its reconvergence point");
+        // Targets the instruction right after the body.
+        assert_eq!(bra.0, k.instrs.len() as u32 - 1);
+    }
+
+    #[test]
+    fn if_then_else_has_two_patched_branches() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.tid();
+        let p = b.setp(CmpOp::LtU, t, 16u32);
+        let d = b.reg();
+        b.if_then_else(
+            p,
+            |b| b.assign(d, 1u32),
+            |b| b.assign(d, 2u32),
+        );
+        let k = b.build();
+        let branches: Vec<_> = k
+            .instrs
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Bra { target, reconv, .. } => Some((target, reconv)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(branches.len(), 2);
+        // Both reconverge at the same join.
+        assert_eq!(branches[0].1, branches[1].1);
+        // The conditional branch targets the else block, before the join.
+        assert!(branches[0].0 < branches[0].1);
+    }
+
+    #[test]
+    fn while_loop_backedge_points_to_head() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.mov(0u32);
+        b.while_loop(
+            |b| b.setp(CmpOp::LtU, i, 4u32),
+            |b| b.bin_into(BinOp::Add, i, i, 1u32),
+        );
+        let k = b.build();
+        let branches: Vec<_> = k
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| match i.op {
+                Op::Bra { target, reconv, pred } => Some((pc as u32, pred.is_some(), target, reconv)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(branches.len(), 2);
+        let (_, _, exit_target, exit_reconv) = branches[0];
+        let (back_pc, uncond, back_target, _) = branches[1];
+        assert!(!uncond, "backedge is unconditional");
+        assert!(back_target < back_pc, "backedge jumps backwards");
+        assert_eq!(exit_target, exit_reconv);
+        assert!(exit_target > back_pc, "exit jumps past the backedge");
+    }
+
+    #[test]
+    fn shared_alloc_is_16_byte_aligned() {
+        let mut b = KernelBuilder::new("k");
+        assert_eq!(b.shared_alloc(10), 0);
+        assert_eq!(b.shared_alloc(4), 16);
+        assert_eq!(b.shared_alloc(100), 32);
+        b.emit(Op::Bar);
+        let k = b.build();
+        assert_eq!(k.shared_bytes, 132);
+    }
+
+    #[test]
+    fn line_override_tags_emissions() {
+        let mut b = KernelBuilder::new("k");
+        b.line(42);
+        b.mov(0u32);
+        b.clear_line();
+        b.mov(1u32);
+        let k = b.build();
+        assert_eq!(k.instrs[0].line, 42);
+        assert_eq!(k.instrs[1].line, 1); // auto = pc
+    }
+
+    #[test]
+    fn doc_example_compiles_and_validates() {
+        // Mirrors the module-level doc example.
+        let mut b = KernelBuilder::new("double");
+        let tid = b.tid();
+        let n = b.param(2);
+        let p = b.setp(CmpOp::LtU, tid, n);
+        b.if_then(p, |b| {
+            let off = b.shl(tid, 2u32);
+            let inp = b.param(0);
+            let src = b.add(inp, off);
+            let v = b.ld(Space::Global, src, 0, 4);
+            let v2 = b.mul(v, 2u32);
+            let outp = b.param(1);
+            let dst = b.add(outp, off);
+            b.st(Space::Global, dst, 0, v2, 4);
+        });
+        assert!(b.build().validate().is_ok());
+    }
+}

@@ -1,0 +1,259 @@
+//! Kernel disassembler: a PTX-flavoured text listing of compiled kernels,
+//! for debugging DSL-generated code and for diffing instrumented kernels
+//! against their originals.
+
+use std::fmt::Write as _;
+
+use super::{AtomOp, BinOp, CmpOp, Instr, Kernel, Op, Reg, Space, SpecialReg, Src, UnOp};
+
+fn src(s: Src) -> String {
+    match s {
+        Src::Reg(r) => format!("r{}", r.0),
+        Src::Imm(v) => {
+            if v > 0xFFFF {
+                format!("{v:#x}")
+            } else {
+                format!("{v}")
+            }
+        }
+    }
+}
+
+fn reg(r: Reg) -> String {
+    format!("r{}", r.0)
+}
+
+fn bin_mnemonic(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::FAdd => "add.f32",
+        BinOp::FSub => "sub.f32",
+        BinOp::FMul => "mul.f32",
+        BinOp::FDiv => "div.f32",
+        BinOp::FMin => "min.f32",
+        BinOp::FMax => "max.f32",
+    }
+}
+
+fn un_mnemonic(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Mov => "mov",
+        UnOp::Not => "not",
+        UnOp::FNeg => "neg.f32",
+        UnOp::FAbs => "abs.f32",
+        UnOp::FSqrt => "sqrt.f32",
+        UnOp::FExp => "ex2.f32",
+        UnOp::FLog => "lg2.f32",
+        UnOp::FSin => "sin.f32",
+        UnOp::FCos => "cos.f32",
+        UnOp::I2F => "cvt.f32.s32",
+        UnOp::F2I => "cvt.s32.f32",
+    }
+}
+
+fn cmp_mnemonic(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::LtU => "lt.u32",
+        CmpOp::LeU => "le.u32",
+        CmpOp::GtU => "gt.u32",
+        CmpOp::GeU => "ge.u32",
+        CmpOp::LtS => "lt.s32",
+        CmpOp::LeS => "le.s32",
+        CmpOp::GtS => "gt.s32",
+        CmpOp::GeS => "ge.s32",
+        CmpOp::FLt => "lt.f32",
+        CmpOp::FLe => "le.f32",
+        CmpOp::FGt => "gt.f32",
+        CmpOp::FGe => "ge.f32",
+    }
+}
+
+fn atom_mnemonic(op: AtomOp) -> &'static str {
+    match op {
+        AtomOp::Add => "add",
+        AtomOp::Inc => "inc",
+        AtomOp::Exch => "exch",
+        AtomOp::Cas => "cas",
+        AtomOp::Min => "min",
+        AtomOp::Max => "max",
+        AtomOp::And => "and",
+        AtomOp::Or => "or",
+    }
+}
+
+fn space(s: Space) -> &'static str {
+    match s {
+        Space::Shared => "shared",
+        Space::Global => "global",
+    }
+}
+
+/// Disassemble one instruction.
+pub fn disasm_instr(i: &Instr) -> String {
+    match i.op {
+        Op::Bin { op, d, a, b } => format!("{:<14} {}, {}, {}", bin_mnemonic(op), reg(d), src(a), src(b)),
+        Op::Un { op, d, a } => format!("{:<14} {}, {}", un_mnemonic(op), reg(d), src(a)),
+        Op::Mad { d, a, b, c } => format!("{:<14} {}, {}, {}, {}", "mad", reg(d), src(a), src(b), src(c)),
+        Op::FMad { d, a, b, c } => {
+            format!("{:<14} {}, {}, {}, {}", "fma.f32", reg(d), src(a), src(b), src(c))
+        }
+        Op::SetP { cmp, d, a, b } => {
+            format!("{:<14} {}, {}, {}", format!("setp.{}", cmp_mnemonic(cmp)), reg(d), src(a), src(b))
+        }
+        Op::Sel { d, c, a, b } => format!("{:<14} {}, {}, {}, {}", "selp", reg(d), reg(c), src(a), src(b)),
+        Op::Sreg { d, r } => {
+            let name = match r {
+                SpecialReg::Tid => "%tid.x",
+                SpecialReg::Ctaid => "%ctaid.x",
+                SpecialReg::Ntid => "%ntid.x",
+                SpecialReg::Nctaid => "%nctaid.x",
+                SpecialReg::LaneId => "%laneid",
+                SpecialReg::WarpId => "%warpid",
+            };
+            format!("{:<14} {}, {}", "mov", reg(d), name)
+        }
+        Op::LdParam { d, idx } => format!("{:<14} {}, [param+{}]", "ld.param", reg(d), idx * 4),
+        Op::Ld { space: sp, d, addr, imm, size } => {
+            format!("{:<14} {}, [{}+{}]", format!("ld.{}.b{}", space(sp), u32::from(size) * 8), reg(d), reg(addr), imm)
+        }
+        Op::St { space: sp, addr, imm, src: s, size } => {
+            format!("{:<14} [{}+{}], {}", format!("st.{}.b{}", space(sp), u32::from(size) * 8), reg(addr), imm, src(s))
+        }
+        Op::Atom { space: sp, op, d, addr, imm, src: s, src2 } => format!(
+            "{:<14} {}, [{}+{}], {}, {}",
+            format!("atom.{}.{}", space(sp), atom_mnemonic(op)),
+            reg(d),
+            reg(addr),
+            imm,
+            src(s),
+            src(src2)
+        ),
+        Op::Bar => "bar.sync       0".to_string(),
+        Op::Membar => "membar.gl".to_string(),
+        Op::CsBegin { lock } => format!("{:<14} {}", ".cs_begin", reg(lock)),
+        Op::CsEnd => ".cs_end".to_string(),
+        Op::Bra { pred, target, reconv } => match pred {
+            None => format!("{:<14} L{target}  // reconv L{reconv}", "bra"),
+            Some((r, true)) => format!("{:<14} L{target}  // reconv L{reconv}", format!("@{} bra", reg(r))),
+            Some((r, false)) => format!("{:<14} L{target}  // reconv L{reconv}", format!("@!{} bra", reg(r))),
+        },
+        Op::Exit => "exit".to_string(),
+    }
+}
+
+/// Disassemble a whole kernel, with branch-target labels.
+pub fn disasm(k: &Kernel) -> String {
+    // Collect label positions (branch targets + reconvergence points).
+    let mut labels = vec![false; k.instrs.len() + 1];
+    for i in &k.instrs {
+        if let Op::Bra { target, reconv, .. } = i.op {
+            labels[target as usize] = true;
+            labels[reconv as usize] = true;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "// kernel {} ({} regs, {} B shared)", k.name, k.num_regs, k.shared_bytes);
+    for (pc, i) in k.instrs.iter().enumerate() {
+        if labels[pc] {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let _ = writeln!(out, "  /*{pc:4}*/  {}", disasm_instr(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::builder::KernelBuilder;
+
+    fn sample() -> Kernel {
+        let mut b = KernelBuilder::new("sample");
+        let sh = b.shared_alloc(64);
+        let t = b.tid();
+        let p = b.setp(CmpOp::LtU, t, 16u32);
+        b.if_then(p, |b| {
+            let o = b.shl(t, 2u32);
+            let a = b.add(o, sh);
+            b.st(Space::Shared, a, 0, t, 4);
+        });
+        b.bar();
+        b.membar();
+        b.build()
+    }
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let k = sample();
+        let text = disasm(&k);
+        assert_eq!(
+            text.lines().filter(|l| l.contains("/*")).count(),
+            k.instrs.len(),
+            "{text}"
+        );
+        assert!(text.contains("bar.sync"));
+        assert!(text.contains("membar.gl"));
+        assert!(text.contains("st.shared.b32"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn branch_targets_get_labels() {
+        let k = sample();
+        let text = disasm(&k);
+        assert!(text.contains("bra"), "{text}");
+        assert!(text.lines().any(|l| l.starts_with('L') && l.ends_with(':')), "{text}");
+    }
+
+    #[test]
+    fn instrumented_kernels_diff_cleanly() {
+        // The disassembler's main use: inspecting instrumentation output.
+        let k = sample();
+        let before = disasm(&k).lines().count();
+        // A trivially bigger kernel has a longer listing.
+        let mut b = KernelBuilder::new("bigger");
+        let t = b.tid();
+        for _ in 0..10 {
+            b.add(t, 1u32);
+        }
+        let k2 = b.build();
+        assert_ne!(before, disasm(&k2).lines().count());
+    }
+
+    #[test]
+    fn all_op_kinds_have_mnemonics() {
+        // Exercise every mnemonic table entry at least once.
+        for op in [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem, BinOp::Min, BinOp::Max,
+            BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::Shr, BinOp::FAdd, BinOp::FSub,
+            BinOp::FMul, BinOp::FDiv, BinOp::FMin, BinOp::FMax,
+        ] {
+            assert!(!bin_mnemonic(op).is_empty());
+        }
+        for op in [
+            UnOp::Mov, UnOp::Not, UnOp::FNeg, UnOp::FAbs, UnOp::FSqrt, UnOp::FExp, UnOp::FLog,
+            UnOp::FSin, UnOp::FCos, UnOp::I2F, UnOp::F2I,
+        ] {
+            assert!(!un_mnemonic(op).is_empty());
+        }
+        for op in [
+            AtomOp::Add, AtomOp::Inc, AtomOp::Exch, AtomOp::Cas, AtomOp::Min, AtomOp::Max,
+            AtomOp::And, AtomOp::Or,
+        ] {
+            assert!(!atom_mnemonic(op).is_empty());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Tag-only set-associative cache model with true-LRU replacement.
+//!
+//! Used for both the per-SM non-coherent L1 data caches and the banked
+//! unified L2. Data is functional elsewhere; the cache decides hits,
+//! fills, and dirty evictions (which cost DRAM write bandwidth).
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    filled_at: u64,
+}
+
+/// An evicted line that must be written back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Eviction {
+    pub line_addr: u32,
+    pub dirty: bool,
+}
+
+/// Tag-store cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets × ways, row-major
+    /// Hit/miss counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Build from a configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.sets() * cfg.ways) as usize;
+        Self { cfg, lines: vec![Line::default(); n], stats: CacheStats::default() }
+    }
+
+    /// The configuration in use.
+    pub fn cfg(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, addr: u32) -> usize {
+        ((addr / self.cfg.line_bytes) % self.cfg.sets()) as usize
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes / self.cfg.sets()
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let w = self.cfg.ways as usize;
+        set * w..(set + 1) * w
+    }
+
+    /// Probe without filling. On a hit, updates LRU and (if `mark_dirty`)
+    /// the dirty bit. Returns whether it hit.
+    pub fn probe(&mut self, addr: u32, mark_dirty: bool, now: u64) -> bool {
+        self.stats.accesses += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for i in self.set_range(set) {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.last_use = now;
+                l.dirty |= mark_dirty;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Allocate a line for `addr` (after its fill arrives). Returns the
+    /// eviction if a valid line was displaced. Idempotent if the line is
+    /// already present (merged fills).
+    pub fn fill(&mut self, addr: u32, dirty: bool, now: u64) -> Option<Eviction> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        // Already present (e.g. two merged misses): refresh.
+        for i in self.set_range(set) {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].last_use = now;
+                self.lines[i].filled_at = now;
+                self.lines[i].dirty |= dirty;
+                return None;
+            }
+        }
+        // Choose victim: invalid first, else LRU.
+        let victim = self
+            .set_range(set)
+            .min_by_key(|&i| (self.lines[i].valid, self.lines[i].last_use))
+            .expect("at least one way");
+        let old = self.lines[victim];
+        self.lines[victim] = Line { tag, valid: true, dirty, last_use: now, filled_at: now };
+        if old.valid {
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.dirty_writebacks += 1;
+            }
+            let line_addr =
+                (old.tag * self.cfg.sets() + set as u32) * self.cfg.line_bytes;
+            Some(Eviction { line_addr, dirty: old.dirty })
+        } else {
+            None
+        }
+    }
+
+    /// Invalidate everything (kernel boundary).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+
+    /// Cycle at which `addr`'s resident line was filled (None if absent).
+    pub fn fill_time(&self, addr: u32) -> Option<u64> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.set_range(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+            .map(|i| self.lines[i].filled_at)
+    }
+
+    /// Whether `addr`'s line is resident (no stats side effects).
+    pub fn contains(&self, addr: u32) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.set_range(set).any(|i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 128, hit_latency: 10, mshrs: 8 }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(cfg());
+        assert!(!c.probe(0x100, false, 0));
+        assert!(c.fill(0x100, false, 1).is_none());
+        assert!(c.probe(0x100, false, 2));
+        assert!(c.probe(0x17F, false, 3), "same 128B line");
+        assert!(!c.probe(0x180, false, 4), "next line");
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(cfg()); // 4 sets × 2 ways
+        let sets = c.cfg().sets();
+        assert_eq!(sets, 4);
+        // Three lines mapping to set 0: 0, 4*128, 8*128.
+        c.fill(0, false, 1);
+        c.fill(4 * 128, false, 2);
+        c.probe(0, false, 3); // refresh line 0
+        let ev = c.fill(8 * 128, false, 4).expect("eviction");
+        assert_eq!(ev.line_addr, 4 * 128, "LRU victim");
+        assert!(!ev.dirty);
+        assert!(c.contains(0));
+        assert!(!c.contains(4 * 128));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = Cache::new(cfg());
+        c.fill(0, true, 1);
+        c.fill(4 * 128, false, 2);
+        let ev = c.fill(8 * 128, false, 3).expect("eviction");
+        assert!(ev.dirty);
+        assert_eq!(ev.line_addr, 0);
+        assert_eq!(c.stats.dirty_writebacks, 1);
+    }
+
+    #[test]
+    fn probe_marks_dirty() {
+        let mut c = Cache::new(cfg());
+        c.fill(0, false, 1);
+        assert!(c.probe(0, true, 2));
+        c.fill(4 * 128, false, 3);
+        let ev = c.fill(8 * 128, false, 4).unwrap();
+        assert!(ev.dirty, "dirty bit set by probe survived to eviction");
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let mut c = Cache::new(cfg());
+        c.fill(0, false, 1);
+        assert!(c.fill(0, true, 2).is_none());
+        assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(cfg());
+        c.fill(0, true, 1);
+        c.flush();
+        assert!(!c.contains(0));
+        assert!(!c.probe(0, false, 2));
+    }
+
+    #[test]
+    fn eviction_reconstructs_line_address() {
+        let mut c = Cache::new(cfg());
+        let addr = 0x1234 & !127u32; // arbitrary line
+        c.fill(addr, false, 1);
+        // Force eviction with two more lines in the same set.
+        let set_stride = 4 * 128;
+        c.fill(addr + set_stride, false, 2);
+        let ev = c.fill(addr + 2 * set_stride, false, 3).unwrap();
+        assert_eq!(ev.line_addr, addr);
+    }
+}

@@ -1,0 +1,173 @@
+//! Global-memory access coalescing (§II-A: "Consecutive accesses to both
+//! global and local memory from different threads in a warp are coalesced,
+//! i.e., combined into a single larger access").
+//!
+//! The model coalesces at cache-line granularity (the Fermi-style rule):
+//! the lanes of one warp memory instruction are grouped by the 128-byte
+//! line they touch; each distinct line becomes one transaction. A fully
+//! coalesced row-major access produces one transaction per warp; a
+//! strided/scattered access degenerates to one per lane.
+
+/// One lane's byte-level access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct LaneAddr {
+    pub lane: u8,
+    pub addr: u32,
+    pub size: u8,
+}
+
+/// A coalesced transaction: a line and the lanes it serves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Transaction {
+    pub line_addr: u32,
+    /// Bytes actually touched within the line (drives network payload for
+    /// stores; reads fetch the whole line).
+    pub bytes: u32,
+    pub lanes: Vec<u8>,
+}
+
+/// Coalesce lane accesses into line transactions, preserving the order in
+/// which lines are first touched (lane order → deterministic).
+///
+/// A lane whose access straddles a line boundary joins both transactions.
+pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
+    let mask = !(line_bytes - 1);
+    let mut out: Vec<Transaction> = Vec::with_capacity(4);
+    for la in lanes {
+        let first = la.addr & mask;
+        let last = (la.addr + u32::from(la.size.max(1)) - 1) & mask;
+        let mut line = first;
+        loop {
+            match out.iter_mut().find(|t| t.line_addr == line) {
+                Some(t) => {
+                    if *t.lanes.last().unwrap() != la.lane {
+                        t.lanes.push(la.lane);
+                    }
+                    t.bytes += u32::from(la.size);
+                }
+                None => out.push(Transaction {
+                    line_addr: line,
+                    bytes: u32::from(la.size),
+                    lanes: vec![la.lane],
+                }),
+            }
+            if line == last {
+                break;
+            }
+            line += line_bytes;
+        }
+    }
+    for t in &mut out {
+        t.bytes = t.bytes.min(line_bytes);
+    }
+    out
+}
+
+/// Shared-memory bank-conflict serialization: the number of cycles the
+/// banked shared memory needs to serve one warp access — the maximum,
+/// over banks, of the number of *distinct words* requested in that bank
+/// (§II-A: "If threads within a warp access different banks, all the
+/// accesses are served in parallel").
+pub fn bank_conflict_degree(lanes: &[LaneAddr], banks: u32) -> u32 {
+    let mut per_bank_words: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
+    for la in lanes {
+        let word = la.addr / 4;
+        let bank = (word % banks) as usize;
+        if !per_bank_words[bank].contains(&word) {
+            per_bank_words[bank].push(word);
+        }
+    }
+    per_bank_words.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lanes: impl IntoIterator<Item = (u8, u32)>) -> Vec<LaneAddr> {
+        lanes.into_iter().map(|(lane, addr)| LaneAddr { lane, addr, size: 4 }).collect()
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_one_transaction() {
+        let lanes = mk((0..32).map(|l| (l as u8, 0x1000 + l * 4)));
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].line_addr, 0x1000);
+        assert_eq!(txs[0].lanes.len(), 32);
+        assert_eq!(txs[0].bytes, 128);
+    }
+
+    #[test]
+    fn misaligned_warp_spans_two_lines() {
+        let lanes = mk((0..32).map(|l| (l as u8, 0x1040 + l * 4)));
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].line_addr, 0x1000);
+        assert_eq!(txs[1].line_addr, 0x1080);
+    }
+
+    #[test]
+    fn large_stride_degenerates_to_per_lane() {
+        let lanes = mk((0..32).map(|l| (l as u8, l * 256)));
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs.len(), 32);
+        assert!(txs.iter().all(|t| t.lanes.len() == 1));
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one_transaction() {
+        let lanes = mk((0..32).map(|l| (l as u8, 0x2000)));
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].lanes.len(), 32);
+        assert_eq!(txs[0].bytes, 128);
+    }
+
+    #[test]
+    fn straddling_lane_joins_both_lines() {
+        let lanes = vec![LaneAddr { lane: 0, addr: 0x107E, size: 4 }];
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].line_addr, 0x1000);
+        assert_eq!(txs[1].line_addr, 0x1080);
+    }
+
+    #[test]
+    fn transaction_order_is_first_touch() {
+        let lanes = mk([(0u8, 0x2000u32), (1, 0x1000), (2, 0x2004)]);
+        let txs = coalesce(&lanes, 128);
+        assert_eq!(txs[0].line_addr, 0x2000);
+        assert_eq!(txs[1].line_addr, 0x1000);
+    }
+
+    #[test]
+    fn conflict_free_shared_access() {
+        // 32 lanes, consecutive words over 16 banks: 2 words per bank.
+        let lanes = mk((0..32).map(|l| (l as u8, l * 4)));
+        assert_eq!(bank_conflict_degree(&lanes, 16), 2);
+        // 16 lanes, consecutive words: conflict-free.
+        let lanes16 = mk((0..16).map(|l| (l as u8, l * 4)));
+        assert_eq!(bank_conflict_degree(&lanes16, 16), 1);
+    }
+
+    #[test]
+    fn same_word_broadcast_is_conflict_free() {
+        let lanes = mk((0..16).map(|l| (l as u8, 64)));
+        assert_eq!(bank_conflict_degree(&lanes, 16), 1, "broadcast from one word");
+    }
+
+    #[test]
+    fn stride_16_words_serializes_fully() {
+        // Every lane hits bank 0 with a different word: full serialization.
+        let lanes = mk((0..16).map(|l| (l as u8, l * 16 * 4)));
+        assert_eq!(bank_conflict_degree(&lanes, 16), 16);
+    }
+
+    #[test]
+    fn empty_access_costs_one_cycle() {
+        assert_eq!(bank_conflict_degree(&[], 16), 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! A memory slice: one bank of the unified L2 cache, its memory
+//! controller + GDDR3 channel, and the global-memory RDU's shadow-access
+//! port (§IV-B, Fig. 6).
+//!
+//! Every global data transaction is processed here; when HAccRG is on,
+//! the slice additionally serves the shadow-table line accesses the RDU
+//! generated for that transaction. Shadow accesses share the L2 port
+//! (round-robin with data), allocate in L2 (polluting it — §VI-C1), and
+//! fall through to DRAM on misses: this contention is the entire source
+//! of the combined-detection overhead in Fig. 7/9.
+
+use std::collections::VecDeque;
+
+use crate::config::GpuConfig;
+use crate::device::DeviceMemory;
+use crate::exec::eval_atom;
+use crate::mem::cache::Cache;
+use crate::mem::dram::{Dram, DramReq};
+use crate::mem::{MemReq, ReqKind};
+
+/// Why a DRAM read was issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FillKind {
+    /// Data line for MSHR waiters.
+    Data,
+    /// Shadow-table line (RDU access).
+    Shadow,
+}
+
+/// One memory slice.
+pub struct MemSlice {
+    id: u32,
+    cfg: GpuConfig,
+    /// This slice's L2 bank.
+    pub l2: Cache,
+    /// This slice's memory controller + GDDR3 channel.
+    pub dram: Dram,
+    input: VecDeque<MemReq>,
+    shadow_queue: VecDeque<u32>,
+    /// line → (fill kind, waiting requests, dirty-on-fill)
+    mshr: Vec<(u32, FillKind, Vec<MemReq>, bool)>,
+    /// Dirty evictions waiting for DRAM queue space.
+    writeback_queue: VecDeque<u32>,
+    /// Completed responses awaiting their ready time.
+    ready: Vec<(u64, MemReq)>,
+    /// Round-robin fairness bit between data and shadow L2 ports.
+    serve_shadow_next: bool,
+    next_dram_id: u64,
+    /// Shadow L2 accesses performed (stats).
+    pub shadow_l2_accesses: u64,
+}
+
+impl MemSlice {
+    /// Build slice `id`.
+    pub fn new(id: u32, cfg: GpuConfig) -> Self {
+        Self {
+            id,
+            cfg,
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.dram),
+            input: VecDeque::new(),
+            shadow_queue: VecDeque::new(),
+            mshr: Vec::new(),
+            writeback_queue: VecDeque::new(),
+            ready: Vec::new(),
+            serve_shadow_next: false,
+            next_dram_id: 0,
+            shadow_l2_accesses: 0,
+        }
+    }
+
+    /// Slice ID.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// A request arrived from the interconnect.
+    pub fn push_input(&mut self, req: MemReq) {
+        self.input.push_back(req);
+    }
+
+    /// Whether all queues are drained (kernel completion check).
+    pub fn idle(&self) -> bool {
+        self.input.is_empty()
+            && self.shadow_queue.is_empty()
+            && self.mshr.is_empty()
+            && self.writeback_queue.is_empty()
+            && self.ready.is_empty()
+            && !self.dram.busy()
+    }
+
+    fn dram_read(&mut self, line: u32) {
+        let id = self.next_dram_id;
+        self.next_dram_id += 1;
+        self.dram.push(DramReq { id, line_addr: line, is_write: false });
+    }
+
+    fn handle_eviction(&mut self, ev: Option<crate::mem::cache::Eviction>) {
+        if let Some(e) = ev {
+            if e.dirty {
+                self.writeback_queue.push_back(e.line_addr);
+            }
+        }
+    }
+
+    /// Advance one cycle. Atomics are functionally applied to `mem` here,
+    /// in processing order — this is what serializes contended locks.
+    /// Returns responses that completed this cycle (to be sent back).
+    pub fn cycle(&mut self, now: u64, mem: &mut DeviceMemory) -> Vec<MemReq> {
+        // Retry pending dirty writebacks first (they only need queue space).
+        while let Some(&line) = self.writeback_queue.front() {
+            if !self.dram.can_accept() {
+                break;
+            }
+            let id = self.next_dram_id;
+            self.next_dram_id += 1;
+            self.dram.push(DramReq { id, line_addr: line, is_write: true });
+            self.writeback_queue.pop_front();
+        }
+
+        // One L2 port access per cycle, round-robin between data requests
+        // and RDU shadow accesses.
+        let shadow_first = self.serve_shadow_next && !self.shadow_queue.is_empty();
+        if shadow_first || self.input.is_empty() {
+            if self.process_shadow(now) {
+                self.serve_shadow_next = false;
+            } else {
+                self.process_data(now, mem);
+                self.serve_shadow_next = true;
+            }
+        } else if self.process_data(now, mem) {
+            self.serve_shadow_next = true;
+        } else {
+            self.process_shadow(now);
+            self.serve_shadow_next = false;
+        }
+
+        // DRAM progress.
+        let completions = self.dram.cycle(now);
+        for c in completions {
+            if c.is_write {
+                continue;
+            }
+            // Which MSHR entry does this fill?
+            if let Some(pos) = self.mshr.iter().position(|(l, _, _, _)| *l == c.line_addr) {
+                let (line, kind, waiters, dirty) = self.mshr.swap_remove(pos);
+                let ev = self.l2.fill(line, dirty, now);
+                self.handle_eviction(ev);
+                match kind {
+                    FillKind::Shadow => {}
+                    FillKind::Data => {
+                        for w in waiters {
+                            self.ready.push((now + 1, w));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Release responses whose time has come.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.ready.len() {
+            if self.ready[i].0 <= now {
+                out.push(self.ready.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Process one data request. Returns whether the L2 port was used.
+    fn process_data(&mut self, now: u64, mem: &mut DeviceMemory) -> bool {
+        let Some(req) = self.input.front() else { return false };
+
+        // Backpressure: a miss needs MSHR + DRAM queue space.
+        let line = req.line_addr;
+        let needs_mshr = !self.l2.contains(line);
+        if needs_mshr
+            && !self.mshr.iter().any(|(l, _, _, _)| *l == line)
+            && (!self.dram.can_accept() || self.mshr.len() >= self.cfg.l2.mshrs as usize)
+        {
+            return false;
+        }
+
+        let mut req = self.input.pop_front().expect("checked above");
+
+        // The RDU piggybacked shadow line accesses on this request: they
+        // join the shadow queue now that the request reached the slice.
+        // (Vec is drained; probes carry their lines the same way.)
+        for i in 0..req.shadow_ops {
+            let base = shadow_line_key(&req, i);
+            self.shadow_queue.push_back(base);
+        }
+
+        // Atomics: functional read-modify-write in lane order, right now.
+        if let ReqKind::Atomic { ops, .. } = &req.kind {
+            let ops = ops.clone();
+            for op in &ops {
+                let old = mem.read_u32(op.addr);
+                let new = eval_atom(op.op, old, op.src, op.src2);
+                mem.write_u32(op.addr, new);
+                req.atomic_old.push((op.lane, old));
+            }
+        }
+
+        let is_write = req.kind.is_write();
+        let hit = self.l2.probe(line, is_write, now);
+        match (&req.kind, hit) {
+            (ReqKind::ShadowProbe, _) => { /* consumed above; no response */ }
+            (_, true) => {
+                if req.kind.wants_response() {
+                    self.ready.push((now + u64::from(self.cfg.l2.hit_latency), req));
+                }
+            }
+            (_, false) => {
+                // Miss: join or open an MSHR entry; write-allocate marks
+                // the fill dirty.
+                if let Some(entry) = self.mshr.iter_mut().find(|(l, _, _, _)| *l == line) {
+                    entry.3 |= is_write;
+                    if req.kind.wants_response() {
+                        entry.2.push(req);
+                    }
+                } else {
+                    let waiters = if req.kind.wants_response() { vec![req] } else { Vec::new() };
+                    self.mshr.push((line, FillKind::Data, waiters, is_write));
+                    self.dram_read(line);
+                }
+            }
+        }
+        true
+    }
+
+    /// Process one shadow access. Returns whether the L2 port was used.
+    fn process_shadow(&mut self, now: u64) -> bool {
+        let Some(&line) = self.shadow_queue.front() else { return false };
+        if !self.l2.contains(line) {
+            let merged = self.mshr.iter().any(|(l, _, _, _)| *l == line);
+            if !merged && (!self.dram.can_accept() || self.mshr.len() >= self.cfg.l2.mshrs as usize) {
+                return false;
+            }
+            self.shadow_queue.pop_front();
+            self.shadow_l2_accesses += 1;
+            // Shadow accesses are read-modify-write: the fill is dirty.
+            if merged {
+                if let Some(e) = self.mshr.iter_mut().find(|(l, _, _, _)| *l == line) {
+                    e.3 = true;
+                }
+            } else {
+                self.mshr.push((line, FillKind::Shadow, Vec::new(), true));
+                self.dram_read(line);
+            }
+        } else {
+            self.shadow_queue.pop_front();
+            self.shadow_l2_accesses += 1;
+            self.l2.probe(line, true, now);
+        }
+        true
+    }
+}
+
+/// Reconstruct the `i`-th shadow line address piggybacked on a request.
+/// The SM encodes the base shadow line in `line_addr`'s companion field —
+/// to keep `MemReq` lean we derive consecutive lines from the stored base.
+fn shadow_line_key(req: &MemReq, i: u8) -> u32 {
+    req.shadow_base + u32::from(i) * 128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::LaneAtomic;
+    use crate::isa::AtomOp;
+
+    fn slice() -> MemSlice {
+        MemSlice::new(0, GpuConfig::test_small())
+    }
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::new(1 << 20)
+    }
+
+    fn load(id: u64, line: u32) -> MemReq {
+        MemReq {
+            id,
+            line_addr: line,
+            bytes: 128,
+            sm: 0,
+            warp_slot: 0,
+            gwarp: 0,
+            kind: ReqKind::LoadData,
+            shadow_ops: 0,
+            shadow_base: 0,
+            atomic_old: Vec::new(),
+        }
+    }
+
+    fn run(s: &mut MemSlice, m: &mut DeviceMemory, from: u64, max: u64) -> Vec<(u64, MemReq)> {
+        let mut out = Vec::new();
+        for now in from..from + max {
+            for r in s.cycle(now, m) {
+                out.push((now, r));
+            }
+            if s.idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn load_miss_goes_to_dram_then_hits() {
+        let mut s = slice();
+        let mut m = mem();
+        s.push_input(load(1, 0x1000));
+        let done = run(&mut s, &mut m, 0, 1000);
+        assert_eq!(done.len(), 1);
+        let miss_time = done[0].0;
+
+        // Second load to the same line: L2 hit, much faster.
+        s.push_input(load(2, 0x1000));
+        let t0 = miss_time + 10;
+        let done2 = run(&mut s, &mut m, t0, 1000);
+        let hit_latency = done2[0].0 - t0;
+        assert!(hit_latency < miss_time, "hit {hit_latency} vs miss {miss_time}");
+        assert_eq!(s.l2.stats.hits, 1);
+    }
+
+    #[test]
+    fn merged_misses_share_one_fill() {
+        let mut s = slice();
+        let mut m = mem();
+        s.push_input(load(1, 0x2000));
+        s.push_input(load(2, 0x2000));
+        let done = run(&mut s, &mut m, 0, 1000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(s.dram.stats.reads, 1, "one DRAM read services both");
+    }
+
+    #[test]
+    fn store_ack_after_write_allocate() {
+        let mut s = slice();
+        let mut m = mem();
+        let mut w = load(1, 0x3000);
+        w.kind = ReqKind::StoreData;
+        s.push_input(w);
+        let done = run(&mut s, &mut m, 0, 1000);
+        assert_eq!(done.len(), 1, "store acked");
+        assert!(matches!(done[0].1.kind, ReqKind::StoreData));
+        // The allocated line is dirty: evicting it writes back.
+        assert!(s.l2.contains(0x3000));
+    }
+
+    #[test]
+    fn atomics_serialize_in_lane_order() {
+        let mut s = slice();
+        let mut m = mem();
+        m.write_u32(0x4000, 10);
+        let ops = vec![
+            LaneAtomic { lane: 0, addr: 0x4000, op: AtomOp::Add, src: 1, src2: 0 },
+            LaneAtomic { lane: 1, addr: 0x4000, op: AtomOp::Add, src: 1, src2: 0 },
+        ];
+        let mut a = load(1, 0x4000);
+        a.kind = ReqKind::Atomic { ops, dreg: 0 };
+        s.push_input(a);
+        let done = run(&mut s, &mut m, 0, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(m.read_u32(0x4000), 12);
+        assert_eq!(done[0].1.atomic_old, vec![(0, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn shadow_ops_consume_l2_port_and_allocate() {
+        let mut s = slice();
+        let mut m = mem();
+        let mut r = load(1, 0x5000);
+        r.shadow_ops = 2;
+        r.shadow_base = 0x80_0000;
+        s.push_input(r);
+        let done = run(&mut s, &mut m, 0, 2000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(s.shadow_l2_accesses, 2);
+        assert!(s.l2.contains(0x80_0000));
+        assert!(s.l2.contains(0x80_0080));
+        // Shadow lines were fetched from DRAM too (data + 2 shadow).
+        assert_eq!(s.dram.stats.reads, 3);
+    }
+
+    #[test]
+    fn probe_requests_produce_no_response() {
+        let mut s = slice();
+        let mut m = mem();
+        let mut p = load(1, 0x6000);
+        p.kind = ReqKind::ShadowProbe;
+        p.shadow_ops = 1;
+        p.shadow_base = 0x90_0000;
+        s.push_input(p);
+        let done = run(&mut s, &mut m, 0, 2000);
+        assert!(done.is_empty());
+        assert_eq!(s.shadow_l2_accesses, 1);
+    }
+
+    #[test]
+    fn dirty_evictions_write_back_to_dram() {
+        let mut s = slice();
+        let mut m = mem();
+        // Fill many distinct lines mapping across the small L2 with dirty
+        // shadow accesses until evictions occur.
+        let mut id = 1;
+        let mut now = 0;
+        for i in 0..512u32 {
+            let mut r = load(id, 0x10_0000 + i * 128);
+            r.kind = ReqKind::StoreData;
+            s.push_input(r);
+            id += 1;
+            // Drain periodically to keep queues small.
+            let done = run(&mut s, &mut m, now, 4000);
+            now = done.last().map(|(t, _)| *t + 1).unwrap_or(now) + 1;
+        }
+        assert!(s.dram.stats.writes > 0, "dirty L2 evictions reached DRAM");
+    }
+}

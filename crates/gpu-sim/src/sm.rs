@@ -1,0 +1,1132 @@
+//! The streaming-multiprocessor model: resident thread-blocks (CTAs),
+//! warps with SIMT stacks, a round-robin warp scheduler, the in-order
+//! SIMD issue pipeline, banked shared memory, the per-SM L1 data cache
+//! with MSHRs, and the shared-memory RDU hooks.
+//!
+//! Timing model (Table I): one warp instruction issues per
+//! `warp_size / simd_width` cycles; shared-memory bank conflicts extend
+//! the occupancy; global loads/atomics block the issuing warp until their
+//! responses return (simple in-order SPs, §II-A), with latency hidden by
+//! switching among the SM's other warps; stores are non-blocking but
+//! tracked so `membar` can wait for them.
+
+use haccrg::prelude::*;
+
+use crate::config::GpuConfig;
+use crate::detector::DetectorState;
+use crate::device::DeviceMemory;
+use crate::exec::{eval_bin, eval_cmp, eval_un};
+use crate::isa::{Kernel, Op, Space, SpecialReg, Src};
+use crate::mem::cache::Cache;
+use crate::mem::coalesce::{bank_conflict_degree, coalesce, LaneAddr};
+use crate::mem::{LaneAtomic, MemReq, ReqKind};
+use crate::simt::SimtStack;
+use crate::stats::SimStats;
+
+/// Everything shared by all SMs during one kernel launch.
+#[allow(missing_docs)] // field names are self-describing
+pub struct LaunchContext {
+    pub kernel: Kernel,
+    pub grid: u32,
+    pub block_dim: u32,
+    pub warps_per_block: u32,
+    pub params: Vec<u32>,
+    /// Device address region where Fig. 8 shared-shadow entries live,
+    /// per SM: `base + sm * stride`.
+    pub shared_shadow_base: u32,
+    pub shared_shadow_stride: u32,
+}
+
+impl LaunchContext {
+    /// Global warp ID of a warp.
+    pub fn gwarp(&self, block_id: u32, warp_in_block: u32) -> u32 {
+        block_id * self.warps_per_block + warp_in_block
+    }
+}
+
+/// Warp scheduling state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum WarpState {
+    Ready,
+    AtBarrier,
+    WaitMem,
+    WaitFence,
+    Done,
+}
+
+/// One resident warp.
+#[allow(missing_docs)] // field names are self-describing
+pub struct Warp {
+    pub cta_slot: usize,
+    pub warp_in_block: u32,
+    pub gwarp: u32,
+    pub simt: SimtStack,
+    pub state: WarpState,
+    pub pending_loads: u32,
+    pub outstanding_stores: u32,
+    pub resume_at: u64,
+}
+
+/// One resident thread-block.
+#[allow(missing_docs)]
+pub struct Cta {
+    pub block_id: u32,
+    pub warp_slots: Vec<usize>,
+    pub threads: u32,
+    /// Base offset of this block's shared allocation within the SM.
+    pub shared_base: u32,
+    pub shared_size: u32,
+    /// Functional shared-memory contents.
+    pub shared_data: Vec<u8>,
+    /// Flat register file: `threads × num_regs`.
+    pub regs: Vec<u32>,
+    /// Per-thread atomic-ID (lockset) registers (§III-B).
+    pub locks: Vec<AtomicIdRegister>,
+    pub barrier_waiting: u32,
+    pub live_warps: u32,
+}
+
+/// A streaming multiprocessor.
+#[allow(missing_docs)]
+pub struct Sm {
+    pub id: u32,
+    cfg: GpuConfig,
+    pub warps: Vec<Option<Warp>>,
+    pub ctas: Vec<Option<Cta>>,
+    rr_next: usize,
+    issue_free_at: u64,
+    pub l1: Cache,
+    /// line → warp slots to wake when the fill returns.
+    l1_mshr: Vec<(u32, Vec<usize>)>,
+    /// L1-hit load responses maturing locally.
+    local_ready: Vec<(u64, usize)>,
+    /// Requests produced this cycle, drained by the GPU into the network.
+    pub out_req: Vec<MemReq>,
+    pub threads_resident: u32,
+    pub regs_resident: u32,
+    /// Set when a CTA retires — tells the dispatcher capacity freed up.
+    pub freed_capacity: bool,
+    next_req_id: u64,
+}
+
+impl Sm {
+    /// Build SM `id`.
+    pub fn new(id: u32, cfg: GpuConfig) -> Self {
+        Self {
+            id,
+            cfg,
+            warps: (0..cfg.max_warps_per_sm()).map(|_| None).collect(),
+            ctas: (0..cfg.max_blocks_per_sm).map(|_| None).collect(),
+            rr_next: 0,
+            issue_free_at: 0,
+            l1: Cache::new(cfg.l1),
+            l1_mshr: Vec::new(),
+            local_ready: Vec::new(),
+            out_req: Vec::new(),
+            threads_resident: 0,
+            regs_resident: 0,
+            freed_capacity: false,
+            next_req_id: u64::from(id) << 40,
+        }
+    }
+
+    /// Whether any block is resident or memory activity is pending.
+    pub fn busy(&self) -> bool {
+        self.ctas.iter().any(Option::is_some)
+            || !self.l1_mshr.is_empty()
+            || !self.local_ready.is_empty()
+            || !self.out_req.is_empty()
+    }
+
+    fn aligned_shared(kernel_shared: u32) -> u32 {
+        (kernel_shared + 255) & !255
+    }
+
+    /// Whether a block of the launch fits right now.
+    pub fn can_place(&self, ctx: &LaunchContext) -> bool {
+        let free_slot = self.ctas.iter().position(Option::is_none);
+        let Some(slot) = free_slot else { return false };
+        let shared_need = Self::aligned_shared(ctx.kernel.shared_bytes);
+        if (slot as u32 + 1) * shared_need > self.cfg.shared_mem_per_sm && shared_need > 0 {
+            return false;
+        }
+        // NOTE: the kernel DSL is SSA-form — `num_regs` counts virtual
+        // registers, not the handful of architectural registers a compiler
+        // would allocate, so the Table I register-file capacity is tracked
+        // (`regs_resident`) but not used as a placement constraint.
+        self.threads_resident + ctx.block_dim <= self.cfg.max_threads_per_sm
+            && self
+                .warps
+                .iter()
+                .filter(|w| w.is_none())
+                .count()
+                >= ctx.warps_per_block as usize
+    }
+
+    /// Place block `block_id` on this SM.
+    pub fn place(&mut self, block_id: u32, ctx: &LaunchContext) {
+        debug_assert!(self.can_place(ctx));
+        let slot = self.ctas.iter().position(Option::is_none).expect("free CTA slot");
+        let shared_need = Self::aligned_shared(ctx.kernel.shared_bytes);
+        let threads = ctx.block_dim;
+        let nwarps = ctx.warps_per_block;
+
+        let mut warp_slots = Vec::with_capacity(nwarps as usize);
+        for w in 0..nwarps {
+            let widx = self.warps.iter().position(Option::is_none).expect("free warp slot");
+            let first_lane = w * self.cfg.warp_size;
+            let lanes = threads.saturating_sub(first_lane).min(self.cfg.warp_size);
+            let mask = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+            self.warps[widx] = Some(Warp {
+                cta_slot: slot,
+                warp_in_block: w,
+                gwarp: ctx.gwarp(block_id, w),
+                simt: SimtStack::new(mask),
+                state: WarpState::Ready,
+                pending_loads: 0,
+                outstanding_stores: 0,
+                resume_at: 0,
+            });
+            warp_slots.push(widx);
+        }
+
+        self.ctas[slot] = Some(Cta {
+            block_id,
+            warp_slots,
+            threads,
+            shared_base: slot as u32 * shared_need,
+            shared_size: ctx.kernel.shared_bytes,
+            shared_data: vec![0; ctx.kernel.shared_bytes as usize],
+            regs: vec![0; (threads as usize) * usize::from(ctx.kernel.num_regs)],
+            locks: vec![AtomicIdRegister::default(); threads as usize],
+            barrier_waiting: 0,
+            live_warps: nwarps,
+        });
+        self.threads_resident += threads;
+        self.regs_resident += threads * u32::from(ctx.kernel.num_regs);
+    }
+
+    /// One core cycle: retire matured L1 hits, then try to issue.
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        ctx: &LaunchContext,
+        mem: &mut DeviceMemory,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) {
+        // Matured L1-hit load responses.
+        let mut i = 0;
+        while i < self.local_ready.len() {
+            if self.local_ready[i].0 <= now {
+                let (_, slot) = self.local_ready.swap_remove(i);
+                self.wake_load(slot);
+            } else {
+                i += 1;
+            }
+        }
+
+        if now < self.issue_free_at || self.threads_resident == 0 {
+            return;
+        }
+        let n = self.warps.len();
+        let ready_at = |w: &Option<Warp>| {
+            matches!(w, Some(w) if w.state == WarpState::Ready && w.resume_at <= now)
+        };
+        match self.cfg.sched {
+            crate::config::SchedPolicy::RoundRobin => {
+                for k in 0..n {
+                    let idx = (self.rr_next + k) % n;
+                    if ready_at(&self.warps[idx]) {
+                        self.rr_next = (idx + 1) % n;
+                        self.issue(idx, now, ctx, mem, det, stats);
+                        return;
+                    }
+                }
+            }
+            crate::config::SchedPolicy::GreedyThenOldest => {
+                // Greedy: stick with the last-issued warp while it can go.
+                let last = self.rr_next % n;
+                if ready_at(&self.warps[last]) {
+                    self.issue(last, now, ctx, mem, det, stats);
+                    return;
+                }
+                // Otherwise the oldest ready warp by global warp ID.
+                let pick = (0..n)
+                    .filter(|&i| ready_at(&self.warps[i]))
+                    .min_by_key(|&i| self.warps[i].as_ref().map_or(u32::MAX, |w| w.gwarp));
+                if let Some(idx) = pick {
+                    self.rr_next = idx;
+                    self.issue(idx, now, ctx, mem, det, stats);
+                }
+            }
+        }
+    }
+
+    fn wake_load(&mut self, warp_slot: usize) {
+        if let Some(w) = self.warps[warp_slot].as_mut() {
+            w.pending_loads = w.pending_loads.saturating_sub(1);
+            if w.pending_loads == 0 && w.state == WarpState::WaitMem {
+                w.state = WarpState::Ready;
+            }
+        }
+    }
+
+    /// A response arrived from the memory system.
+    pub fn handle_response(
+        &mut self,
+        resp: MemReq,
+        now: u64,
+        ctx: &LaunchContext,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) {
+        match &resp.kind {
+            ReqKind::LoadData => {
+                let ev = self.l1.fill(resp.line_addr, false, now);
+                let _ = ev; // L1 is write-through: evictions are clean.
+                if let Some(pos) = self.l1_mshr.iter().position(|(l, _)| *l == resp.line_addr) {
+                    let (_, waiters) = self.l1_mshr.swap_remove(pos);
+                    for slot in waiters {
+                        self.wake_load(slot);
+                    }
+                }
+            }
+            ReqKind::StoreData => {
+                let slot = resp.warp_slot;
+                let mut fence_done = false;
+                let mut gwarp = 0;
+                if let Some(w) = self.warps[slot].as_mut().filter(|w| w.gwarp == resp.gwarp) {
+                    w.outstanding_stores = w.outstanding_stores.saturating_sub(1);
+                    if w.outstanding_stores == 0 && w.state == WarpState::WaitFence {
+                        w.state = WarpState::Ready;
+                        fence_done = true;
+                        gwarp = w.gwarp;
+                    }
+                }
+                if fence_done {
+                    stats.fences += 1;
+                    if let Some(d) = det.as_mut() {
+                        d.clocks.on_fence(gwarp);
+                    }
+                }
+            }
+            ReqKind::Atomic { dreg, .. } => {
+                let dreg = *dreg;
+                let slot = resp.warp_slot;
+                let (cta_slot, warp_in_block) = match self.warps[slot].as_ref() {
+                    Some(w) if w.gwarp == resp.gwarp => (w.cta_slot, w.warp_in_block),
+                    _ => return,
+                };
+                if let Some(cta) = self.ctas[cta_slot].as_mut() {
+                    let nr = usize::from(ctx.kernel.num_regs);
+                    for &(lane, old) in &resp.atomic_old {
+                        let t = (warp_in_block * self.cfg.warp_size + u32::from(lane)) as usize;
+                        if t < cta.threads as usize {
+                            cta.regs[t * nr + usize::from(dreg)] = old;
+                        }
+                    }
+                }
+                self.wake_load(slot);
+            }
+            ReqKind::SharedShadowFill => {
+                self.l1.fill(resp.line_addr, false, now);
+                // Clear the MSHR entry (a data load may have merged into
+                // this fill while it was outstanding — wake it).
+                if let Some(pos) = self.l1_mshr.iter().position(|(l, _)| *l == resp.line_addr) {
+                    let (_, waiters) = self.l1_mshr.swap_remove(pos);
+                    for slot in waiters {
+                        self.wake_load(slot);
+                    }
+                }
+            }
+            ReqKind::ShadowProbe => {}
+        }
+    }
+
+    fn fresh_req(
+        &mut self,
+        line_addr: u32,
+        bytes: u32,
+        warp_slot: usize,
+        gwarp: u32,
+        kind: ReqKind,
+    ) -> MemReq {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        MemReq {
+            id,
+            line_addr,
+            bytes,
+            sm: self.id,
+            warp_slot,
+            gwarp,
+            kind,
+            shadow_ops: 0,
+            shadow_base: 0,
+            atomic_old: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn issue(
+        &mut self,
+        widx: usize,
+        now: u64,
+        ctx: &LaunchContext,
+        mem: &mut DeviceMemory,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) {
+        let warp_size = self.cfg.warp_size;
+        let nr = usize::from(ctx.kernel.num_regs);
+
+        let (cta_slot, warp_in_block, gwarp, pc, mask) = {
+            let w = self.warps[widx].as_ref().expect("issuing live warp");
+            (w.cta_slot, w.warp_in_block, w.gwarp, w.simt.pc(), w.simt.active_mask())
+        };
+        let instr = ctx.kernel.instrs[pc as usize];
+        let block_id = self.ctas[cta_slot].as_ref().expect("cta live").block_id;
+
+        self.issue_free_at = now + self.cfg.issue_cycles();
+        stats.warp_instructions += 1;
+        stats.thread_instructions += u64::from(mask.count_ones());
+
+        // Helper: per-lane register access goes through the CTA's flat
+        // register file. Two disjoint field borrows (warps / ctas) are
+        // re-taken per arm to satisfy the borrow checker.
+        macro_rules! cta {
+            () => {
+                self.ctas[cta_slot].as_mut().expect("cta live")
+            };
+        }
+        macro_rules! warp {
+            () => {
+                self.warps[widx].as_mut().expect("warp live")
+            };
+        }
+
+        let lane_thread = |l: u32| (warp_in_block * warp_size + l) as usize;
+        let rd = |regs: &[u32], t: usize, s: Src| -> u32 {
+            match s {
+                Src::Imm(v) => v,
+                Src::Reg(r) => regs[t * nr + usize::from(r.0)],
+            }
+        };
+
+        match instr.op {
+            Op::Bin { op, d, a, b } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let va = rd(&cta.regs, t, a);
+                        let vb = rd(&cta.regs, t, b);
+                        cta.regs[t * nr + usize::from(d.0)] = eval_bin(op, va, vb);
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Un { op, d, a } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let va = rd(&cta.regs, t, a);
+                        cta.regs[t * nr + usize::from(d.0)] = eval_un(op, va);
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Mad { d, a, b, c } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let v = rd(&cta.regs, t, a)
+                            .wrapping_mul(rd(&cta.regs, t, b))
+                            .wrapping_add(rd(&cta.regs, t, c));
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::FMad { d, a, b, c } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let va = f32::from_bits(rd(&cta.regs, t, a));
+                        let vb = f32::from_bits(rd(&cta.regs, t, b));
+                        let vc = f32::from_bits(rd(&cta.regs, t, c));
+                        cta.regs[t * nr + usize::from(d.0)] = (va * vb + vc).to_bits();
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::SetP { cmp, d, a, b } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let v = eval_cmp(cmp, rd(&cta.regs, t, a), rd(&cta.regs, t, b));
+                        cta.regs[t * nr + usize::from(d.0)] = u32::from(v);
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Sel { d, c, a, b } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let cond = cta.regs[t * nr + usize::from(c.0)];
+                        let v = if cond != 0 { rd(&cta.regs, t, a) } else { rd(&cta.regs, t, b) };
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Sreg { d, r } => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let v = match r {
+                            SpecialReg::Tid => t as u32,
+                            SpecialReg::Ctaid => block_id,
+                            SpecialReg::Ntid => ctx.block_dim,
+                            SpecialReg::Nctaid => ctx.grid,
+                            SpecialReg::LaneId => l,
+                            SpecialReg::WarpId => warp_in_block,
+                        };
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::LdParam { d, idx } => {
+                let v = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Bra { pred, target, reconv } => {
+                let mut taken = 0u32;
+                match pred {
+                    None => taken = mask,
+                    Some((r, sense)) => {
+                        let cta = cta!();
+                        for l in 0..warp_size {
+                            if mask & (1 << l) != 0 {
+                                let t = lane_thread(l);
+                                let v = cta.regs[t * nr + usize::from(r.0)] != 0;
+                                if v == sense {
+                                    taken |= 1 << l;
+                                }
+                            }
+                        }
+                    }
+                }
+                if warp!().simt.branch(taken, target, reconv).is_err() {
+                    // Runaway divergence: kill the warp rather than hang.
+                    warp!().simt.exit_active();
+                }
+            }
+            Op::Bar => {
+                stats.barriers += 1;
+                {
+                    let w = warp!();
+                    debug_assert!(w.simt.convergent(), "barrier in divergent control flow");
+                    w.simt.advance();
+                    w.state = WarpState::AtBarrier;
+                }
+                cta!().barrier_waiting += 1;
+                self.maybe_release_barrier(cta_slot, now, det, stats);
+            }
+            Op::Membar => {
+                let w = warp!();
+                w.simt.advance();
+                if w.outstanding_stores == 0 {
+                    stats.fences += 1;
+                    if let Some(d) = det.as_mut() {
+                        d.clocks.on_fence(gwarp);
+                    }
+                } else {
+                    w.state = WarpState::WaitFence;
+                }
+            }
+            Op::CsBegin { lock } => {
+                let bloom = det.as_ref().map(|d| d.cfg.bloom).unwrap_or_default();
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        let t = lane_thread(l);
+                        let addr = cta.regs[t * nr + usize::from(lock.0)];
+                        cta.locks[t].acquire(addr, bloom);
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::CsEnd => {
+                let cta = cta!();
+                for l in 0..warp_size {
+                    if mask & (1 << l) != 0 {
+                        cta.locks[lane_thread(l)].release();
+                    }
+                }
+                warp!().simt.advance();
+            }
+            Op::Exit => {
+                warp!().simt.exit_active();
+                if warp!().simt.done() {
+                    warp!().state = WarpState::Done;
+                    cta!().live_warps -= 1;
+                    self.maybe_release_barrier(cta_slot, now, det, stats);
+                    self.maybe_retire_cta(cta_slot, det);
+                }
+            }
+            Op::Ld { space, d, addr, imm, size } => {
+                self.mem_access(
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
+                    space, MemOpKind::Load { d }, addr, imm, size, Src::Imm(0), Src::Imm(0), instr.line,
+                );
+            }
+            Op::St { space, addr, imm, src, size } => {
+                self.mem_access(
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
+                    space, MemOpKind::Store, addr, imm, size, src, Src::Imm(0), instr.line,
+                );
+            }
+            Op::Atom { space, op, d, addr, imm, src, src2 } => {
+                self.mem_access(
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
+                    space, MemOpKind::Atomic { op, d }, addr, imm, 4, src, src2, instr.line,
+                );
+            }
+        }
+    }
+
+    fn maybe_release_barrier(
+        &mut self,
+        cta_slot: usize,
+        now: u64,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) {
+        let (release, block_id, shared_base, shared_size, slots) = match self.ctas[cta_slot].as_ref() {
+            Some(c) if c.live_warps > 0 && c.barrier_waiting >= c.live_warps => (
+                true,
+                c.block_id,
+                c.shared_base,
+                c.shared_size,
+                c.warp_slots.clone(),
+            ),
+            _ => return,
+        };
+        if !release {
+            return;
+        }
+
+        // Detector barrier work: bump the sync ID (§IV-B) and invalidate
+        // the block's shared shadow entries (§IV-A), stalling the block
+        // for the invalidation cycles in hardware mode.
+        let mut stall = 0u64;
+        if let Some(d) = det.as_mut() {
+            d.clocks.on_barrier(block_id);
+            if d.cfg.shared_enabled && shared_size > 0 {
+                let cycles =
+                    d.shared[self.id as usize].reset_block_range(shared_base, shared_base + shared_size);
+                if d.hardware() && !d.sw_shared_shadow() {
+                    stall = cycles;
+                    stats.shadow_reset_stall_cycles += cycles;
+                }
+            }
+        }
+
+        let cta = self.ctas[cta_slot].as_mut().expect("cta live");
+        cta.barrier_waiting = 0;
+        for slot in slots {
+            if let Some(w) = self.warps[slot].as_mut() {
+                if w.state == WarpState::AtBarrier {
+                    w.state = WarpState::Ready;
+                    w.resume_at = now + stall;
+                }
+            }
+        }
+    }
+
+    fn maybe_retire_cta(&mut self, cta_slot: usize, det: &mut Option<DetectorState>) {
+        let retire = matches!(&self.ctas[cta_slot], Some(c) if c.live_warps == 0);
+        if !retire {
+            return;
+        }
+        let cta = self.ctas[cta_slot].take().expect("cta live");
+        self.freed_capacity = true;
+        for slot in cta.warp_slots {
+            self.warps[slot] = None;
+        }
+        self.threads_resident -= cta.threads;
+        self.regs_resident = self.regs_resident.saturating_sub(
+            cta.threads * (cta.regs.len() as u32 / cta.threads.max(1)),
+        );
+        // Kernel end is an implicit barrier: clear the block's shared
+        // shadow entries so the next block on this range starts fresh.
+        if let Some(d) = det.as_mut() {
+            if d.cfg.shared_enabled && cta.shared_size > 0 {
+                d.shared[self.id as usize]
+                    .reset_block_range(cta.shared_base, cta.shared_base + cta.shared_size);
+            }
+        }
+    }
+
+    /// Shared/global load, store, or atomic — the memory pipeline front
+    /// end plus all RDU hooks.
+    #[allow(clippy::too_many_arguments)]
+    fn mem_access(
+        &mut self,
+        widx: usize,
+        cta_slot: usize,
+        warp_in_block: u32,
+        gwarp: u32,
+        block_id: u32,
+        mask: u32,
+        now: u64,
+        ctx: &LaunchContext,
+        mem: &mut DeviceMemory,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+        space: Space,
+        kind: MemOpKind,
+        addr_reg: crate::isa::Reg,
+        imm: u32,
+        size: u8,
+        src: Src,
+        src2: Src,
+        line_tag: u32,
+    ) {
+        let warp_size = self.cfg.warp_size;
+        let nr = usize::from(ctx.kernel.num_regs);
+        let lane_thread = |l: u32| (warp_in_block * warp_size + l) as usize;
+
+        // Gather per-lane addresses and perform the functional access.
+        let mut lanes: Vec<LaneAddr> = Vec::with_capacity(32);
+        {
+            let cta = self.ctas[cta_slot].as_mut().expect("cta live");
+            for l in 0..warp_size {
+                if mask & (1 << l) == 0 {
+                    continue;
+                }
+                let t = lane_thread(l);
+                let base = cta.regs[t * nr + usize::from(addr_reg.0)];
+                let a = base.wrapping_add(imm);
+                lanes.push(LaneAddr { lane: l as u8, addr: a, size });
+                match (space, kind) {
+                    (Space::Shared, MemOpKind::Load { d }) => {
+                        let v = read_shared(&cta.shared_data, a, size, stats);
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                    (Space::Shared, MemOpKind::Store) => {
+                        let v = match src {
+                            Src::Imm(x) => x,
+                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                        };
+                        write_shared(&mut cta.shared_data, a, v, size, stats);
+                    }
+                    (Space::Shared, MemOpKind::Atomic { op, d }) => {
+                        // Shared-memory atomics are serialized by the SM
+                        // itself: functional RMW at issue.
+                        let old = read_shared(&cta.shared_data, a, size, stats);
+                        let vs = match src {
+                            Src::Imm(x) => x,
+                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                        };
+                        let vs2 = match src2 {
+                            Src::Imm(x) => x,
+                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                        };
+                        let new = crate::exec::eval_atom(op, old, vs, vs2);
+                        write_shared(&mut cta.shared_data, a, new, size, stats);
+                        cta.regs[t * nr + usize::from(d.0)] = old;
+                    }
+                    (Space::Global, MemOpKind::Load { d }) => {
+                        let v = mem.read(a, size);
+                        cta.regs[t * nr + usize::from(d.0)] = v;
+                    }
+                    (Space::Global, MemOpKind::Store) => {
+                        let v = match src {
+                            Src::Imm(x) => x,
+                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                        };
+                        mem.write(a, v, size);
+                    }
+                    (Space::Global, MemOpKind::Atomic { .. }) => {
+                        // Functional execution happens at the memory slice
+                        // (serialization point); nothing here.
+                    }
+                }
+            }
+        }
+
+        match space {
+            Space::Shared => {
+                stats.shared_insts += 1;
+                match kind {
+                    MemOpKind::Load { .. } => stats.shared_loads += lanes.len() as u64,
+                    MemOpKind::Store => stats.shared_stores += lanes.len() as u64,
+                    MemOpKind::Atomic { .. } => stats.atomics += lanes.len() as u64,
+                }
+                let conflicts = bank_conflict_degree(&lanes, self.cfg.shared_banks);
+                self.issue_free_at += u64::from(conflicts - 1);
+                stats.bank_conflict_cycles += u64::from(conflicts - 1);
+                self.shared_detection(
+                    cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx, det,
+                    stats,
+                );
+                self.warps[widx].as_mut().expect("warp live").simt.advance();
+            }
+            Space::Global => {
+                stats.global_insts += 1;
+                match kind {
+                    MemOpKind::Load { .. } => stats.global_loads += lanes.len() as u64,
+                    MemOpKind::Store => stats.global_stores += lanes.len() as u64,
+                    MemOpKind::Atomic { .. } => stats.atomics += lanes.len() as u64,
+                }
+                if let Some(d) = det.as_mut() {
+                    d.clocks.note_global_access(block_id);
+                }
+                let txs = coalesce(&lanes, self.cfg.l1.line_bytes);
+                stats.global_transactions += txs.len() as u64;
+                if txs.len() > 1 {
+                    self.issue_free_at += txs.len() as u64 - 1;
+                }
+
+                let mut pending = 0u32;
+                for tx in &txs {
+                    match kind {
+                        MemOpKind::Load { .. } => {
+                            // Fill time must be read before the probe
+                            // refreshes LRU state.
+                            let fill = self.l1.fill_time(tx.line_addr);
+                            let hit = self.l1.probe(tx.line_addr, false, now);
+                            let l1_fill = if hit { fill } else { None };
+                            // RDU checks for this transaction's lanes.
+                            let shadow = self.global_detection(
+                                cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
+                                kind, line_tag, l1_fill, now, ctx, det, stats,
+                            );
+                            if hit {
+                                pending += 1;
+                                self.local_ready
+                                    .push((now + u64::from(self.cfg.l1.hit_latency), widx));
+                                // §IV-B: L1 read hits still notify the
+                                // global RDU via a detection-only packet.
+                                if let Some((base, n)) = shadow {
+                                    let mut p = self.fresh_req(tx.line_addr, 0, widx, gwarp, ReqKind::ShadowProbe);
+                                    p.shadow_ops = n;
+                                    p.shadow_base = base;
+                                    stats.probe_packets += 1;
+                                    self.out_req.push(p);
+                                }
+                            } else if let Some(e) = self.l1_mshr.iter_mut().find(|(l, _)| *l == tx.line_addr) {
+                                // Merged miss.
+                                pending += 1;
+                                e.1.push(widx);
+                                if let Some((base, n)) = shadow {
+                                    let mut p = self.fresh_req(tx.line_addr, 0, widx, gwarp, ReqKind::ShadowProbe);
+                                    p.shadow_ops = n;
+                                    p.shadow_base = base;
+                                    self.out_req.push(p);
+                                }
+                            } else {
+                                pending += 1;
+                                self.l1_mshr.push((tx.line_addr, vec![widx]));
+                                let mut r = self.fresh_req(tx.line_addr, self.cfg.l1.line_bytes, widx, gwarp, ReqKind::LoadData);
+                                if let Some((base, n)) = shadow {
+                                    r.shadow_ops = n;
+                                    r.shadow_base = base;
+                                }
+                                self.out_req.push(r);
+                            }
+                        }
+                        MemOpKind::Store => {
+                            // Write-through, no-allocate (§II-A: "global
+                            // memory writes to L1 data cache are written
+                            // through").
+                            if self.l1.contains(tx.line_addr) {
+                                self.l1.probe(tx.line_addr, false, now);
+                            }
+                            let shadow = self.global_detection(
+                                cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
+                                kind, line_tag, None, now, ctx, det, stats,
+                            );
+                            let mut r = self.fresh_req(tx.line_addr, tx.bytes, widx, gwarp, ReqKind::StoreData);
+                            if let Some((base, n)) = shadow {
+                                r.shadow_ops = n;
+                                r.shadow_base = base;
+                            }
+                            self.warps[widx].as_mut().expect("warp live").outstanding_stores += 1;
+                            self.out_req.push(r);
+                        }
+                        MemOpKind::Atomic { op, d } => {
+                            let cta = self.ctas[cta_slot].as_ref().expect("cta live");
+                            let ops: Vec<LaneAtomic> = tx
+                                .lanes
+                                .iter()
+                                .map(|&l| {
+                                    let t = lane_thread(u32::from(l));
+                                    let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
+                                    let vs = match src {
+                                        Src::Imm(x) => x,
+                                        Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                                    };
+                                    let vs2 = match src2 {
+                                        Src::Imm(x) => x,
+                                        Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
+                                    };
+                                    LaneAtomic { lane: l, addr: a, op, src: vs, src2: vs2 }
+                                })
+                                .collect();
+                            pending += 1;
+                            let r = self.fresh_req(
+                                tx.line_addr,
+                                8,
+                                widx,
+                                gwarp,
+                                ReqKind::Atomic { ops, dreg: d.0 },
+                            );
+                            self.out_req.push(r);
+                        }
+                    }
+                }
+
+                let w = self.warps[widx].as_mut().expect("warp live");
+                w.simt.advance();
+                if matches!(kind, MemOpKind::Load { .. } | MemOpKind::Atomic { .. }) && pending > 0 {
+                    w.pending_loads += pending;
+                    w.state = WarpState::WaitMem;
+                }
+            }
+        }
+    }
+
+    /// Shared-memory RDU hook: intra-warp pre-issue WAW check, per-lane
+    /// shadow-state checks, and (Fig. 8 mode) shared-shadow L1 traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn shared_detection(
+        &mut self,
+        cta_slot: usize,
+        gwarp: u32,
+        block_id: u32,
+        warp_in_block: u32,
+        lanes: &[LaneAddr],
+        kind: MemOpKind,
+        line_tag: u32,
+        now: u64,
+        ctx: &LaunchContext,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) {
+        let Some(d) = det.as_mut() else { return };
+        if !d.cfg.shared_enabled {
+            return;
+        }
+        let cta = self.ctas[cta_slot].as_ref().expect("cta live");
+        let shared_base = cta.shared_base;
+        let warp_size = self.cfg.warp_size;
+
+        let accesses: Vec<MemAccess> = lanes
+            .iter()
+            .map(|la| {
+                let t = warp_in_block * warp_size + u32::from(la.lane);
+                let who = ThreadCoord::new(
+                    block_id * ctx.block_dim + t,
+                    gwarp,
+                    block_id,
+                    self.id,
+                );
+                let akind = match kind {
+                    MemOpKind::Load { .. } => AccessKind::Read,
+                    MemOpKind::Store => AccessKind::Write,
+                    MemOpKind::Atomic { .. } => AccessKind::Atomic,
+                };
+                let lk = &cta.locks[t as usize];
+                MemAccess {
+                    addr: shared_base + la.addr,
+                    size: la.size,
+                    kind: akind,
+                    who,
+                    pc: line_tag,
+                    sync_id: d.clocks.sync_id(block_id),
+                    fence_id: d.clocks.fence_id(gwarp),
+                    atomic_sig: lk.signature(),
+                    in_critical_section: lk.in_critical_section(),
+                    l1_hit: false,
+                    l1_fill_cycle: 0,
+                    cycle: now,
+                }
+            })
+            .collect();
+
+        let rdu = &mut d.shared[self.id as usize];
+        if matches!(kind, MemOpKind::Store) {
+            for r in rdu.check_warp_stores(&accesses) {
+                d.log.push(r);
+            }
+        }
+        for a in &accesses {
+            rdu.observe(a, &d.clocks, &mut d.log);
+        }
+
+        // Fig. 8: shared shadow entries live in global memory, cached in
+        // L1; the RDU's fetches occupy the L1 port and may miss to L2.
+        if d.sw_shared_shadow() {
+            let gran = d.cfg.shared_granularity;
+            let mut lines: Vec<u32> = Vec::new();
+            for a in &accesses {
+                // 2 bytes per 12-bit entry, rounded up.
+                let shadow_addr = ctx.shared_shadow_base
+                    + self.id * ctx.shared_shadow_stride
+                    + (a.addr >> gran.shift()) * 2;
+                let line = shadow_addr & !(self.cfg.l1.line_bytes - 1);
+                if !lines.contains(&line) {
+                    lines.push(line);
+                }
+            }
+            for line in lines {
+                stats.shared_shadow_l1_accesses += 1;
+                self.issue_free_at += 1; // L1 port occupancy
+                if !self.l1.probe(line, false, now) {
+                    if let Some(e) = self.l1_mshr.iter_mut().find(|(l, _)| *l == line) {
+                        let _ = e;
+                    } else {
+                        self.l1_mshr.push((line, Vec::new()));
+                        let r = self.fresh_req(line, self.cfg.l1.line_bytes, 0, u32::MAX, ReqKind::SharedShadowFill);
+                        self.out_req.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Global-memory RDU hook for the lanes of one transaction. Returns
+    /// the shadow line accesses to piggyback: `(first_line, count)`.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn global_detection(
+        &mut self,
+        cta_slot: usize,
+        gwarp: u32,
+        block_id: u32,
+        warp_in_block: u32,
+        lanes: &[LaneAddr],
+        tx_lanes: &[u8],
+        kind: MemOpKind,
+        line_tag: u32,
+        l1_fill: Option<u64>,
+        now: u64,
+        ctx: &LaunchContext,
+        det: &mut Option<DetectorState>,
+        stats: &mut SimStats,
+    ) -> Option<(u32, u8)> {
+        let d = det.as_mut()?;
+        let rdu = d.global.as_mut()?;
+        let cta = self.ctas[cta_slot].as_ref().expect("cta live");
+        let warp_size = self.cfg.warp_size;
+
+        let akind = match kind {
+            MemOpKind::Load { .. } => AccessKind::Read,
+            MemOpKind::Store => AccessKind::Write,
+            MemOpKind::Atomic { .. } => AccessKind::Atomic,
+        };
+
+        let mut accesses: Vec<MemAccess> = Vec::with_capacity(tx_lanes.len());
+        for la in lanes.iter().filter(|la| tx_lanes.contains(&la.lane)) {
+            let t = warp_in_block * warp_size + u32::from(la.lane);
+            let who = ThreadCoord::new(block_id * ctx.block_dim + t, gwarp, block_id, self.id);
+            let lk = &cta.locks[t as usize];
+            accesses.push(MemAccess {
+                addr: la.addr,
+                size: la.size,
+                kind: akind,
+                who,
+                pc: line_tag,
+                sync_id: d.clocks.sync_id(block_id),
+                fence_id: d.clocks.fence_id(gwarp),
+                atomic_sig: lk.signature(),
+                in_critical_section: lk.in_critical_section(),
+                l1_hit: l1_fill.is_some(),
+                l1_fill_cycle: l1_fill.unwrap_or(0),
+                cycle: now,
+            });
+        }
+
+        if matches!(kind, MemOpKind::Store) {
+            for r in rdu.check_warp_stores(&accesses) {
+                d.log.push(r);
+            }
+        }
+
+        let mut shadow_lines: Vec<u32> = Vec::new();
+        for a in &accesses {
+            let traffic = rdu.observe(a, &d.clocks, &mut d.log);
+            if traffic.reads > 0 {
+                for i in 0..traffic.reads {
+                    let sa = traffic.shadow_addr + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
+                    let line = sa & !(self.cfg.l2.line_bytes - 1);
+                    if !shadow_lines.contains(&line) {
+                        shadow_lines.push(line);
+                    }
+                }
+            }
+        }
+
+        if d.hardware() && !shadow_lines.is_empty() {
+            stats.shadow_l2_accesses += shadow_lines.len() as u64;
+            shadow_lines.sort_unstable();
+            Some((shadow_lines[0], shadow_lines.len().min(255) as u8))
+        } else {
+            None
+        }
+    }
+}
+
+/// Internal memory-op classification.
+#[derive(Clone, Copy, Debug)]
+enum MemOpKind {
+    Load { d: crate::isa::Reg },
+    Store,
+    Atomic { op: crate::isa::AtomOp, d: crate::isa::Reg },
+}
+
+fn read_shared(data: &[u8], addr: u32, size: u8, stats: &mut SimStats) -> u32 {
+    let a = addr as usize;
+    if a + usize::from(size) > data.len() {
+        stats.mem_faults += 1;
+        return 0;
+    }
+    match size {
+        1 => u32::from(data[a]),
+        2 => u32::from(u16::from_le_bytes([data[a], data[a + 1]])),
+        _ => u32::from_le_bytes([data[a], data[a + 1], data[a + 2], data[a + 3]]),
+    }
+}
+
+fn write_shared(data: &mut [u8], addr: u32, val: u32, size: u8, stats: &mut SimStats) {
+    let a = addr as usize;
+    if a + usize::from(size) > data.len() {
+        stats.mem_faults += 1;
+        return;
+    }
+    match size {
+        1 => data[a] = val as u8,
+        2 => data[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+        _ => data[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+    }
+}

@@ -1,0 +1,161 @@
+//! Timing-side behaviour of the detector integration: probe packets on L1
+//! hits, shadow traffic shape, barrier-reset stalls, Fig. 8 shared-shadow
+//! traffic, and bank-conflict accounting.
+
+use gpu_sim::prelude::*;
+use haccrg::config::{DetectorConfig, SharedShadowPlacement};
+
+fn detecting(cfg: DetectorConfig) -> Gpu {
+    Gpu::with_detector(GpuConfig::test_small(), cfg)
+}
+
+/// Kernel: every thread reads the same global word twice (second read is
+/// an L1 hit), then exits.
+fn double_read_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("double_read");
+    let p = b.param(0);
+    let v1 = b.ld(Space::Global, p, 0, 4);
+    let v2 = b.ld(Space::Global, p, 0, 4);
+    let sink = b.add(v1, v2);
+    let outp = b.param(1);
+    let t = b.global_tid();
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, sink, 4);
+    b.build()
+}
+
+#[test]
+fn l1_hits_send_detection_probes() {
+    let mut gpu = detecting(DetectorConfig::paper_default());
+    let data = gpu.alloc(4);
+    let outp = gpu.alloc(64 * 4);
+    let res = gpu.launch(&double_read_kernel(), 1, 32, &[data, outp]).unwrap();
+    assert!(res.stats.probe_packets > 0, "second read hits L1 and must probe the RDU");
+    assert!(res.stats.l1.hits > 0);
+}
+
+#[test]
+fn shared_only_detection_generates_zero_probes_and_shadow_traffic() {
+    let mut gpu = detecting(DetectorConfig::shared_only());
+    let data = gpu.alloc(4);
+    let outp = gpu.alloc(64 * 4);
+    let res = gpu.launch(&double_read_kernel(), 1, 32, &[data, outp]).unwrap();
+    assert_eq!(res.stats.probe_packets, 0);
+    assert_eq!(res.stats.shadow_l2_accesses, 0);
+}
+
+/// Kernel with one barrier and shared traffic: measures reset stalls.
+fn barrier_kernel(shared_bytes: u32) -> Kernel {
+    let mut b = KernelBuilder::new("bar");
+    let sh = b.shared_alloc(shared_bytes);
+    let t = b.tid();
+    let off0 = b.shl(t, 2u32);
+    let a = b.add(off0, sh);
+    b.st(Space::Shared, a, 0, t, 4);
+    b.bar();
+    let v = b.ld(Space::Shared, a, 0, 4);
+    let outp = b.param(0);
+    let gt = b.global_tid();
+    let goff = b.shl(gt, 2u32);
+    let dst = b.add(outp, goff);
+    b.st(Space::Global, dst, 0, v, 4);
+    b.build()
+}
+
+#[test]
+fn barrier_resets_charge_stall_cycles_proportional_to_shared_size() {
+    let run = |bytes: u32| {
+        let mut gpu = detecting(DetectorConfig::shared_only());
+        let outp = gpu.alloc(64 * 4);
+        gpu.launch(&barrier_kernel(bytes), 1, 64, &[outp]).unwrap().stats.shadow_reset_stall_cycles
+    };
+    let small = run(512);
+    let large = run(8192);
+    assert!(small > 0, "barrier must invalidate shadow entries");
+    assert!(large > small, "16× more entries ⇒ more reset cycles ({large} vs {small})");
+}
+
+#[test]
+fn fig8_mode_produces_shared_shadow_l1_traffic() {
+    let mut cfg = DetectorConfig::paper_default();
+    cfg.shared_shadow = SharedShadowPlacement::GlobalMemory;
+    let mut gpu = detecting(cfg);
+    let outp = gpu.alloc(64 * 4);
+    let res = gpu.launch(&barrier_kernel(1024), 1, 64, &[outp]).unwrap();
+    assert!(res.stats.shared_shadow_l1_accesses > 0);
+    // And no barrier-reset stall is charged in this placement.
+    assert_eq!(res.stats.shadow_reset_stall_cycles, 0);
+}
+
+#[test]
+fn bank_conflicts_are_charged() {
+    // Stride-16-words shared access: all lanes in bank 0 → serialized.
+    let mut b = KernelBuilder::new("conflict");
+    let sh = b.shared_alloc(16 * 64 * 4);
+    let t = b.tid();
+    let idx = b.mul(t, 16 * 4u32);
+    let a = b.add(idx, sh);
+    b.st(Space::Shared, a, 0, t, 4);
+    let outp = b.param(0);
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, t, 4);
+    let k = b.build();
+
+    let mut gpu = Gpu::new(GpuConfig::test_small());
+    let outp = gpu.alloc(64 * 4);
+    let res = gpu.launch(&k, 1, 32, &[outp]).unwrap();
+    assert!(
+        res.stats.bank_conflict_cycles >= 15,
+        "32 lanes on one bank: ≥15 extra cycles, got {}",
+        res.stats.bank_conflict_cycles
+    );
+}
+
+#[test]
+fn uncoalesced_access_multiplies_transactions() {
+    // Stride-128B loads: one transaction per lane.
+    let mut b = KernelBuilder::new("scatter");
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let t = b.global_tid();
+    let off = b.shl(t, 7u32); // ×128
+    let src = b.add(inp, off);
+    let v = b.ld(Space::Global, src, 0, 4);
+    let o2 = b.shl(t, 2u32);
+    let dst = b.add(outp, o2);
+    b.st(Space::Global, dst, 0, v, 4);
+    let k = b.build();
+
+    let mut gpu = Gpu::new(GpuConfig::test_small());
+    let inp = gpu.alloc(32 * 128);
+    let outp = gpu.alloc(32 * 4);
+    let res = gpu.launch(&k, 1, 32, &[inp, outp]).unwrap();
+    // 32 scattered loads + 1 coalesced store.
+    assert_eq!(res.stats.global_transactions, 33);
+}
+
+#[test]
+fn shadow_traffic_scales_with_global_transactions() {
+    let run = |n_words: u32| {
+        let mut b = KernelBuilder::new("stream");
+        let inp = b.param(0);
+        let outp = b.param(1);
+        let t = b.global_tid();
+        let off = b.shl(t, 2u32);
+        let src = b.add(inp, off);
+        let v = b.ld(Space::Global, src, 0, 4);
+        let dst = b.add(outp, off);
+        b.st(Space::Global, dst, 0, v, 4);
+        let k = b.build();
+        let mut gpu = detecting(DetectorConfig::paper_default());
+        let inp = gpu.alloc(n_words * 4);
+        let outp = gpu.alloc(n_words * 4);
+        gpu.launch(&k, n_words / 64, 64, &[inp, outp]).unwrap().stats
+    };
+    let small = run(256);
+    let large = run(1024);
+    assert!(large.shadow_l2_accesses > small.shadow_l2_accesses * 3);
+    assert!(small.shadow_l2_accesses > 0);
+}

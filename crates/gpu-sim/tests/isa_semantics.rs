@@ -1,0 +1,250 @@
+//! Functional ISA semantics through full launches: selection, multiply-
+//! add, special registers, sub-word memory accesses, atomic variants,
+//! nested divergence, and failure modes.
+
+use gpu_sim::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuConfig::test_small())
+}
+
+#[test]
+fn sel_and_mad_semantics() {
+    // out[i] = i < 8 ? i*3 + 100 : i*5 + 7
+    let mut b = KernelBuilder::new("selmad");
+    let outp = b.param(0);
+    let t = b.global_tid();
+    let p = b.setp(CmpOp::LtU, t, 8u32);
+    let a = b.mad(t, 3u32, 100u32);
+    let c = b.mad(t, 5u32, 7u32);
+    let v = b.sel(p, a, c);
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v, 4);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(32 * 4);
+    gpu.launch(&k, 1, 32, &[outp]).unwrap();
+    let out = gpu.mem.copy_to_host_u32(outp, 32);
+    for (i, &v) in out.iter().enumerate() {
+        let i = i as u32;
+        assert_eq!(v, if i < 8 { i * 3 + 100 } else { i * 5 + 7 });
+    }
+}
+
+#[test]
+fn fmad_computes_in_f32() {
+    // out[i] = i as f32 * 0.5 + 1.25
+    let mut b = KernelBuilder::new("fmad");
+    let outp = b.param(0);
+    let t = b.global_tid();
+    let tf = b.un(UnOp::I2F, t);
+    let v = b.fmad(tf, 0.5f32, 1.25f32);
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v, 4);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(32 * 4);
+    gpu.launch(&k, 1, 32, &[outp]).unwrap();
+    let out = gpu.mem.copy_to_host_f32(outp, 32);
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, i as f32 * 0.5 + 1.25);
+    }
+}
+
+#[test]
+fn special_registers_report_launch_geometry() {
+    // out[gtid] = tid | (ctaid << 8) | (ntid << 16) | (nctaid << 24)
+    let mut b = KernelBuilder::new("sregs");
+    let outp = b.param(0);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let ntid = b.ntid();
+    let nctaid = b.nctaid();
+    let c8 = b.shl(ctaid, 8u32);
+    let n16 = b.shl(ntid, 16u32);
+    let g24 = b.shl(nctaid, 24u32);
+    let v0 = b.or(tid, c8);
+    let v1 = b.or(v0, n16);
+    let v = b.or(v1, g24);
+    let gt = b.global_tid();
+    let off = b.shl(gt, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v, 4);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(3 * 40 * 4);
+    gpu.launch(&k, 3, 40, &[outp]).unwrap();
+    let out = gpu.mem.copy_to_host_u32(outp, 3 * 40);
+    for block in 0..3u32 {
+        for t in 0..40u32 {
+            let got = out[(block * 40 + t) as usize];
+            assert_eq!(got & 0xFF, t & 0xFF);
+            assert_eq!((got >> 8) & 0xFF, block);
+            assert_eq!((got >> 16) & 0xFF, 40);
+            assert_eq!(got >> 24, 3);
+        }
+    }
+}
+
+#[test]
+fn laneid_and_warpid() {
+    let mut b = KernelBuilder::new("lanes");
+    let outp = b.param(0);
+    let lane = b.laneid();
+    let warp = b.warpid();
+    let w8 = b.shl(warp, 8u32);
+    let v = b.or(lane, w8);
+    let t = b.tid();
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v, 4);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(96 * 4);
+    gpu.launch(&k, 1, 96, &[outp]).unwrap();
+    let out = gpu.mem.copy_to_host_u32(outp, 96);
+    for (t, &v) in out.iter().enumerate() {
+        assert_eq!(v & 0xFF, (t as u32) % 32, "lane of thread {t}");
+        assert_eq!(v >> 8, (t as u32) / 32, "warp of thread {t}");
+    }
+}
+
+#[test]
+fn subword_loads_and_stores() {
+    // Bytes in, halfwords out: out16[i] = in8[i] * 2 (zero-extended).
+    let mut b = KernelBuilder::new("subword");
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let t = b.global_tid();
+    let src = b.add(inp, t);
+    let v = b.ld(Space::Global, src, 0, 1);
+    let v2 = b.mul(v, 2u32);
+    let off = b.shl(t, 1u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v2, 2);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let inp = gpu.alloc(64);
+    let outp = gpu.alloc(128);
+    gpu.mem.copy_from_host_u8(inp, &(0..64).map(|i| (i * 3) as u8).collect::<Vec<_>>());
+    gpu.launch(&k, 2, 32, &[inp, outp]).unwrap();
+    for i in 0..64u32 {
+        let got = gpu.mem.read(outp + i * 2, 2);
+        assert_eq!(got, (((i * 3) as u8) as u32) * 2, "element {i}");
+    }
+}
+
+#[test]
+fn atomic_variants_end_to_end() {
+    // Threads atomically fold min/max/or into fixed cells.
+    let mut b = KernelBuilder::new("atoms");
+    let cells = b.param(0);
+    let t = b.global_tid();
+    b.atom(Space::Global, AtomOp::Min, cells, 0, t, 0u32);
+    b.atom(Space::Global, AtomOp::Max, cells, 4, t, 0u32);
+    let bit = b.and(t, 31u32);
+    let one = b.mov(1u32);
+    let mask = b.bin(BinOp::Shl, one, bit);
+    b.atom(Space::Global, AtomOp::Or, cells, 8, mask, 0u32);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let cells = gpu.alloc(12);
+    gpu.mem.write_u32(cells, u32::MAX); // min identity
+    gpu.launch(&k, 2, 32, &[cells]).unwrap();
+    assert_eq!(gpu.mem.read_u32(cells), 0, "min over 0..64");
+    assert_eq!(gpu.mem.read_u32(cells + 4), 63, "max over 0..64");
+    assert_eq!(gpu.mem.read_u32(cells + 8), u32::MAX, "all 32 bits OR'd");
+}
+
+#[test]
+fn shared_memory_atomics_serialize_within_block() {
+    let mut b = KernelBuilder::new("shatom");
+    let sh = b.shared_alloc(4);
+    let outp = b.param(0);
+    let shreg = b.mov(sh);
+    b.atom(Space::Shared, AtomOp::Add, shreg, 0, 1u32, 0u32);
+    b.bar();
+    let t = b.tid();
+    let lane0 = b.setp(CmpOp::Eq, t, 0u32);
+    b.if_then(lane0, |b| {
+        let v = b.ld(Space::Shared, shreg, 0, 4);
+        let ctaid = b.ctaid();
+        let off = b.shl(ctaid, 2u32);
+        let dst = b.add(outp, off);
+        b.st(Space::Global, dst, 0, v, 4);
+    });
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(16);
+    gpu.launch(&k, 4, 64, &[outp]).unwrap();
+    assert_eq!(gpu.mem.copy_to_host_u32(outp, 4), vec![64; 4]);
+}
+
+#[test]
+fn nested_divergence_inside_loops() {
+    // out[i] = count of odd bits processed with a divergent inner branch.
+    let mut b = KernelBuilder::new("nested");
+    let outp = b.param(0);
+    let t = b.global_tid();
+    let acc = b.mov(0u32);
+    b.for_range(0u32, 8u32, 1u32, |b, j| {
+        let sum = b.add(t, j);
+        let bit = b.and(sum, 1u32);
+        let odd = b.setp(CmpOp::Eq, bit, 1u32);
+        b.if_then_else(
+            odd,
+            |b| b.bin_into(BinOp::Add, acc, acc, 3u32),
+            |b| b.bin_into(BinOp::Add, acc, acc, 1u32),
+        );
+    });
+    let off = b.shl(t, 2u32);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, acc, 4);
+    let k = b.build();
+
+    let mut gpu = gpu();
+    let outp = gpu.alloc(64 * 4);
+    gpu.launch(&k, 1, 64, &[outp]).unwrap();
+    let out = gpu.mem.copy_to_host_u32(outp, 64);
+    for (t, &v) in out.iter().enumerate() {
+        let expect: u32 = (0..8).map(|j| if (t as u32 + j) % 2 == 1 { 3 } else { 1 }).sum();
+        assert_eq!(v, expect, "thread {t}");
+    }
+}
+
+#[test]
+fn watchdog_catches_infinite_loops() {
+    let mut b = KernelBuilder::new("spin");
+    let i = b.mov(0u32);
+    b.while_loop(|b| b.setp(CmpOp::GeU, i, 0u32), |b| {
+        b.bin_into(BinOp::Add, i, i, 1u32);
+    });
+    let k = b.build();
+    let mut cfg = GpuConfig::test_small();
+    cfg.watchdog_cycles = 50_000;
+    let mut gpu = Gpu::new(cfg);
+    assert!(matches!(gpu.launch(&k, 1, 32, &[]), Err(SimError::Hang { .. })));
+}
+
+#[test]
+fn out_of_range_lane_accesses_fault_but_do_not_crash() {
+    let mut b = KernelBuilder::new("wild");
+    let t = b.global_tid();
+    let addr = b.mul(t, 0x00FF_FFFFu32);
+    let v = b.ld(Space::Global, addr, 0, 4);
+    let sink = b.add(v, 1u32);
+    let _ = sink;
+    let k = b.build();
+    let mut gpu = gpu();
+    let res = gpu.launch(&k, 1, 32, &[]).unwrap();
+    assert!(res.stats.cycles > 0);
+}

@@ -1,0 +1,80 @@
+//! `haccrg-trace` — run HAccRG race detection over a recorded trace.
+//!
+//! ```console
+//! $ haccrg-trace my_kernel.trace           # file input
+//! $ some-profiler | haccrg-trace -         # stdin
+//! ```
+//!
+//! Options:
+//! * `--shared-gran N` / `--global-gran N` — tracking granularities
+//! * `--bloom BITSxBINS` — atomic-ID shape (e.g. `16x2`, the default)
+//! * `--no-warp-filter` — treat warp re-grouping as enabled
+
+use std::fs::File;
+use std::io::{self, BufReader};
+
+use haccrg::config::DetectorConfig;
+use haccrg::granularity::Granularity;
+use haccrg_trace::{analyze, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+
+    // First positional argument (skipping flags and their values).
+    let mut path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shared-gran" | "--global-gran" | "--bloom" => i += 2,
+            "--no-warp-filter" => i += 1,
+            p => {
+                path.get_or_insert_with(|| p.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let mut cfg = DetectorConfig::paper_default();
+    if let Some(g) = get("--shared-gran").and_then(|s| s.parse().ok()) {
+        cfg.shared_granularity = Granularity::new(g).expect("valid shared granularity");
+    }
+    if let Some(g) = get("--global-gran").and_then(|s| s.parse().ok()) {
+        cfg.global_granularity = Granularity::new(g).expect("valid global granularity");
+    }
+    if let Some(spec) = get("--bloom") {
+        let (bits, bins) = spec.split_once('x').expect("--bloom BITSxBINS");
+        cfg.bloom = haccrg::bloom::BloomConfig {
+            bits: bits.parse().expect("bloom bits"),
+            bins: bins.parse().expect("bloom bins"),
+        };
+        cfg.bloom.validate().expect("valid bloom config");
+    }
+    if args.iter().any(|a| a == "--no-warp-filter") {
+        cfg.warp_regrouping = true;
+    }
+
+    let result = match path.as_deref() {
+        None | Some("-") => analyze(BufReader::new(io::stdin().lock()), &cfg),
+        Some(p) => match File::open(p) {
+            Ok(f) => analyze(BufReader::new(f), &cfg),
+            Err(e) => {
+                eprintln!("cannot open {p}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    match result {
+        Ok(a) => {
+            print!("{}", report(&a));
+            if a.replayer.races().any() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

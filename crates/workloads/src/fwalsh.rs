@@ -1,0 +1,230 @@
+//! FWALSH — fast Walsh–Hadamard transform (CUDA SDK
+//! `fastWalshTransform`), Table II input: 512K data, kernel length 32.
+//!
+//! The transform runs its small-stride butterfly stages inside shared
+//! memory (one 1024-element tile per block, a barrier between stages) and
+//! its large strides as separate global-memory kernels — the SDK's
+//! `fwtBatch1Kernel` / `fwtBatch2Kernel` split. WHT butterfly stages
+//! commute, so the global stages run first, then the shared-memory tail.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The FWALSH benchmark.
+pub struct FWalsh;
+
+/// Elements per shared-memory tile.
+const TILE: u32 = 1024;
+const THREADS: u32 = TILE / 2;
+
+impl FWalsh {
+    fn n(scale: Scale) -> u32 {
+        match scale {
+            Scale::Paper => 512 * 1024, // Table II: data length 512K
+            Scale::Repro => 64 * 1024,
+            Scale::Tiny => 4096,
+        }
+    }
+}
+
+/// Global butterfly for one stride `h ≥ TILE`: thread `g` handles the
+/// pair `(pos, pos + h)` with `pos = (g / h)·2h + g mod h`.
+fn batch2_kernel(h: u32) -> Kernel {
+    let mut b = KernelBuilder::new("fwt_batch2");
+    let datap = b.param(0);
+    let g = b.global_tid();
+    let hi = b.and(g, !(h - 1));
+    let hi2 = b.shl(hi, 1u32);
+    let lo = b.and(g, h - 1);
+    let pos = b.or(hi2, lo);
+    let a_addr = word_addr(&mut b, datap, pos);
+    let va = b.ld(Space::Global, a_addr, 0, 4);
+    let vb = b.ld(Space::Global, a_addr, h * 4, 4);
+    let sum = b.fadd(va, vb);
+    let dif = b.fsub(va, vb);
+    b.st(Space::Global, a_addr, 0, sum, 4);
+    b.st(Space::Global, a_addr, h * 4, dif, 4);
+    b.build()
+}
+
+/// Shared-memory stages: strides 1 … TILE/2 within one tile per block.
+fn batch1_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("fwt_batch1");
+    let sh = b.shared_alloc(TILE * 4);
+    let datap = b.param(0);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let base = b.mul(ctaid, TILE);
+
+    for half in 0..2u32 {
+        let li = b.add(tid, half * THREADS);
+        let gi = b.add(base, li);
+        let ga = word_addr(&mut b, datap, gi);
+        let v = b.ld(Space::Global, ga, 0, 4);
+        let so = b.shl(li, 2u32);
+        let sa = b.add(so, sh);
+        b.st(Space::Shared, sa, 0, v, 4);
+    }
+
+    let mut h = 1u32;
+    while h < TILE {
+        b.bar();
+        // pos = (tid / h)·2h + tid mod h
+        let hi = b.and(tid, !(h - 1));
+        let hi2 = b.shl(hi, 1u32);
+        let lo = b.and(tid, h - 1);
+        let pos = b.or(hi2, lo);
+        let so = b.shl(pos, 2u32);
+        let sa = b.add(so, sh);
+        let va = b.ld(Space::Shared, sa, 0, 4);
+        let vb = b.ld(Space::Shared, sa, h * 4, 4);
+        let sum = b.fadd(va, vb);
+        let dif = b.fsub(va, vb);
+        b.st(Space::Shared, sa, 0, sum, 4);
+        b.st(Space::Shared, sa, h * 4, dif, 4);
+        h *= 2;
+    }
+    b.bar();
+
+    for half in 0..2u32 {
+        let li = b.add(tid, half * THREADS);
+        let so = b.shl(li, 2u32);
+        let sa = b.add(so, sh);
+        let v = b.ld(Space::Shared, sa, 0, 4);
+        let gi = b.add(base, li);
+        let ga = word_addr(&mut b, datap, gi);
+        b.st(Space::Global, ga, 0, v, 4);
+    }
+    b.build()
+}
+
+/// One WHT butterfly stage of stride `h`.
+fn host_stage(data: &mut [f32], h: usize) {
+    let n = data.len();
+    for base in (0..n).step_by(2 * h) {
+        for i in base..base + h {
+            let (a, b) = (data[i], data[i + h]);
+            data[i] = a + b;
+            data[i + h] = a - b;
+        }
+    }
+}
+
+/// Host reference WHT (unnormalized), ascending stage order.
+#[cfg(test)]
+fn host_wht(data: &mut [f32]) {
+    let mut h = 1;
+    while h < data.len() {
+        host_stage(data, h);
+        h *= 2;
+    }
+}
+
+/// Host reference applying the *device's* stage order (global stages
+/// descending, then the shared-memory tail ascending) so the f32 rounding
+/// matches the kernel exactly.
+fn host_wht_device_order(data: &mut [f32]) {
+    let n = data.len();
+    let mut h = n / 2;
+    while h >= TILE as usize {
+        host_stage(data, h);
+        h /= 2;
+    }
+    let mut h = 1usize;
+    while h < (TILE as usize).min(n) {
+        host_stage(data, h);
+        h *= 2;
+    }
+}
+
+impl Benchmark for FWalsh {
+    fn name(&self) -> &'static str {
+        "FWALSH"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "data length 512K, kernel length 32"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let n = Self::n(scale);
+        let input = crate::rand_f32(0xFA15, n as usize, -1.0, 1.0);
+        let datap = gpu.alloc(n * 4);
+        gpu.mem.copy_from_host_f32(datap, &input);
+
+        let mut expected = input.clone();
+        host_wht_device_order(&mut expected);
+
+        // Large strides first (global kernels), then the shared tail.
+        let mut launches = Vec::new();
+        let mut h = n / 2;
+        while h >= TILE {
+            launches.push(LaunchSpec {
+                kernel: batch2_kernel(h),
+                grid: (n / 2) / 256,
+                block: 256,
+                params: vec![datap],
+            });
+            h /= 2;
+        }
+        launches.push(LaunchSpec {
+            kernel: batch1_kernel(),
+            grid: n / TILE,
+            block: THREADS,
+            params: vec![datap],
+        });
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{n} elements"),
+            launches,
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_f32(datap, expected.len());
+                for (i, (&g, &w)) in got.iter().zip(&expected).enumerate() {
+                    if !crate::close(g, w, 1e-4) {
+                        return Err(format!("WHT mismatch at {i}: got {g}, want {w}"));
+                    }
+                }
+                Ok(())
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    #[test]
+    fn host_wht_basis() {
+        let mut d = vec![1.0f32, 0.0, 0.0, 0.0];
+        host_wht(&mut d);
+        assert_eq!(d, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut e = vec![1.0f32, 1.0, 1.0, 1.0];
+        host_wht(&mut e);
+        assert_eq!(e, vec![4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn device_order_agrees_with_ascending_order_analytically() {
+        // WHT stages commute exactly on dyadic-rational inputs.
+        let mut a: Vec<f32> = (0..4096).map(|i| (i % 17) as f32 - 8.0).collect();
+        let mut b = a.clone();
+        host_wht(&mut a);
+        host_wht_device_order(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transform_matches_host_and_is_race_free() {
+        let out = run(&FWalsh, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("WHT matches");
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records().first());
+        assert!(out.launches > 1, "global stages + shared tail");
+    }
+}

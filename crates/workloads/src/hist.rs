@@ -1,0 +1,215 @@
+//! HIST — 64-bin byte histogram (CUDA SDK `histogram64`), Table II input:
+//! 16M bytes.
+//!
+//! Each thread keeps a private 64-bin sub-histogram of **byte counters**
+//! in shared memory, laid out bin-major (`s_hist[bin * THREAD_N + tid]`):
+//! one bin's row packs every thread's one-byte counter side by side. At
+//! word granularity each chunk holds only same-warp counters (the paper's
+//! effectiveness run at word granularity reports no shared false races),
+//! but as the tracking granularity coarsens, chunks span the block's warp
+//! boundary and HAccRG reports a "high number of false data races for
+//! HIST" (§VI-A1/Table III): the benchmark "operates on a data structure
+//! having element size of one byte, which in turn translates to accesses
+//! from multiple warps mapping to the same memory entries."
+//!
+//! (The SDK additionally bit-shuffles the thread index for bank-conflict
+//! avoidance, which would interleave *warps* at byte level and push the
+//! conflation all the way down to 4-byte chunks; we keep the unshuffled
+//! layout so the paper's explicit word-granularity cleanliness claim
+//! reproduces. `thread_pos` documents the shuffle.)
+//!
+//! After the accumulation pass a barrier separates the merge phase, where
+//! each thread folds one bin's row of byte counters and atomically adds
+//! it to the global histogram.
+
+use gpu_sim::prelude::*;
+
+use crate::{BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The HIST benchmark.
+pub struct Hist;
+
+/// Threads per block (the SDK's THREAD_N for histogram64).
+const THREAD_N: u32 = 64;
+/// Histogram bins.
+const BIN_N: u32 = 64;
+
+impl Hist {
+    fn geometry(scale: Scale) -> (u32, u32) {
+        // (data bytes, blocks)
+        match scale {
+            Scale::Paper => (16 * 1024 * 1024, 4096), // Table II: 16M bytes
+            Scale::Repro => (1024 * 1024, 512),
+            Scale::Tiny => (64 * 1024, 32),
+        }
+    }
+}
+
+/// The SDK's byte-interleaving shuffle: consecutive threads land on
+/// different bytes of the same 32-bit word, and — crucially — threads of
+/// different warps share words.
+pub fn thread_pos(tid: u32) -> u32 {
+    (tid & !63) | ((tid & 15) << 2) | ((tid & 48) >> 4)
+}
+
+fn hist_kernel(words_per_thread: u32) -> Kernel {
+    assert!(words_per_thread * 4 <= 255, "byte counters must not overflow");
+    let mut b = KernelBuilder::new("histogram64");
+    // s_hist[bin * THREAD_N + threadPos(tid)], byte-sized counters.
+    let sh = b.shared_alloc(BIN_N * THREAD_N);
+    let datap = b.param(0);
+    let histp = b.param(1);
+
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+
+    // Bin-major layout: this thread's counter for bin b lives at
+    // sh + b*THREAD_N + tid.
+    let tpos_sh = b.add(tid, sh);
+
+    // Zero this thread's 64 byte counters.
+    b.for_range(0u32, BIN_N, 1u32, |b, bin| {
+        let row = b.mul(bin, THREAD_N);
+        let a = b.add(tpos_sh, row);
+        b.st(Space::Shared, a, 0, 0u32, 1);
+    });
+    b.bar();
+
+    // Accumulation: each thread processes `words_per_thread` 32-bit words
+    // of the block's chunk; each byte increments a shared byte counter.
+    let chunk_words = words_per_thread * THREAD_N;
+    let base_word0 = b.mul(ctaid, chunk_words);
+    b.for_range(0u32, words_per_thread, 1u32, |b, i| {
+        let stride = b.mul(i, THREAD_N);
+        let w0 = b.add(base_word0, stride);
+        let w = b.add(w0, tid);
+        let off = b.shl(w, 2u32);
+        let a = b.add(datap, off);
+        let data = b.ld(Space::Global, a, 0, 4);
+        for byte in 0..4 {
+            let d = b.shr(data, byte * 8);
+            let d8 = b.and(d, 0xFFu32);
+            // 64 bins from the six high bits of the byte (SDK: data >> 2).
+            let bin = b.shr(d8, 2u32);
+            let row = b.mul(bin, THREAD_N);
+            let ca = b.add(tpos_sh, row);
+            let c = b.ld(Space::Shared, ca, 0, 1);
+            let c1 = b.add(c, 1u32);
+            b.st(Space::Shared, ca, 0, c1, 1);
+        }
+    });
+    b.bar();
+
+    // Merge: thread `tid` folds bin `tid`'s row of THREAD_N byte counters
+    // (reads across every warp's counters) and adds it to global memory.
+    let my_row = b.mul(tid, THREAD_N);
+    let row_base = b.add(my_row, sh);
+    let sum = b.mov(0u32);
+    b.for_range(0u32, THREAD_N, 1u32, |b, t| {
+        let a = b.add(row_base, t);
+        let c = b.ld(Space::Shared, a, 0, 1);
+        b.bin_into(BinOp::Add, sum, sum, c);
+    });
+    let goff = b.shl(tid, 2u32);
+    let ga = b.add(histp, goff);
+    b.atom(Space::Global, AtomOp::Add, ga, 0, sum, 0u32);
+    b.build()
+}
+
+impl Benchmark for Hist {
+    fn name(&self) -> &'static str {
+        "HIST"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "byte count 16M"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let (bytes, blocks) = Self::geometry(scale);
+        let words = bytes / 4;
+        let words_per_thread = words / (blocks * THREAD_N);
+        assert!(words_per_thread >= 1 && words % (blocks * THREAD_N) == 0);
+
+        let data = crate::rand_bytes(0x4157, bytes as usize);
+        let datap = gpu.alloc(bytes);
+        let histp = gpu.alloc(BIN_N * 4);
+        gpu.mem.copy_from_host_u8(datap, &data);
+
+        let mut expected = vec![0u32; BIN_N as usize];
+        for &byte in &data {
+            expected[(byte >> 2) as usize] += 1;
+        }
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{bytes} bytes, {blocks}×{THREAD_N} threads"),
+            launches: vec![LaunchSpec {
+                kernel: hist_kernel(words_per_thread),
+                grid: blocks,
+                block: THREAD_N,
+                params: vec![datap, histp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_u32(histp, BIN_N as usize);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err(format!("histogram mismatch: got {:?} want {:?}", &got[..8], &expected[..8]))
+                }
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use haccrg::granularity::Granularity;
+
+    #[test]
+    fn thread_pos_interleaves_warps_at_byte_level() {
+        // Threads 0, 16, 32, 48 share the first shared-memory word.
+        assert_eq!(thread_pos(0), 0);
+        assert_eq!(thread_pos(16), 1);
+        assert_eq!(thread_pos(32), 2);
+        assert_eq!(thread_pos(48), 3);
+        // It is a permutation of 0..64.
+        let mut seen: Vec<u32> = (0..64).map(thread_pos).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_counts_are_exact_at_byte_granularity() {
+        // Word-exact tracking of byte counters needs byte granularity to
+        // be conflation-free; functional result must be exact regardless.
+        let mut cfg = haccrg::config::DetectorConfig::paper_default();
+        cfg.shared_granularity = Granularity::new(1).unwrap();
+        let out = run(&Hist, &RunConfig::with_detector(Scale::Tiny, cfg)).unwrap();
+        out.verified.as_ref().expect("histogram exact");
+        assert_eq!(out.races.distinct(), 0, "{:?}", &out.races.records()[..4.min(out.races.records().len())]);
+    }
+
+    #[test]
+    fn word_granularity_is_clean_but_coarse_chunks_conflate_warps() {
+        // The paper's two claims: effectiveness at word granularity finds
+        // no shared races, and coarse chunks make HIST explode.
+        let mut word = haccrg::config::DetectorConfig::paper_default();
+        word.shared_granularity = Granularity::new(4).unwrap();
+        let clean = run(&Hist, &RunConfig::with_detector(Scale::Tiny, word)).unwrap();
+        clean.verified.as_ref().expect("exact");
+        assert_eq!(clean.races.count_space(haccrg::access::MemSpace::Shared), 0);
+
+        let mut coarse = haccrg::config::DetectorConfig::paper_default();
+        coarse.shared_granularity = Granularity::new(64).unwrap();
+        let dirty = run(&Hist, &RunConfig::with_detector(Scale::Tiny, coarse)).unwrap();
+        dirty.verified.as_ref().expect("still functionally exact");
+        assert!(
+            dirty.races.records().iter().any(|r| r.space == haccrg::access::MemSpace::Shared),
+            "64B chunks span the warp boundary in every bin row"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! MCARLO — Monte Carlo European option pricing (CUDA SDK `MonteCarlo`),
+//! Table II input: 256 options, 64K paths.
+//!
+//! One block prices one option: threads stride over pre-generated normal
+//! samples (host-side RNG, a documented substitution for the SDK's
+//! on-device RNG — the detector only sees the memory traffic), compute
+//! discounted payoffs in f32, and tree-reduce partial sums in shared
+//! memory. Global-read heavy with a modest shared-memory tail, matching
+//! Table II's instruction mix.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The MCARLO benchmark.
+pub struct McArlo;
+
+const THREADS: u32 = 128;
+
+/// Black–Scholes-style path parameters shared by device and host.
+#[derive(Clone, Copy)]
+struct Params {
+    s0: f32,
+    riskfree: f32,
+    volatility: f32,
+    years: f32,
+}
+
+const P: Params = Params { s0: 50.0, riskfree: 0.06, volatility: 0.2, years: 1.0 };
+
+impl McArlo {
+    fn geometry(scale: Scale) -> (u32, u32) {
+        // (options, paths per option)
+        match scale {
+            Scale::Paper => (256, 64 * 1024), // Table II
+            Scale::Repro => (64, 4096),
+            Scale::Tiny => (8, 512),
+        }
+    }
+}
+
+/// Price `options` options, one per block; `paths` normal samples are
+/// shared by all options (each scales them by its own strike).
+fn mcarlo_kernel(paths: u32) -> Kernel {
+    let mut b = KernelBuilder::new("monte_carlo");
+    let sh = b.shared_alloc(THREADS * 4);
+    let samplesp = b.param(0);
+    let strikesp = b.param(1);
+    let outp = b.param(2);
+    // Pre-computed drift/diffusion constants (f32 bits).
+    let drift = b.param(3); // (r - σ²/2)·T
+    let sigsqt = b.param(4); // σ·√T
+    let discount = b.param(5); // e^(−rT)
+
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+
+    let sa = word_addr(&mut b, strikesp, ctaid);
+    let strike = b.ld(Space::Global, sa, 0, 4);
+
+    // Thread-strided accumulation over the paths.
+    let acc = b.mov(0.0f32);
+    let i = b.mov(tid);
+    b.while_loop(
+        |b| b.setp(CmpOp::LtU, i, paths),
+        |b| {
+            let a = word_addr(b, samplesp, i);
+            let z = b.ld(Space::Global, a, 0, 4);
+            // S = S0 · exp(drift + σ√T · z)
+            let e0 = b.fmad(sigsqt, z, drift);
+            let e = b.un(UnOp::FExp, e0);
+            let s = b.fmul(P.s0, e);
+            // payoff = max(S − X, 0)
+            let d = b.fsub(s, strike);
+            let pay = b.bin(BinOp::FMax, d, 0.0f32);
+            b.bin_into(BinOp::FAdd, acc, acc, pay);
+            b.bin_into(BinOp::Add, i, i, THREADS);
+        },
+    );
+
+    // Shared-memory tree reduction.
+    let t4 = b.shl(tid, 2u32);
+    let my = b.add(t4, sh);
+    b.st(Space::Shared, my, 0, acc, 4);
+    b.bar();
+    let mut s = THREADS / 2;
+    while s > 0 {
+        let p = b.setp(CmpOp::LtU, tid, s);
+        b.if_then(p, |b| {
+            let mine = b.ld(Space::Shared, my, 0, 4);
+            let theirs = b.ld(Space::Shared, my, s * 4, 4);
+            let sum = b.fadd(mine, theirs);
+            b.st(Space::Shared, my, 0, sum, 4);
+        });
+        b.bar();
+        s /= 2;
+    }
+
+    let lane0 = b.setp(CmpOp::Eq, tid, 0u32);
+    b.if_then(lane0, |b| {
+        let total = {
+            let shreg = b.mov(sh);
+            b.ld(Space::Shared, shreg, 0, 4)
+        };
+        let inv_n = (1.0f32 / paths as f32).to_bits();
+        let mean = b.fmul(total, inv_n);
+        let price = b.fmul(mean, discount);
+        let oa = word_addr(b, outp, ctaid);
+        b.st(Space::Global, oa, 0, price, 4);
+    });
+    b.build()
+}
+
+/// Host reference with the same summation tree as the device.
+fn host_price(samples: &[f32], strike: f32) -> f32 {
+    let drift = (P.riskfree - 0.5 * P.volatility * P.volatility) * P.years;
+    let sigsqt = P.volatility * P.years.sqrt();
+    let mut partial = vec![0f32; THREADS as usize];
+    for (i, &z) in samples.iter().enumerate() {
+        let s = P.s0 * (sigsqt * z + drift).exp();
+        partial[i % THREADS as usize] += (s - strike).max(0.0);
+    }
+    let mut stride = THREADS as usize / 2;
+    while stride > 0 {
+        for t in 0..stride {
+            partial[t] += partial[t + stride];
+        }
+        stride /= 2;
+    }
+    partial[0] / samples.len() as f32 * (-P.riskfree * P.years).exp()
+}
+
+impl Benchmark for McArlo {
+    fn name(&self) -> &'static str {
+        "MCARLO"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "256 options, 64K paths"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let (options, paths) = Self::geometry(scale);
+        // Box–Muller normals from the deterministic host RNG.
+        let u = crate::rand_f32(0x3CA0, 2 * paths as usize, 1e-7, 1.0);
+        let samples: Vec<f32> = (0..paths as usize)
+            .map(|i| (-2.0 * u[2 * i].ln()).sqrt() * (std::f32::consts::TAU * u[2 * i + 1]).cos())
+            .collect();
+        let strikes = crate::rand_f32(0x3CA1, options as usize, 30.0, 70.0);
+
+        let samplesp = gpu.alloc(paths * 4);
+        let strikesp = gpu.alloc(options * 4);
+        let outp = gpu.alloc(options * 4);
+        gpu.mem.copy_from_host_f32(samplesp, &samples);
+        gpu.mem.copy_from_host_f32(strikesp, &strikes);
+
+        let drift = (P.riskfree - 0.5 * P.volatility * P.volatility) * P.years;
+        let sigsqt = P.volatility * P.years.sqrt();
+        let discount = (-P.riskfree * P.years).exp();
+
+        let expected: Vec<f32> = strikes.iter().map(|&x| host_price(&samples, x)).collect();
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{options} options, {paths} paths"),
+            launches: vec![LaunchSpec {
+                kernel: mcarlo_kernel(paths),
+                grid: options,
+                block: THREADS,
+                params: vec![
+                    samplesp,
+                    strikesp,
+                    outp,
+                    drift.to_bits(),
+                    sigsqt.to_bits(),
+                    discount.to_bits(),
+                ],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_f32(outp, expected.len());
+                for (i, (&g, &w)) in got.iter().zip(&expected).enumerate() {
+                    if !crate::close(g, w, 1e-3) {
+                        return Err(format!("option {i}: got {g}, want {w}"));
+                    }
+                }
+                Ok(())
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    #[test]
+    fn prices_match_host_reference_and_no_races() {
+        let out = run(&McArlo, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("prices match");
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records().first());
+        assert!(out.stats.barriers > 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! OFFT — the ocean-simulation spectrum kernel (CUDA SDK `oceanFFT`),
+//! Table II input: 256×256 mesh.
+//!
+//! Two kernels: (1) **spectrum generation** builds the time-dependent
+//! wave spectrum `ht(k, t)` in global memory from the initial spectrum
+//! `h0(k)` and its conjugate mirror; (2) **height normalization** scales
+//! each tile by its maximum magnitude using a shared-memory max-reduce
+//! (the benchmark's shared-memory component).
+//!
+//! §VI-A documents a real bug in this benchmark: "the memory address is
+//! incorrectly calculated, and two threads accessed the same memory
+//! location, causing a write-after-read data race in the global memory
+//! space." [`OffT::default`] keeps the buggy mirror-index arithmetic —
+//! boundary-row threads read the `ht` slot that their mirror partner
+//! writes; [`OffT::fixed`] computes the mirror from the read-only `h0`
+//! array instead, which is the correct formulation.
+
+use gpu_sim::prelude::*;
+
+use crate::{BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The OFFT benchmark.
+pub struct OffT {
+    /// Keep the SDK's buggy boundary address calculation (the default —
+    /// it is what the paper detected).
+    pub buggy: bool,
+}
+
+impl Default for OffT {
+    fn default() -> Self {
+        OffT { buggy: true }
+    }
+}
+
+impl OffT {
+    /// The corrected kernel.
+    pub fn fixed() -> Self {
+        OffT { buggy: false }
+    }
+
+    fn mesh(scale: Scale) -> u32 {
+        match scale {
+            Scale::Paper => 256, // Table II: meshW = meshH = 256
+            Scale::Repro => 128,
+            // 64 so that the buggy boundary row spans multiple warps (the
+            // mirror pair must not be lockstep-ordered within one warp).
+            Scale::Tiny => 64,
+        }
+    }
+}
+
+const BLOCK: u32 = 64;
+const G: f32 = 9.81;
+
+fn dispersion(kx: f32, ky: f32) -> f32 {
+    (G * (kx * kx + ky * ky).sqrt()).sqrt()
+}
+
+/// Spectrum kernel: `ht[i] = re(h0[i]·e^{iωt} + h0*[mirror]·e^{−iωt})`
+/// stored as interleaved (re, im) f32 pairs.
+fn spectrum_kernel(w: u32, h: u32, t: f32, buggy: bool) -> Kernel {
+    let mut b = KernelBuilder::new("generate_spectrum");
+    let h0p = b.param(0);
+    let htp = b.param(1);
+
+    let gt = b.global_tid();
+    let x = b.rem(gt, w);
+    let y = b.div(gt, w);
+
+    // Wave vector components (centered): kx = x − w/2, ky = y − h/2, as
+    // floats via I2F on the signed offsets.
+    let xs = b.sub(x, w / 2);
+    let ys = b.sub(y, h / 2);
+    let kx = b.un(UnOp::I2F, xs);
+    let ky = b.un(UnOp::I2F, ys);
+
+    // ω·t = sqrt(g·|k|)·t
+    let kx2 = b.fmul(kx, kx);
+    let k2 = b.fmad(ky, ky, kx2);
+    let klen = b.un(UnOp::FSqrt, k2);
+    let gk = b.fmul(G, klen);
+    let omega = b.un(UnOp::FSqrt, gk);
+    let wt = b.fmul(omega, t);
+    let c = b.un(UnOp::FCos, wt);
+    let s = b.un(UnOp::FSin, wt);
+
+    // Mirror index: ((h − y) mod h)·w + ((w − x) mod w).
+    let my0 = b.sub(h, y);
+    let my = b.rem(my0, h);
+    let mx0 = b.sub(w, x);
+    let mx = b.rem(mx0, w);
+    let mirror = b.mad(my, w, mx);
+
+    // h0[k] and h0[mirror] (complex, 8-byte stride).
+    let i8 = b.shl(gt, 3u32);
+    let h0a = b.add(h0p, i8);
+    let h0re = b.ld(Space::Global, h0a, 0, 4);
+    let h0im = b.ld(Space::Global, h0a, 4, 4);
+    let m8 = b.shl(mirror, 3u32);
+    let h0ma = b.add(h0p, m8);
+    let hmre = b.ld(Space::Global, h0ma, 0, 4);
+    let hmim = b.ld(Space::Global, h0ma, 4, 4);
+
+    // ht = h0·e^{iωt} + conj(h0m)·e^{−iωt}
+    // re = h0re·c − h0im·s + hmre·c − hmim·s
+    // im = h0re·s + h0im·c − hmre·s − hmim·c
+    let a1 = b.fmul(h0re, c);
+    let a2 = b.fmul(h0im, s);
+    let a3 = b.fmul(hmre, c);
+    let a4 = b.fmul(hmim, s);
+    let re0 = b.fsub(a1, a2);
+    let re1 = b.fadd(re0, a3);
+    let re = b.fsub(re1, a4);
+    let b1 = b.fmul(h0re, s);
+    let b2 = b.fmul(h0im, c);
+    let b3 = b.fmul(hmre, s);
+    let b4 = b.fmul(hmim, c);
+    let im0 = b.fadd(b1, b2);
+    let im1 = b.fsub(im0, b3);
+    let im = b.fsub(im1, b4);
+
+    let hta = b.add(htp, i8);
+    if buggy {
+        // The SDK's incorrect boundary address: for the y == 0 row the
+        // kernel consults the *output* array at the mirrored column
+        // (instead of the read-only input), racing with the thread that
+        // writes that slot. Reads and writes of ht overlap across warps:
+        // the WAR/RAW pair §VI-A reports.
+        let row0 = b.setp(CmpOp::Eq, y, 0u32);
+        b.if_then(row0, |b| {
+            let ma = b.add(htp, m8);
+            let _stale = b.ld(Space::Global, ma, 0, 4);
+        });
+    }
+    b.st(Space::Global, hta, 0, re, 4);
+    b.st(Space::Global, hta, 4, im, 4);
+    b.build()
+}
+
+/// Height normalization: per tile of `BLOCK` spectrum entries, divide the
+/// real parts by the tile's max |re| (shared-memory max-reduce).
+fn normalize_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("normalize_height");
+    let sh = b.shared_alloc(BLOCK * 4);
+    let htp = b.param(0);
+    let outp = b.param(1);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let gi = b.mad(ctaid, BLOCK, tid);
+
+    let i8 = b.shl(gi, 3u32);
+    let a = b.add(htp, i8);
+    let re = b.ld(Space::Global, a, 0, 4);
+    let mag = b.un(UnOp::FAbs, re);
+    let t4 = b.shl(tid, 2u32);
+    let my = b.add(t4, sh);
+    b.st(Space::Shared, my, 0, mag, 4);
+    b.bar();
+    let mut s = BLOCK / 2;
+    while s > 0 {
+        let p = b.setp(CmpOp::LtU, tid, s);
+        b.if_then(p, |b| {
+            let mine = b.ld(Space::Shared, my, 0, 4);
+            let theirs = b.ld(Space::Shared, my, s * 4, 4);
+            let mx = b.bin(BinOp::FMax, mine, theirs);
+            b.st(Space::Shared, my, 0, mx, 4);
+        });
+        b.bar();
+        s /= 2;
+    }
+    let shreg = b.mov(sh);
+    let tile_max0 = b.ld(Space::Shared, shreg, 0, 4);
+    let tile_max = b.bin(BinOp::FMax, tile_max0, 1e-20f32);
+    let norm = b.fdiv(re, tile_max);
+    let o4 = b.shl(gi, 2u32);
+    let oa = b.add(outp, o4);
+    b.st(Space::Global, oa, 0, norm, 4);
+    b.build()
+}
+
+impl Benchmark for OffT {
+    fn name(&self) -> &'static str {
+        "OFFT"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "meshW=256, meshH=256"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let w = Self::mesh(scale);
+        let h = w;
+        let n = w * h;
+        let t = 1.5f32;
+        let h0 = crate::rand_f32(0x0F41, 2 * n as usize, -1.0, 1.0);
+        let h0p = gpu.alloc(n * 8);
+        let htp = gpu.alloc(n * 8);
+        let outp = gpu.alloc(n * 4);
+        gpu.mem.copy_from_host_f32(h0p, &h0);
+
+        // Host reference for ht and the normalized heights.
+        let mut ht = vec![0f32; 2 * n as usize];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) as usize;
+                let (kx, ky) = ((x as i32 - (w / 2) as i32) as f32, (y as i32 - (h / 2) as i32) as f32);
+                let wt = dispersion(kx, ky) * t;
+                let (c, s) = (wt.cos(), wt.sin());
+                let m = (((h - y) % h) * w + ((w - x) % w)) as usize;
+                let (h0re, h0im) = (h0[2 * i], h0[2 * i + 1]);
+                let (hmre, hmim) = (h0[2 * m], h0[2 * m + 1]);
+                ht[2 * i] = h0re * c - h0im * s + hmre * c - hmim * s;
+                ht[2 * i + 1] = h0re * s + h0im * c - hmre * s - hmim * c;
+            }
+        }
+        let mut heights = vec![0f32; n as usize];
+        for tile in 0..(n / BLOCK) as usize {
+            let max = (0..BLOCK as usize)
+                .map(|j| ht[2 * (tile * BLOCK as usize + j)].abs())
+                .fold(f32::MIN, f32::max)
+                .max(1e-20);
+            for j in 0..BLOCK as usize {
+                let i = tile * BLOCK as usize + j;
+                heights[i] = ht[2 * i] / max;
+            }
+        }
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{w}×{h} mesh, t={t}, buggy={}", self.buggy),
+            launches: vec![
+                LaunchSpec {
+                    kernel: spectrum_kernel(w, h, t, self.buggy),
+                    grid: n / BLOCK,
+                    block: BLOCK,
+                    params: vec![h0p, htp],
+                },
+                LaunchSpec {
+                    kernel: normalize_kernel(),
+                    grid: n / BLOCK,
+                    block: BLOCK,
+                    params: vec![htp, outp],
+                },
+            ],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_f32(outp, heights.len());
+                for (i, (&g, &wv)) in got.iter().zip(&heights).enumerate() {
+                    if !crate::close(g, wv, 1e-3) {
+                        return Err(format!("height mismatch at {i}: got {g}, want {wv}"));
+                    }
+                }
+                Ok(())
+            }),
+            expect_races: self.buggy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use haccrg::access::MemSpace;
+    use haccrg::prelude::RaceKind;
+
+    #[test]
+    fn fixed_offt_matches_host_and_is_race_free() {
+        let out = run(&OffT::fixed(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("heights match");
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records().first());
+    }
+
+    #[test]
+    fn buggy_offt_reproduces_the_documented_war_race() {
+        let out = run(&OffT::default(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        // The stray boundary read does not alter the output…
+        out.verified.as_ref().expect("output still correct");
+        // …but it races with the mirror thread's write: a WAR/RAW pair in
+        // global memory (§VI-A).
+        assert!(
+            out.races
+                .records()
+                .iter()
+                .any(|r| r.space == MemSpace::Global
+                    && matches!(r.kind, RaceKind::War | RaceKind::Raw)),
+            "{:?}",
+            out.races.records()
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! PSUM — the `__threadfence()` partial-sum microbenchmark from the CUDA
+//! programming guide (Table II input: 16K elements).
+//!
+//! Unlike REDUCE it keeps everything in global memory: each thread
+//! serially accumulates a strided slice of the input (global loads
+//! dominate — Table II reports 87.2% global instructions for PSUM), each
+//! block's leader sums its threads' per-thread partials from global
+//! memory, fences, takes a ticket, and the last leader adds the block
+//! partials into the final result.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The PSUM microbenchmark.
+pub struct PSum {
+    /// Execute the `__threadfence()` calls (the guide's point).
+    pub with_fence: bool,
+}
+
+impl Default for PSum {
+    fn default() -> Self {
+        PSum { with_fence: true }
+    }
+}
+
+impl PSum {
+    fn geometry(scale: Scale) -> (u32, u32, u32) {
+        // (elements, blocks, threads/block)
+        match scale {
+            Scale::Paper => (16 * 1024, 16, 32), // Table II: 16K elements
+            Scale::Repro => (16 * 1024, 16, 32),
+            Scale::Tiny => (2048, 4, 32),
+        }
+    }
+}
+
+fn psum_kernel(elems_per_thread: u32, grid: u32, block: u32, with_fence: bool) -> Kernel {
+    let threads_total = grid * block;
+    let mut b = KernelBuilder::new("psum");
+    let inp = b.param(0);
+    let tpartial = b.param(1); // per-thread partials
+    let bpartial = b.param(2); // per-block partials
+    let ticket = b.param(3);
+    let outp = b.param(4);
+
+    let tid = b.tid();
+    let ntid = b.ntid();
+    let ctaid = b.ctaid();
+    let nctaid = b.nctaid();
+    let gt = b.global_tid();
+
+    // Per-thread serial accumulation over a strided slice, all in global
+    // memory, fully unrolled with immediate offsets — this is what makes
+    // PSUM overwhelmingly global-instruction dominated (Table II: 87.2%).
+    let acc = b.mov(0u32);
+    let base = word_addr(&mut b, inp, gt);
+    for k in 0..elems_per_thread {
+        let v = b.ld(Space::Global, base, k * threads_total * 4, 4);
+        b.bin_into(BinOp::Add, acc, acc, v);
+    }
+    let ta = word_addr(&mut b, tpartial, gt);
+    b.st(Space::Global, ta, 0, acc, 4);
+    if with_fence {
+        b.membar();
+    }
+    b.bar();
+
+    // Block leader folds its threads' partials (unrolled global reads).
+    let lane0 = b.setp(CmpOp::Eq, tid, 0u32);
+    b.if_then(lane0, |b| {
+        let bacc = b.mov(0u32);
+        let first = b.mul(ctaid, ntid);
+        let row = word_addr(b, tpartial, first);
+        for k in 0..block {
+            let v = b.ld(Space::Global, row, k * 4, 4);
+            b.bin_into(BinOp::Add, bacc, bacc, v);
+        }
+        let pa = word_addr(b, bpartial, ctaid);
+        b.st(Space::Global, pa, 0, bacc, 4);
+        if with_fence {
+            b.membar();
+        }
+        let last = b.sub(nctaid, 1u32);
+        let old = b.atom(Space::Global, AtomOp::Inc, ticket, 0, last, 0u32);
+        let am_last = b.setp(CmpOp::Eq, old, last);
+        b.if_then(am_last, |b| {
+            let total = b.mov(0u32);
+            for j in 0..grid {
+                let v = b.ld(Space::Global, bpartial, j * 4, 4);
+                b.bin_into(BinOp::Add, total, total, v);
+            }
+            let z = b.mov(0u32);
+            let oa = b.add(outp, z);
+            b.st(Space::Global, oa, 0, total, 4);
+        });
+    });
+    b.build()
+}
+
+impl Benchmark for PSum {
+    fn name(&self) -> &'static str {
+        "PSUM"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "16K elements"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let (n, grid, block) = Self::geometry(scale);
+        let elems_per_thread = n / (grid * block);
+        let input: Vec<u32> = crate::rand_u32(0x95FE, n as usize, 5000);
+        let inp = gpu.alloc(n * 4);
+        let tpartial = gpu.alloc(grid * block * 4);
+        let bpartial = gpu.alloc(grid * 4);
+        let ticket = gpu.alloc(4);
+        let outp = gpu.alloc(4);
+        gpu.mem.copy_from_host_u32(inp, &input);
+        let expected: u32 = input.iter().fold(0u32, |a, &x| a.wrapping_add(x));
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{n} elements, {grid}×{block} threads, fence={}", self.with_fence),
+            launches: vec![LaunchSpec {
+                kernel: psum_kernel(elems_per_thread, grid, block, self.with_fence),
+                grid,
+                block,
+                params: vec![inp, tpartial, bpartial, ticket, outp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.read_u32(outp);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err(format!("psum mismatch: got {got}, want {expected}"))
+                }
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use haccrg::prelude::RaceCategory;
+
+    #[test]
+    fn fenced_psum_is_correct_and_fence_race_free() {
+        let out = run(&PSum::default(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("sum correct");
+        assert_eq!(
+            out.races.records().iter().filter(|r| r.category == RaceCategory::Fence).count(),
+            0,
+            "{:?}",
+            out.races.records()
+        );
+    }
+
+    #[test]
+    fn psum_is_global_memory_dominated() {
+        let out = run(&PSum::default(), &RunConfig::base(Scale::Tiny)).unwrap();
+        assert!(out.stats.global_inst_fraction() > 0.25, "{}", out.stats.global_inst_fraction());
+        assert!(out.stats.shared_inst_fraction() < 0.01);
+    }
+
+    #[test]
+    fn unfenced_psum_reports_fence_races() {
+        let out = run(&PSum { with_fence: false }, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert!(
+            out.races
+                .records()
+                .iter()
+                .any(|r| matches!(r.category, RaceCategory::Fence | RaceCategory::StaleL1)),
+            "{:?}",
+            out.races.records()
+        );
+    }
+}

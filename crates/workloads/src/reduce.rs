@@ -1,0 +1,235 @@
+//! REDUCE — single-pass parallel reduction (CUDA SDK
+//! `threadFenceReduction`), Table II input: 1M elements.
+//!
+//! Each block reduces its chunk in shared memory, writes a partial sum to
+//! global memory, executes `__threadfence()`, and atomically increments a
+//! ticket counter; the block that takes the last ticket re-reduces the
+//! partial sums. The fence is what makes the cross-block consumption of
+//! the partials safe (§III-C) — [`Reduce { with_fence: false }`] plants
+//! the paper's fence-removal injection.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The REDUCE benchmark.
+pub struct Reduce {
+    /// Execute the `__threadfence()` before taking a ticket.
+    pub with_fence: bool,
+}
+
+impl Default for Reduce {
+    fn default() -> Self {
+        Reduce { with_fence: true }
+    }
+}
+
+impl Reduce {
+    fn geometry(scale: Scale) -> (u32, u32, u32) {
+        // (elements, blocks, threads/block)
+        match scale {
+            Scale::Paper => (1 << 20, 64, 128), // Table II: 1M elements
+            Scale::Repro => (1 << 16, 32, 128),
+            Scale::Tiny => (4096, 8, 128),
+        }
+    }
+}
+
+/// The single-pass fenced reduction kernel (u32 sums for exact checking).
+fn reduce_kernel(elems_per_thread: u32, with_fence: bool) -> Kernel {
+    let mut b = KernelBuilder::new("threadfence_reduce");
+    let block_dim_placeholder = 256; // shared sized at build via param-independent max
+    let sh = b.shared_alloc(block_dim_placeholder * 4);
+    let flag_off = b.shared_alloc(4); // amLast broadcast slot
+
+    let inp = b.param(0);
+    let partial = b.param(1);
+    let ticket = b.param(2);
+    let outp = b.param(3);
+
+    let tid = b.tid();
+    let ntid = b.ntid();
+    let ctaid = b.ctaid();
+    let nctaid = b.nctaid();
+
+    // Each thread strides over its block's chunk:
+    // chunk base = ctaid * ntid * elems_per_thread.
+    let chunk = b.mul(ntid, elems_per_thread);
+    let base_idx = b.mul(ctaid, chunk);
+    let acc = b.mov(0u32);
+    b.for_range(0u32, elems_per_thread, 1u32, |b, i| {
+        // idx = base + i*ntid + tid  (coalesced stride)
+        let stride = b.mul(i, ntid);
+        let idx0 = b.add(base_idx, stride);
+        let idx = b.add(idx0, tid);
+        let a = word_addr(b, inp, idx);
+        let v = b.ld(Space::Global, a, 0, 4);
+        b.bin_into(BinOp::Add, acc, acc, v);
+    });
+
+    // Shared-memory tree reduction of the block.
+    let t4 = b.shl(tid, 2u32);
+    let my = b.add(t4, sh);
+    b.st(Space::Shared, my, 0, acc, 4);
+    b.bar();
+    let s = b.shr(ntid, 1u32);
+    b.while_loop(
+        |b| b.setp(CmpOp::GtU, s, 0u32),
+        |b| {
+            let p = b.setp(CmpOp::LtU, tid, s);
+            b.if_then(p, |b| {
+                let mine = b.ld(Space::Shared, my, 0, 4);
+                let o = b.shl(s, 2u32);
+                let oa = b.add(my, o);
+                let theirs = b.ld(Space::Shared, oa, 0, 4);
+                let sum = b.add(mine, theirs);
+                b.st(Space::Shared, my, 0, sum, 4);
+            });
+            b.bar();
+            b.bin_into(BinOp::Shr, s, s, 1u32);
+        },
+    );
+
+    // Thread 0 publishes the partial, fences, and takes a ticket; the
+    // last block sets the shared amLast flag for all of its threads.
+    let lane0 = b.setp(CmpOp::Eq, tid, 0u32);
+    let flag_reg = b.mov(flag_off);
+    b.if_then(lane0, |b| {
+        let shreg = b.mov(sh);
+        let sum0 = b.ld(Space::Shared, shreg, 0, 4);
+        let pa = word_addr(b, partial, ctaid);
+        b.st(Space::Global, pa, 0, sum0, 4);
+        if with_fence {
+            b.membar();
+        }
+        let last = b.sub(nctaid, 1u32);
+        let old = b.atom(Space::Global, AtomOp::Inc, ticket, 0, last, 0u32);
+        let am_last = b.setp(CmpOp::Eq, old, last);
+        let am_last_u = b.sel(am_last, 1u32, 0u32);
+        b.st(Space::Shared, flag_reg, 0, am_last_u, 4);
+    });
+    b.bar();
+
+    // The last block reduces the partials (they fit one block's threads).
+    let am_last = b.ld(Space::Shared, flag_reg, 0, 4);
+    let p_last = b.setp(CmpOp::Ne, am_last, 0u32);
+    b.if_then(p_last, |b| {
+        let acc2 = b.mov(0u32);
+        let i = b.mov(tid);
+        b.while_loop(
+            |b| b.setp(CmpOp::LtU, i, nctaid),
+            |b| {
+                let pa = word_addr(b, partial, i);
+                let v = b.ld(Space::Global, pa, 0, 4);
+                b.bin_into(BinOp::Add, acc2, acc2, v);
+                b.bin_into(BinOp::Add, i, i, ntid);
+            },
+        );
+        b.st(Space::Shared, my, 0, acc2, 4);
+        b.bar();
+        let s2 = b.shr(ntid, 1u32);
+        b.while_loop(
+            |b| b.setp(CmpOp::GtU, s2, 0u32),
+            |b| {
+                let p = b.setp(CmpOp::LtU, tid, s2);
+                b.if_then(p, |b| {
+                    let mine = b.ld(Space::Shared, my, 0, 4);
+                    let o = b.shl(s2, 2u32);
+                    let oa = b.add(my, o);
+                    let theirs = b.ld(Space::Shared, oa, 0, 4);
+                    let sum = b.add(mine, theirs);
+                    b.st(Space::Shared, my, 0, sum, 4);
+                });
+                b.bar();
+                b.bin_into(BinOp::Shr, s2, s2, 1u32);
+            },
+        );
+        let lane0b = b.setp(CmpOp::Eq, tid, 0u32);
+        b.if_then(lane0b, |b| {
+            let shreg2 = b.mov(sh);
+            let total = b.ld(Space::Shared, shreg2, 0, 4);
+            let oreg = b.mov(0u32);
+            let oa = b.add(outp, oreg);
+            b.st(Space::Global, oa, 0, total, 4);
+        });
+    });
+    b.build()
+}
+
+impl Benchmark for Reduce {
+    fn name(&self) -> &'static str {
+        "REDUCE"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "1M elements"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let (n, grid, block) = Self::geometry(scale);
+        let elems_per_thread = n / (grid * block);
+        assert!(elems_per_thread >= 1 && n % (grid * block) == 0);
+
+        let input: Vec<u32> = crate::rand_u32(0xCAFE, n as usize, 1000);
+        let inp = gpu.alloc(n * 4);
+        let partial = gpu.alloc(grid * 4);
+        let ticket = gpu.alloc(4);
+        let outp = gpu.alloc(4);
+        gpu.mem.copy_from_host_u32(inp, &input);
+
+        let expected: u32 = input.iter().fold(0u32, |a, &x| a.wrapping_add(x));
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{n} elements, {grid}×{block} threads, fence={}", self.with_fence),
+            launches: vec![LaunchSpec {
+                kernel: reduce_kernel(elems_per_thread, self.with_fence),
+                grid,
+                block,
+                params: vec![inp, partial, ticket, outp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.read_u32(outp);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err(format!("reduce mismatch: got {got}, want {expected}"))
+                }
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use haccrg::prelude::RaceCategory;
+
+    #[test]
+    fn fenced_reduction_is_correct_and_race_free() {
+        let out = run(&Reduce::default(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("sum correct");
+        assert_eq!(
+            out.races.records().iter().filter(|r| r.category == RaceCategory::Fence).count(),
+            0,
+            "{:?}",
+            out.races.records()
+        );
+        assert!(out.stats.fences > 0);
+    }
+
+    #[test]
+    fn unfenced_reduction_reports_the_fence_race() {
+        let out = run(&Reduce { with_fence: false }, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert!(
+            out.races.records().iter().any(|r| matches!(
+                r.category,
+                RaceCategory::Fence | RaceCategory::StaleL1
+            )),
+            "{:?}",
+            out.races.records()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! SCAN — parallel prefix sum (CUDA SDK `scan`), Table II input:
+//! 512 elements.
+//!
+//! The SDK kernel is the Hillis–Steele double-buffered scan designed to
+//! run as a **single thread-block** over the whole array. The paper found
+//! a real bug (§VI-A): "the kernels are designed to execute as a single
+//! thread-block, but multiple thread-blocks are launched to scale up the
+//! workload. Consequently, all thread-blocks operate on the same data,
+//! causing data dependences that otherwise would not exist... No data
+//! race is reported when SCAN is executed with a single thread-block."
+//!
+//! [`Scan::default`] reproduces the buggy multi-block launch;
+//! [`Scan::single_block`] is the clean configuration.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The SCAN benchmark.
+pub struct Scan {
+    /// Thread-blocks to launch; every block scans the *same* array
+    /// (the documented bug). 1 = race-free.
+    pub blocks: u32,
+}
+
+impl Default for Scan {
+    fn default() -> Self {
+        Scan { blocks: 4 }
+    }
+}
+
+impl Scan {
+    /// The race-free single-block configuration.
+    pub fn single_block() -> Self {
+        Scan { blocks: 1 }
+    }
+
+    fn n(scale: Scale) -> u32 {
+        match scale {
+            Scale::Paper | Scale::Repro => 512, // Table II: 512 elements
+            Scale::Tiny => 128,
+        }
+    }
+}
+
+/// Exclusive Hillis–Steele scan of `n` elements in shared memory
+/// (double-buffered), one element per thread.
+fn scan_kernel(n: u32) -> Kernel {
+    let mut b = KernelBuilder::new("scan_naive");
+    let buf = b.shared_alloc(2 * n * 4); // double buffer
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let tid = b.tid();
+
+    // temp[0*n + tid] = tid > 0 ? in[tid - 1] : 0   (exclusive scan)
+    let has_prev = b.setp(CmpOp::GtU, tid, 0u32);
+    let v = b.reg();
+    b.if_then_else(
+        has_prev,
+        |b| {
+            let prev = b.sub(tid, 1u32);
+            let a = word_addr(b, inp, prev);
+            let x = b.ld(Space::Global, a, 0, 4);
+            b.assign(v, x);
+        },
+        |b| b.assign(v, 0u32),
+    );
+    let t4 = b.shl(tid, 2u32);
+    let base0 = b.add(t4, buf);
+    b.st(Space::Shared, base0, 0, v, 4);
+    b.bar();
+
+    // log2(n) doubling steps, ping-ponging between the buffer halves.
+    let mut pin = 0u32;
+    let mut pout = n * 4;
+    let mut offset = 1u32;
+    while offset < n {
+        let src = b.add(t4, buf + pin);
+        let dst = b.add(t4, buf + pout);
+        let p = b.setp(CmpOp::GeU, tid, offset);
+        b.if_then_else(
+            p,
+            |b| {
+                let mine = b.ld(Space::Shared, src, 0, 4);
+                let theirs = b.ld(Space::Shared, src, 0u32.wrapping_sub(offset * 4), 4);
+                let sum = b.add(mine, theirs);
+                b.st(Space::Shared, dst, 0, sum, 4);
+            },
+            |b| {
+                let mine = b.ld(Space::Shared, src, 0, 4);
+                b.st(Space::Shared, dst, 0, mine, 4);
+            },
+        );
+        b.bar();
+        std::mem::swap(&mut pin, &mut pout);
+        offset *= 2;
+    }
+
+    // out[tid] = temp[pin*n + tid] — every block writes the same output
+    // array, which is exactly the multi-block WAW the paper detected.
+    let fin = b.add(t4, buf + pin);
+    let r = b.ld(Space::Shared, fin, 0, 4);
+    let dst = word_addr(&mut b, outp, tid);
+    b.st(Space::Global, dst, 0, r, 4);
+    b.build()
+}
+
+impl Benchmark for Scan {
+    fn name(&self) -> &'static str {
+        "SCAN"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "512 elements"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let n = Self::n(scale);
+        let input: Vec<u32> = crate::rand_u32(0x5CA7, n as usize, 64);
+        let inp = gpu.alloc(n * 4);
+        let outp = gpu.alloc(n * 4);
+        gpu.mem.copy_from_host_u32(inp, &input);
+
+        let expected: Vec<u32> = input
+            .iter()
+            .scan(0u32, |acc, &x| {
+                let out = *acc;
+                *acc = acc.wrapping_add(x);
+                Some(out)
+            })
+            .collect();
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{n} elements, {} block(s) over the same data", self.blocks),
+            launches: vec![LaunchSpec {
+                kernel: scan_kernel(n),
+                grid: self.blocks,
+                block: n,
+                params: vec![inp, outp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_u32(outp, n as usize);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err(format!("scan mismatch: got {:?}…", &got[..8.min(got.len())]))
+                }
+            }),
+            expect_races: self.blocks > 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    #[test]
+    fn single_block_scan_is_correct_and_race_free() {
+        let out = run(&Scan::single_block(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("scan result correct");
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records());
+    }
+
+    #[test]
+    fn multi_block_scan_reproduces_the_documented_race() {
+        let out = run(&Scan::default(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        // All blocks write identical values, so the result is still right —
+        // but the cross-block conflicts are real races (§VI-A).
+        out.verified.as_ref().expect("same values written");
+        assert!(out.races.any(), "multi-block SCAN must race");
+        assert!(out
+            .races
+            .records()
+            .iter()
+            .any(|r| r.space == haccrg::access::MemSpace::Global && r.prev.block != r.cur.block));
+    }
+}

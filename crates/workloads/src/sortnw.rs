@@ -1,0 +1,172 @@
+//! SORTNW — bitonic sorting networks (CUDA SDK `sortingNetworks`),
+//! Table II input: 12K elements.
+//!
+//! Each block sorts one tile of `2 × threads` keys entirely in shared
+//! memory: the classic bitonic schedule of `log²` compare-exchange stages
+//! with a block barrier between every stage. Heavy shared-memory traffic
+//! plus many barriers — the suite's stress test for the shared RDU's
+//! barrier-reset path.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// The SORTNW benchmark.
+pub struct SortNw;
+
+/// Keys per tile (the SDK's shared-memory array size).
+const TILE: u32 = 512;
+const THREADS: u32 = TILE / 2;
+
+impl SortNw {
+    fn tiles(scale: Scale) -> u32 {
+        match scale {
+            Scale::Paper => 24, // 12K elements / 512
+            Scale::Repro => 16,
+            Scale::Tiny => 4,
+        }
+    }
+}
+
+/// Emit one compare-exchange of `s[pos]` and `s[pos+stride]`, ascending
+/// when `asc != 0`.
+fn comparator(b: &mut KernelBuilder, sh: u32, pos: Reg, stride: u32, asc: Reg) {
+    let o = b.shl(pos, 2u32);
+    let a_addr0 = b.add(o, sh);
+    let a_addr = b.mov(a_addr0); // keep a stable register
+    let va = b.ld(Space::Shared, a_addr, 0, 4);
+    let vb = b.ld(Space::Shared, a_addr, stride * 4, 4);
+    let gt = b.setp(CmpOp::GtU, va, vb);
+    // Swap when (va > vb) == ascending.
+    let doswap = b.setp(CmpOp::Eq, gt, asc);
+    let new_a = b.sel(doswap, vb, va);
+    let new_b = b.sel(doswap, va, vb);
+    b.st(Space::Shared, a_addr, 0, new_a, 4);
+    b.st(Space::Shared, a_addr, stride * 4, new_b, 4);
+}
+
+/// Shared-memory bitonic sort of one `TILE`-element tile per block,
+/// ascending. The stage schedule is unrolled at build time.
+fn bitonic_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("bitonic_sort_shared");
+    let sh = b.shared_alloc(TILE * 4);
+    let inp = b.param(0);
+    let outp = b.param(1);
+
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let tile_base = b.mul(ctaid, TILE);
+
+    // Load two elements per thread.
+    for half in 0..2u32 {
+        let li = b.add(tid, half * THREADS);
+        let gi = b.add(tile_base, li);
+        let ga = word_addr(&mut b, inp, gi);
+        let v = b.ld(Space::Global, ga, 0, 4);
+        let so0 = b.shl(li, 2u32);
+        let sa = b.add(so0, sh);
+        b.st(Space::Shared, sa, 0, v, 4);
+    }
+    b.bar();
+
+    // Bitonic schedule: for size = 2,4,…,TILE; stride = size/2,…,1.
+    let mut size = 2u32;
+    while size <= TILE {
+        let mut stride = size / 2;
+        while stride >= 1 {
+            // pos = 2*tid - (tid & (stride - 1))
+            let t2 = b.shl(tid, 1u32);
+            let low = b.and(tid, stride - 1);
+            let pos = b.sub(t2, low);
+            // Direction: ascending iff (pos & size) == 0 for the building
+            // stages; the final merge (size == TILE) is globally ascending.
+            let asc = if size == TILE {
+                b.mov(1u32)
+            } else {
+                let bit = b.and(pos, size);
+                b.setp(CmpOp::Eq, bit, 0u32)
+            };
+            comparator(&mut b, sh, pos, stride, asc);
+            b.bar();
+            stride /= 2;
+        }
+        size *= 2;
+    }
+
+    // Store the sorted tile back.
+    for half in 0..2u32 {
+        let li = b.add(tid, half * THREADS);
+        let so0 = b.shl(li, 2u32);
+        let sa = b.add(so0, sh);
+        let v = b.ld(Space::Shared, sa, 0, 4);
+        let gi = b.add(tile_base, li);
+        let ga = word_addr(&mut b, outp, gi);
+        b.st(Space::Global, ga, 0, v, 4);
+    }
+    b.build()
+}
+
+impl Benchmark for SortNw {
+    fn name(&self) -> &'static str {
+        "SORTNW"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "12K elements"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let tiles = Self::tiles(scale);
+        let n = tiles * TILE;
+        let input = crate::rand_u32(0x5027, n as usize, 1 << 24);
+        let inp = gpu.alloc(n * 4);
+        let outp = gpu.alloc(n * 4);
+        gpu.mem.copy_from_host_u32(inp, &input);
+
+        let expected: Vec<Vec<u32>> = input
+            .chunks(TILE as usize)
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{n} elements in {tiles} tiles of {TILE}"),
+            launches: vec![LaunchSpec {
+                kernel: bitonic_kernel(),
+                grid: tiles,
+                block: THREADS,
+                params: vec![inp, outp],
+            }],
+            verify: Box::new(move |mem| {
+                for (t, want) in expected.iter().enumerate() {
+                    let got = mem.copy_to_host_u32(outp + (t as u32) * TILE * 4, TILE as usize);
+                    if &got != want {
+                        return Err(format!("tile {t} not sorted correctly"));
+                    }
+                }
+                Ok(())
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    #[test]
+    fn bitonic_sort_is_correct_and_race_free() {
+        let out = run(&SortNw, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("tiles sorted");
+        assert_eq!(out.races.distinct(), 0, "{:?}", &out.races.records()[..out.races.records().len().min(4)]);
+        // log2(512)·(log2(512)+1)/2 = 45 stages ⇒ ≥45 barriers per block.
+        assert!(out.stats.barriers >= 45);
+        assert!(out.stats.shared_inst_fraction() > 0.05);
+    }
+}

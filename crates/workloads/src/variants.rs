@@ -1,0 +1,313 @@
+//! Extension kernels beyond the Table II set: the other variants the
+//! CUDA SDK ships for two of the paper's benchmarks.
+//!
+//! * [`ScanWorkEfficient`] — the Blelloch up-sweep/down-sweep scan
+//!   (`scan_workefficient` in the SDK, vs. the naive Hillis–Steele scan
+//!   the suite uses). Different shared-memory access pattern: tree-strided
+//!   index arithmetic and an exchange step in the down-sweep.
+//! * [`Hist256`] — `histogram256`: one shared sub-histogram of 32-bit
+//!   counters per block updated with **shared-memory atomics**, rather
+//!   than per-thread byte counters. Exercises atomic exemption in the
+//!   shared RDU and atomic serialization in the SM.
+
+use gpu_sim::prelude::*;
+
+use crate::{word_addr, BenchInstance, Benchmark, LaunchSpec, Scale};
+
+/// Blelloch work-efficient exclusive scan, one block per `2·threads`
+/// tile over its own tile (no cross-block sharing — race-free).
+pub struct ScanWorkEfficient;
+
+impl ScanWorkEfficient {
+    fn n(scale: Scale) -> u32 {
+        match scale {
+            Scale::Paper | Scale::Repro => 512,
+            Scale::Tiny => 256,
+        }
+    }
+}
+
+fn blelloch_kernel(n: u32) -> Kernel {
+    let threads = n / 2;
+    let mut b = KernelBuilder::new("scan_workefficient");
+    let sh = b.shared_alloc(n * 4);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let tile = b.mul(ctaid, n);
+
+    // Load two elements per thread.
+    for half in 0..2u32 {
+        let li = b.add(tid, half * threads);
+        let gi = b.add(tile, li);
+        let ga = word_addr(&mut b, inp, gi);
+        let v = b.ld(Space::Global, ga, 0, 4);
+        let so = b.shl(li, 2u32);
+        let sa = b.add(so, sh);
+        b.st(Space::Shared, sa, 0, v, 4);
+    }
+
+    // Up-sweep: for d = 1 .. n/2, threads t < n/(2d) combine
+    // s[2d(t+1)-1] += s[2d(t+1)-1-d].
+    let mut d = 1u32;
+    while d < n {
+        b.bar();
+        let active = n / (2 * d);
+        let p = b.setp(CmpOp::LtU, tid, active);
+        b.if_then(p, |b| {
+            let t1 = b.add(tid, 1u32);
+            let hi_i = b.mul(t1, 2 * d);
+            let hi = b.sub(hi_i, 1u32);
+            let off_hi = b.shl(hi, 2u32);
+            let a_hi = b.add(off_hi, sh);
+            let v_hi = b.ld(Space::Shared, a_hi, 0, 4);
+            let v_lo = b.ld(Space::Shared, a_hi, 0u32.wrapping_sub(d * 4), 4);
+            let sum = b.add(v_hi, v_lo);
+            b.st(Space::Shared, a_hi, 0, sum, 4);
+        });
+        d *= 2;
+    }
+
+    // Clear the root for an exclusive scan.
+    b.bar();
+    let p0 = b.setp(CmpOp::Eq, tid, 0u32);
+    b.if_then(p0, |b| {
+        let root = b.mov(sh + (n - 1) * 4);
+        b.st(Space::Shared, root, 0, 0u32, 4);
+    });
+
+    // Down-sweep: for d = n/2 .. 1, exchange-and-add.
+    let mut d = n / 2;
+    while d >= 1 {
+        b.bar();
+        let active = n / (2 * d);
+        let p = b.setp(CmpOp::LtU, tid, active);
+        b.if_then(p, |b| {
+            let t1 = b.add(tid, 1u32);
+            let hi_i = b.mul(t1, 2 * d);
+            let hi = b.sub(hi_i, 1u32);
+            let off_hi = b.shl(hi, 2u32);
+            let a_hi = b.add(off_hi, sh);
+            let v_hi = b.ld(Space::Shared, a_hi, 0, 4);
+            let v_lo = b.ld(Space::Shared, a_hi, 0u32.wrapping_sub(d * 4), 4);
+            // lo ← hi; hi ← hi + lo
+            b.st(Space::Shared, a_hi, 0u32.wrapping_sub(d * 4), v_hi, 4);
+            let sum = b.add(v_hi, v_lo);
+            b.st(Space::Shared, a_hi, 0, sum, 4);
+        });
+        d /= 2;
+    }
+    b.bar();
+
+    for half in 0..2u32 {
+        let li = b.add(tid, half * threads);
+        let so = b.shl(li, 2u32);
+        let sa = b.add(so, sh);
+        let v = b.ld(Space::Shared, sa, 0, 4);
+        let gi = b.add(tile, li);
+        let ga = word_addr(&mut b, outp, gi);
+        b.st(Space::Global, ga, 0, v, 4);
+    }
+    b.build()
+}
+
+impl Benchmark for ScanWorkEfficient {
+    fn name(&self) -> &'static str {
+        "SCAN-WE"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "512 elements (work-efficient variant)"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let n = Self::n(scale);
+        let tiles = 4u32;
+        let input: Vec<u32> = crate::rand_u32(0x5CA8, (tiles * n) as usize, 64);
+        let inp = gpu.alloc(tiles * n * 4);
+        let outp = gpu.alloc(tiles * n * 4);
+        gpu.mem.copy_from_host_u32(inp, &input);
+
+        let expected: Vec<u32> = input
+            .chunks(n as usize)
+            .flat_map(|tile| {
+                tile.iter()
+                    .scan(0u32, |acc, &x| {
+                        let out = *acc;
+                        *acc = acc.wrapping_add(x);
+                        Some(out)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{tiles} tiles × {n} elements"),
+            launches: vec![LaunchSpec {
+                kernel: blelloch_kernel(n),
+                grid: tiles,
+                block: n / 2,
+                params: vec![inp, outp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_u32(outp, expected.len());
+                if got == expected {
+                    Ok(())
+                } else {
+                    let i = got.iter().zip(&expected).position(|(a, b)| a != b);
+                    Err(format!("work-efficient scan mismatch at {i:?}"))
+                }
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+/// `histogram256`: 256 bins of u32 counters per block in shared memory,
+/// updated with shared atomics, merged with global atomics.
+pub struct Hist256;
+
+const BIN256: u32 = 256;
+const H256_THREADS: u32 = 64;
+
+impl Hist256 {
+    fn geometry(scale: Scale) -> (u32, u32) {
+        // (data bytes, blocks)
+        match scale {
+            Scale::Paper => (16 * 1024 * 1024, 4096),
+            Scale::Repro => (1024 * 1024, 256),
+            Scale::Tiny => (64 * 1024, 16),
+        }
+    }
+}
+
+fn hist256_kernel(words_per_thread: u32) -> Kernel {
+    let mut b = KernelBuilder::new("histogram256");
+    let sh = b.shared_alloc(BIN256 * 4);
+    let datap = b.param(0);
+    let histp = b.param(1);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+
+    // Zero the shared histogram cooperatively.
+    b.for_range(0u32, BIN256 / H256_THREADS, 1u32, |b, k| {
+        let slot = b.mad(k, H256_THREADS, tid);
+        let off = b.shl(slot, 2u32);
+        let a = b.add(off, sh);
+        b.st(Space::Shared, a, 0, 0u32, 4);
+    });
+    b.bar();
+
+    // Accumulate with shared atomics (collisions are serialized, not racy).
+    let chunk_words = words_per_thread * H256_THREADS;
+    let base_word = b.mul(ctaid, chunk_words);
+    b.for_range(0u32, words_per_thread, 1u32, |b, i| {
+        let stride = b.mul(i, H256_THREADS);
+        let w0 = b.add(base_word, stride);
+        let w = b.add(w0, tid);
+        let off = b.shl(w, 2u32);
+        let a = b.add(datap, off);
+        let data = b.ld(Space::Global, a, 0, 4);
+        for byte in 0..4 {
+            let d = b.shr(data, byte * 8);
+            let bin = b.and(d, 0xFFu32);
+            let boff = b.shl(bin, 2u32);
+            let ba = b.add(boff, sh);
+            b.atom(Space::Shared, AtomOp::Add, ba, 0, 1u32, 0u32);
+        }
+    });
+    b.bar();
+
+    // Merge into the global histogram with global atomics.
+    b.for_range(0u32, BIN256 / H256_THREADS, 1u32, |b, k| {
+        let bin = b.mad(k, H256_THREADS, tid);
+        let soff = b.shl(bin, 2u32);
+        let sa = b.add(soff, sh);
+        let count = b.ld(Space::Shared, sa, 0, 4);
+        let ga = word_addr(b, histp, bin);
+        b.atom(Space::Global, AtomOp::Add, ga, 0, count, 0u32);
+    });
+    b.build()
+}
+
+impl Benchmark for Hist256 {
+    fn name(&self) -> &'static str {
+        "HIST256"
+    }
+
+    fn paper_inputs(&self) -> &'static str {
+        "byte count 16M (256-bin shared-atomic variant)"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu, scale: Scale) -> BenchInstance {
+        let (bytes, blocks) = Self::geometry(scale);
+        let words = bytes / 4;
+        let words_per_thread = words / (blocks * H256_THREADS);
+        assert!(words_per_thread >= 1 && words % (blocks * H256_THREADS) == 0);
+
+        let data = crate::rand_bytes(0x4158, bytes as usize);
+        let datap = gpu.alloc(bytes);
+        let histp = gpu.alloc(BIN256 * 4);
+        gpu.mem.copy_from_host_u8(datap, &data);
+
+        let mut expected = vec![0u32; BIN256 as usize];
+        for &byte in &data {
+            expected[byte as usize] += 1;
+        }
+
+        BenchInstance {
+            name: self.name(),
+            inputs: format!("{bytes} bytes, {blocks}×{H256_THREADS} threads, shared atomics"),
+            launches: vec![LaunchSpec {
+                kernel: hist256_kernel(words_per_thread),
+                grid: blocks,
+                block: H256_THREADS,
+                params: vec![datap, histp],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.copy_to_host_u32(histp, BIN256 as usize);
+                if got == expected {
+                    Ok(())
+                } else {
+                    Err("histogram256 mismatch".into())
+                }
+            }),
+            expect_races: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+
+    #[test]
+    fn work_efficient_scan_is_correct_and_race_free() {
+        let out = run(&ScanWorkEfficient, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("blelloch scan exact");
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records().first());
+        assert!(out.stats.barriers > 10, "two sweeps of log2(n) barrier stages");
+    }
+
+    #[test]
+    fn hist256_is_exact_and_race_free_under_detection() {
+        let out = run(&Hist256, &RunConfig::detecting(Scale::Tiny)).unwrap();
+        out.verified.as_ref().expect("histogram256 exact");
+        // Shared atomics are serialized synchronization primitives: no
+        // races even though every thread hammers the same 256 counters.
+        assert_eq!(out.races.distinct(), 0, "{:?}", out.races.records().first());
+        assert!(out.stats.atomics > 1000, "shared+global atomic traffic");
+    }
+
+    #[test]
+    fn variants_match_their_base_benchmarks_functionally() {
+        // Same seeds family, independent outputs; both must verify.
+        let we = run(&ScanWorkEfficient, &RunConfig::base(Scale::Tiny)).unwrap();
+        we.verified.as_ref().unwrap();
+        let h = run(&Hist256, &RunConfig::base(Scale::Tiny)).unwrap();
+        h.verified.as_ref().unwrap();
+    }
+}

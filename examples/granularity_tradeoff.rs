@@ -1,0 +1,48 @@
+//! Granularity trade-off (paper §IV-C / Table III): the same HIST-style
+//! byte-counter kernel tracked at 1-to-64-byte shared-memory granularity.
+//! Fine granularity is precise but needs more shadow storage; coarse
+//! granularity conflates neighbouring warps' byte counters into false
+//! races. The storage numbers come straight from the paper's cost model.
+//!
+//! Run with: `cargo run --release --example granularity_tradeoff`
+
+use haccrg::config::DetectorConfig;
+use haccrg::cost::SHARED_ENTRY_BITS;
+use haccrg::granularity::Granularity;
+use haccrg_workloads::hist::Hist;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::Scale;
+
+fn main() {
+    let shared_bytes = 16 * 1024; // per SM, Table I
+    println!("HIST (byte-sized histogram counters) under shared tracking granularities:\n");
+    println!("{:>6}  {:>14}  {:>12}  {:>12}", "gran", "shadow/SM", "false races", "overhead");
+
+    let mut base_cycles = None;
+    for bytes in [1u32, 4, 8, 16, 32, 64] {
+        let g = Granularity::new(bytes).unwrap();
+        let mut cfg = DetectorConfig::paper_default();
+        cfg.shared_granularity = g;
+        cfg.global_enabled = false;
+
+        let out = run(&Hist, &RunConfig::with_detector(Scale::Tiny, cfg)).expect("simulate");
+        let baseline = *base_cycles.get_or_insert_with(|| {
+            run(&Hist, &RunConfig::base(Scale::Tiny)).expect("base").stats.cycles
+        });
+
+        let entries = g.entries_for(shared_bytes);
+        let storage_bits = entries as u64 * u64::from(SHARED_ENTRY_BITS);
+        println!(
+            "{:>5}B  {:>13}b  {:>12}  {:>11.2}%",
+            bytes,
+            storage_bits,
+            out.races.distinct(),
+            (out.stats.cycles as f64 / baseline as f64 - 1.0) * 100.0,
+        );
+    }
+
+    println!(
+        "\nThe paper settles on 16B for shared memory (7 of 10 benchmarks \
+         false-positive-free) and 4B for global memory (§VI-A1)."
+    );
+}

@@ -1,0 +1,2 @@
+//! HAccRG reproduction suite umbrella crate.
+pub use gpu_sim; pub use haccrg; pub use haccrg_baselines; pub use haccrg_bench; pub use haccrg_workloads;

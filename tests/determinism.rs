@@ -1,0 +1,90 @@
+//! The simulator is a deterministic measurement instrument: identical
+//! inputs produce bit-identical statistics and race logs, across every
+//! configuration the evaluation uses.
+
+use haccrg::config::{DetectorConfig, SharedShadowPlacement};
+use haccrg_workloads::runner::{run, RunConfig, RunOutput};
+use haccrg_workloads::{benchmark_by_name, Scale};
+
+fn fingerprint(o: &RunOutput) -> (u64, u64, u64, u64, usize, u64) {
+    (
+        o.stats.cycles,
+        o.stats.warp_instructions,
+        o.stats.icnt_flits,
+        o.stats.dram.bus_busy_cycles,
+        o.races.distinct(),
+        o.stats.l2.hits,
+    )
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for name in ["SCAN", "HASH", "REDUCE", "OFFT"] {
+        let b1 = benchmark_by_name(name).unwrap();
+        let b2 = benchmark_by_name(name).unwrap();
+        let r1 = run(b1.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        let r2 = run(b2.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert_eq!(fingerprint(&r1), fingerprint(&r2), "{name}");
+        // Full race logs match, not just counts.
+        assert_eq!(r1.races.records(), r2.races.records(), "{name}");
+    }
+}
+
+#[test]
+fn all_detector_configurations_are_deterministic() {
+    let configs: Vec<(&str, Option<DetectorConfig>)> = vec![
+        ("off", None),
+        ("shared", Some(DetectorConfig::shared_only())),
+        ("full", Some(DetectorConfig::paper_default())),
+        ("fig8", {
+            let mut c = DetectorConfig::paper_default();
+            c.shared_shadow = SharedShadowPlacement::GlobalMemory;
+            Some(c)
+        }),
+    ];
+    for (label, cfg) in configs {
+        let mk = || match cfg {
+            None => RunConfig::base(Scale::Tiny),
+            Some(c) => RunConfig::with_detector(Scale::Tiny, c),
+        };
+        let b1 = benchmark_by_name("SORTNW").unwrap();
+        let b2 = benchmark_by_name("SORTNW").unwrap();
+        let r1 = run(b1.as_ref(), &mk()).unwrap();
+        let r2 = run(b2.as_ref(), &mk()).unwrap();
+        assert_eq!(fingerprint(&r1), fingerprint(&r2), "config {label}");
+    }
+}
+
+#[test]
+fn oracle_and_hardware_modes_agree_on_detection() {
+    use gpu_sim::detector::DetectorMode;
+    use gpu_sim::prelude::DetectorSetup;
+    for name in ["SCAN", "KMEANS", "OFFT", "HIST"] {
+        let hw = run(
+            benchmark_by_name(name).unwrap().as_ref(),
+            &RunConfig::detecting(Scale::Tiny),
+        )
+        .unwrap();
+        let oracle = run(
+            benchmark_by_name(name).unwrap().as_ref(),
+            &RunConfig {
+                gpu: gpu_sim::prelude::GpuConfig::quadro_fx5800(),
+                detector: Some(DetectorSetup {
+                    cfg: DetectorConfig::paper_default(),
+                    mode: DetectorMode::Oracle,
+                }),
+                scale: Scale::Tiny,
+            },
+        )
+        .unwrap();
+        // Hardware mode perturbs timing (stalls, shadow traffic), which
+        // reorders the access stream; the *verdict* must agree even when
+        // individual records differ.
+        assert_eq!(
+            hw.races.any(),
+            oracle.races.any(),
+            "{name}: oracle and hardware must agree on whether races exist"
+        );
+        assert_eq!(oracle.stats.shadow_l2_accesses, 0, "{name}: oracle is free");
+    }
+}

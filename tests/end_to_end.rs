@@ -1,0 +1,65 @@
+//! Cross-crate integration: every Table II benchmark runs end-to-end
+//! through the full stack (workload → simulator → detector) at tiny
+//! scale, verifying functional correctness and detection expectations.
+
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::{all_benchmarks, Scale};
+
+#[test]
+fn whole_suite_runs_and_verifies_without_detection() {
+    for b in all_benchmarks() {
+        let out = run(b.as_ref(), &RunConfig::base(Scale::Tiny))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        out.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed verification: {e}", b.name()));
+        assert!(out.stats.cycles > 0, "{}", b.name());
+        assert!(out.stats.warp_instructions > 0, "{}", b.name());
+        assert_eq!(out.races.distinct(), 0, "{}: no detector installed", b.name());
+    }
+}
+
+#[test]
+fn whole_suite_runs_and_verifies_with_detection() {
+    for b in all_benchmarks() {
+        let out = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        out.verified
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed verification under detection: {e}", b.name()));
+        if out.expect_races {
+            assert!(out.races.any(), "{}: documented race not found", b.name());
+        }
+    }
+}
+
+#[test]
+fn detection_never_changes_functional_results() {
+    // The detector observes; it must not perturb architectural state.
+    for b in all_benchmarks() {
+        let base = run(b.as_ref(), &RunConfig::base(Scale::Tiny)).unwrap();
+        let det = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert_eq!(
+            base.verified.is_ok(),
+            det.verified.is_ok(),
+            "{}: detection changed the outcome",
+            b.name()
+        );
+        assert_eq!(
+            base.stats.warp_instructions, det.stats.warp_instructions,
+            "{}: detection changed the instruction stream",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn suite_is_deterministic() {
+    for b in all_benchmarks().into_iter().take(3) {
+        let a = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        let c = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert_eq!(a.stats.cycles, c.stats.cycles, "{}", b.name());
+        assert_eq!(a.races.distinct(), c.races.distinct(), "{}", b.name());
+        assert_eq!(a.stats.icnt_flits, c.stats.icnt_flits, "{}", b.name());
+    }
+}

@@ -1,0 +1,54 @@
+//! §VI-A injected races: the full 41-fault campaign ("HAccRG is able to
+//! detect all the forty-one injected data races").
+
+use haccrg_bench::effectiveness::{campaign, run_campaign, run_plan, InjKind};
+use haccrg::prelude::RaceCategory;
+use haccrg_workloads::Scale;
+
+#[test]
+fn the_41_fault_campaign_matches_the_paper_distribution() {
+    let plans = campaign(Scale::Tiny);
+    assert_eq!(plans.len(), 41);
+    let count = |k: InjKind| plans.iter().filter(|p| p.kind == k).count();
+    assert_eq!(count(InjKind::Barrier), 23, "barrier removals");
+    assert_eq!(count(InjKind::CrossBlock), 13, "cross-block accesses");
+    assert_eq!(count(InjKind::Fence), 3, "fence removals");
+    assert_eq!(count(InjKind::CriticalSection), 2, "critical-section violations");
+}
+
+#[test]
+fn all_41_injected_races_are_detected() {
+    let results = run_campaign(Scale::Tiny);
+    let missed: Vec<_> = results.iter().filter(|r| !r.detected).map(|r| r.label.clone()).collect();
+    assert!(missed.is_empty(), "missed injections: {missed:?}");
+}
+
+#[test]
+fn fence_injections_are_reported_as_fence_races() {
+    for p in campaign(Scale::Tiny).iter().filter(|p| p.kind == InjKind::Fence) {
+        let r = run_plan(p, Scale::Tiny);
+        assert!(r.detected, "{}", r.label);
+        assert!(
+            r.categories
+                .iter()
+                .any(|c| matches!(c, RaceCategory::Fence | RaceCategory::StaleL1)),
+            "{}: {:?}",
+            r.label,
+            r.categories
+        );
+    }
+}
+
+#[test]
+fn critical_section_injections_are_reported_as_lockset_races() {
+    for p in campaign(Scale::Tiny).iter().filter(|p| p.kind == InjKind::CriticalSection) {
+        let r = run_plan(p, Scale::Tiny);
+        assert!(r.detected, "{}", r.label);
+        assert!(
+            r.categories.contains(&RaceCategory::CriticalSection),
+            "{}: {:?}",
+            r.label,
+            r.categories
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 7/9 shape checks at tiny scale: shared-only detection is nearly
+//! free; combined detection costs something bounded; DRAM utilization
+//! responds the way §VI-C1 describes.
+
+use haccrg::config::DetectorConfig;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::{all_benchmarks, Scale};
+
+#[test]
+fn shared_only_detection_is_nearly_free_across_the_suite() {
+    for b in all_benchmarks() {
+        let base = run(b.as_ref(), &RunConfig::base(Scale::Tiny)).unwrap();
+        let shared =
+            run(b.as_ref(), &RunConfig::with_detector(Scale::Tiny, DetectorConfig::shared_only())).unwrap();
+        let ovh = shared.stats.cycles as f64 / base.stats.cycles as f64;
+        assert!(
+            ovh < 1.10,
+            "{}: shared-only overhead {ovh:.3} (paper: ~1%)",
+            b.name()
+        );
+        // Shared detection generates no memory traffic (§VI-C1).
+        assert_eq!(shared.stats.shadow_l2_accesses, 0, "{}", b.name());
+        assert_eq!(
+            shared.stats.dram.reads + shared.stats.dram.writes,
+            base.stats.dram.reads + base.stats.dram.writes,
+            "{}: shared-only detection must not change DRAM traffic",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn combined_detection_costs_more_but_stays_bounded() {
+    let mut overheads = Vec::new();
+    for b in all_benchmarks() {
+        let base = run(b.as_ref(), &RunConfig::base(Scale::Tiny)).unwrap();
+        let full = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        let ovh = full.stats.cycles as f64 / base.stats.cycles as f64;
+        assert!(ovh >= 0.99, "{}: detection cannot speed things up: {ovh:.3}", b.name());
+        assert!(ovh < 5.0, "{}: combined overhead out of range: {ovh:.3}", b.name());
+        if full.stats.global_insts > 0 {
+            assert!(full.stats.shadow_l2_accesses > 0, "{}", b.name());
+        }
+        overheads.push(ovh);
+    }
+    // The suite-wide mean lands in the tens of percent, not multiples.
+    let geo = (overheads.iter().map(|x| x.ln()).sum::<f64>() / overheads.len() as f64).exp();
+    assert!(geo > 1.0 && geo < 2.0, "geomean overhead {geo:.3}");
+}
+
+#[test]
+fn dram_utilization_rises_only_with_global_detection() {
+    for b in all_benchmarks().into_iter().take(4) {
+        let base = run(b.as_ref(), &RunConfig::base(Scale::Tiny)).unwrap();
+        let full = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+        assert!(
+            full.stats.dram.bus_busy_cycles >= base.stats.dram.bus_busy_cycles,
+            "{}: shadow traffic cannot reduce DRAM busy cycles",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn fig8_mode_is_costlier_than_hardware_shadow() {
+    use haccrg::config::SharedShadowPlacement;
+    // A shared-heavy benchmark shows the Fig. 8 effect most clearly.
+    let b = haccrg_workloads::benchmark_by_name("SORTNW").unwrap();
+    let hw = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+    let mut cfg = DetectorConfig::paper_default();
+    cfg.shared_shadow = SharedShadowPlacement::GlobalMemory;
+    let sw = run(b.as_ref(), &RunConfig::with_detector(Scale::Tiny, cfg)).unwrap();
+    assert!(sw.stats.shared_shadow_l1_accesses > 0);
+    assert!(
+        sw.stats.cycles >= hw.stats.cycles,
+        "software shared shadow must not be faster: {} vs {}",
+        sw.stats.cycles,
+        hw.stats.cycles
+    );
+    // Same detection results either way.
+    assert_eq!(sw.races.distinct(), hw.races.distinct());
+}

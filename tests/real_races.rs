@@ -1,0 +1,84 @@
+//! §VI-A real races: the three documented bugs appear exactly when the
+//! paper says they do, and disappear with the documented fixes.
+
+use haccrg::access::MemSpace;
+use haccrg::prelude::{RaceCategory, RaceKind};
+use haccrg_workloads::kmeans::KMeans;
+use haccrg_workloads::offt::OffT;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::scan::Scan;
+use haccrg_workloads::Scale;
+
+#[test]
+fn scan_races_only_with_multiple_blocks() {
+    // "No data race is reported when SCAN ... executed with a single
+    // thread-block."
+    let multi = run(&Scan { blocks: 4 }, &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert!(multi.races.any());
+    assert!(multi
+        .races
+        .records()
+        .iter()
+        .all(|r| r.space == MemSpace::Global || r.prev.block != r.cur.block));
+    let single = run(&Scan::single_block(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert_eq!(single.races.distinct(), 0, "{:?}", single.races.records());
+}
+
+#[test]
+fn kmeans_races_only_with_multiple_update_blocks() {
+    let multi = run(&KMeans { update_blocks: 2 }, &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert!(multi.races.any());
+    // Cross-block conflicts on the shared centroid arrays.
+    assert!(multi.races.records().iter().any(|r| r.prev.block != r.cur.block));
+    let single = run(&KMeans::single_block(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert_eq!(single.races.distinct(), 0, "{:?}", single.races.records());
+}
+
+#[test]
+fn offt_address_bug_is_a_war_class_race_in_global_memory() {
+    // "the memory address is incorrectly calculated, and two threads
+    // accessed the same memory location, causing a write-after-read data
+    // race in the global memory space."
+    let buggy = run(&OffT::default(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+    let war_like: Vec<_> = buggy
+        .races
+        .records()
+        .iter()
+        .filter(|r| r.space == MemSpace::Global && matches!(r.kind, RaceKind::War | RaceKind::Raw))
+        .collect();
+    assert!(!war_like.is_empty(), "{:?}", buggy.races.records());
+
+    let fixed = run(&OffT::fixed(), &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert_eq!(fixed.races.distinct(), 0, "{:?}", fixed.races.records());
+}
+
+#[test]
+fn clean_benchmarks_report_nothing_at_word_granularity() {
+    // At exact tracking granularity the detector reports no false
+    // positives on the race-free benchmarks (§IV-C).
+    use haccrg_workloads::{benchmark_by_name, Benchmark};
+    let mut cfg = haccrg::config::DetectorConfig::paper_default();
+    cfg.shared_granularity = haccrg::granularity::Granularity::new(1).unwrap();
+    for name in ["MCARLO", "FWALSH", "SORTNW", "REDUCE", "PSUM", "HASH", "HIST"] {
+        let b: Box<dyn Benchmark> = benchmark_by_name(name).unwrap();
+        let out = run(b.as_ref(), &RunConfig::with_detector(Scale::Tiny, cfg)).unwrap();
+        assert_eq!(
+            out.races.distinct(),
+            0,
+            "{name}: false positives at exact granularity: {:?}",
+            out.races.records().first()
+        );
+    }
+}
+
+#[test]
+fn race_categories_match_the_paper_taxonomy() {
+    // The SCAN/KMEANS multi-block races are barrier-scope (happens-before)
+    // violations or unfenced cross-block communication — never lockset.
+    let out = run(&Scan { blocks: 2 }, &RunConfig::detecting(Scale::Tiny)).unwrap();
+    assert!(out
+        .races
+        .records()
+        .iter()
+        .all(|r| r.category != RaceCategory::CriticalSection));
+}

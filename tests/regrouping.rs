@@ -1,0 +1,60 @@
+//! §III-A warp re-grouping: when dynamic warp formation merges threads
+//! from different warps, the intra-warp ordering guarantee disappears and
+//! HAccRG must report races "regardless of the warp considerations".
+
+use gpu_sim::prelude::*;
+use haccrg::config::DetectorConfig;
+
+/// Lanes of one warp exchange neighbouring shared words with no barrier:
+/// ordered under lockstep execution, racy if the warp can be re-grouped.
+fn intra_warp_exchange() -> Kernel {
+    let mut b = KernelBuilder::new("intra_warp_exchange");
+    let sh = b.shared_alloc(32 * 4);
+    let outp = b.param(0);
+    let tid = b.tid();
+    let off = b.shl(tid, 2u32);
+    let mine = b.add(off, sh);
+    b.st(Space::Shared, mine, 0, tid, 4);
+    // Read the neighbour's slot — same warp, no barrier.
+    let n = b.add(tid, 1u32);
+    let nm = b.rem(n, 32u32);
+    let noff = b.shl(nm, 2u32);
+    let theirs = b.add(noff, sh);
+    let v = b.ld(Space::Shared, theirs, 0, 4);
+    let dst = b.add(outp, off);
+    b.st(Space::Global, dst, 0, v, 4);
+    b.build()
+}
+
+fn run(warp_regrouping: bool) -> gpu_sim::gpu::LaunchResult {
+    let mut cfg = DetectorConfig::paper_default();
+    cfg.warp_regrouping = warp_regrouping;
+    cfg.shared_granularity = haccrg::granularity::Granularity::new(4).unwrap();
+    let mut gpu = Gpu::with_detector(GpuConfig::test_small(), cfg);
+    let outp = gpu.alloc(32 * 4);
+    gpu.launch(&intra_warp_exchange(), 1, 32, &[outp]).unwrap()
+}
+
+#[test]
+fn lockstep_warps_keep_intra_warp_exchanges_ordered() {
+    let res = run(false);
+    assert_eq!(res.races.distinct(), 0, "{:?}", res.races.records());
+}
+
+#[test]
+fn regrouping_reports_the_same_exchanges_as_races() {
+    let res = run(true);
+    assert!(
+        res.races.any(),
+        "without the lockstep guarantee the neighbour exchange is a race"
+    );
+    // All reported conflicts are within the original warp.
+    assert!(res.races.records().iter().all(|r| r.prev.warp == r.cur.warp));
+}
+
+#[test]
+fn regrouping_does_not_change_functional_results() {
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.stats.warp_instructions, b.stats.warp_instructions);
+}

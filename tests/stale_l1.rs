@@ -1,0 +1,101 @@
+//! §IV-B stale-L1 detection ablation: cross-SM communication through
+//! global memory with non-coherent L1 caches. A consumer whose read hits
+//! its own (stale) L1 line is flagged even when the producer fenced;
+//! disabling the check (the paper's "declare the variables volatile /
+//! disable L1 caching" mitigation) suppresses exactly that category.
+
+use gpu_sim::prelude::*;
+use haccrg::config::DetectorConfig;
+use haccrg::prelude::RaceCategory;
+
+/// Block 1 warms its L1 with `data`, block 0 then updates `data` and
+/// raises a fenced flag, block 1 re-reads `data` — from its stale L1.
+fn stale_read_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("stale_read");
+    let datap = b.param(0);
+    let flagp = b.param(1);
+    let sinkp = b.param(2);
+    let tid = b.tid();
+    let ctaid = b.ctaid();
+    let is_writer = b.setp(CmpOp::Eq, ctaid, 0u32);
+    b.if_then_else(
+        is_writer,
+        |b| {
+            // Give the reader time to warm its L1 (spin on flag==1).
+            let seen = b.mov(0u32);
+            b.while_loop(
+                |b| b.setp(CmpOp::Eq, seen, 0u32),
+                |b| {
+                    let f = b.atom(Space::Global, AtomOp::Add, flagp, 0, 0u32, 0u32);
+                    b.assign(seen, f);
+                },
+            );
+            let off = b.shl(tid, 2u32);
+            let dst = b.add(datap, off);
+            let v = b.add(tid, 100u32);
+            b.st(Space::Global, dst, 0, v, 4);
+            b.membar(); // producer fences correctly!
+            let lane0 = b.setp(CmpOp::Eq, tid, 0u32);
+            b.if_then(lane0, |b| {
+                b.atom(Space::Global, AtomOp::Exch, flagp, 4, 1u32, 0u32);
+            });
+        },
+        |b| {
+            // Warm L1.
+            let off = b.shl(tid, 2u32);
+            let src = b.add(datap, off);
+            let warm = b.ld(Space::Global, src, 0, 4);
+            let lane0 = b.setp(CmpOp::Eq, tid, 0u32);
+            b.if_then(lane0, |b| {
+                b.atom(Space::Global, AtomOp::Exch, flagp, 0, 1u32, 0u32);
+            });
+            // Wait for the writer's fenced signal.
+            let seen = b.mov(0u32);
+            b.while_loop(
+                |b| b.setp(CmpOp::Eq, seen, 0u32),
+                |b| {
+                    let f = b.atom(Space::Global, AtomOp::Add, flagp, 4, 0u32, 0u32);
+                    b.assign(seen, f);
+                },
+            );
+            // Re-read: this hits the stale L1 line.
+            let v = b.ld(Space::Global, src, 0, 4);
+            let sum = b.add(v, warm);
+            let dst = b.add(sinkp, off);
+            b.st(Space::Global, dst, 0, sum, 4);
+        },
+    );
+    b.build()
+}
+
+fn run(l1_stale_check: bool) -> gpu_sim::gpu::LaunchResult {
+    let mut cfg = DetectorConfig::paper_default();
+    cfg.l1_stale_check = l1_stale_check;
+    let mut gpu = Gpu::with_detector(GpuConfig::test_small(), cfg);
+    let datap = gpu.alloc(32 * 4);
+    let flagp = gpu.alloc(8);
+    let sinkp = gpu.alloc(32 * 4);
+    gpu.launch(&stale_read_kernel(), 2, 32, &[datap, flagp, sinkp]).unwrap()
+}
+
+#[test]
+fn fenced_cross_sm_read_from_stale_l1_is_flagged() {
+    let res = run(true);
+    assert!(
+        res.races.records().iter().any(|r| r.category == RaceCategory::StaleL1),
+        "{:?}",
+        res.races.records()
+    );
+}
+
+#[test]
+fn disabling_the_check_suppresses_only_stale_l1_reports() {
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(without.races.count_category(RaceCategory::StaleL1), 0);
+    // Nothing else should appear or disappear.
+    let count_other = |log: &haccrg::prelude::RaceLog| {
+        log.records().iter().filter(|r| r.category != RaceCategory::StaleL1).count()
+    };
+    assert_eq!(count_other(&with.races), count_other(&without.races));
+}
