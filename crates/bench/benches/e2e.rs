@@ -4,10 +4,11 @@
 //! tiny scale so a run stays in milliseconds).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sim::prelude::{Gpu, NullSink};
 use haccrg::config::DetectorConfig;
-use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::runner::{run, run_instance, RunConfig};
 use haccrg_workloads::scan::Scan;
-use haccrg_workloads::Scale;
+use haccrg_workloads::{Benchmark, Scale};
 
 fn simulate_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_scan_tiny");
@@ -36,5 +37,36 @@ fn simulate_scan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, simulate_scan);
+/// Guard for the tracing layer's zero-cost-when-disabled contract: the
+/// `disabled` and `no_detection` timings above must stay within noise of
+/// each other (< 2%), and `null_sink` bounds the cost of event
+/// construction when a sink is installed.
+fn tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing_overhead_scan_tiny");
+    g.sample_size(20);
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::detecting(Scale::Tiny);
+            let mut gpu = Gpu::new(cfg.gpu);
+            gpu.set_detector(cfg.detector);
+            let bench = Scan::single_block();
+            let inst = bench.prepare(&mut gpu, cfg.scale);
+            black_box(run_instance(&mut gpu, &inst).unwrap().stats.cycles)
+        })
+    });
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::detecting(Scale::Tiny);
+            let mut gpu = Gpu::new(cfg.gpu);
+            gpu.set_detector(cfg.detector);
+            gpu.tracer.install(Box::new(NullSink));
+            let bench = Scan::single_block();
+            let inst = bench.prepare(&mut gpu, cfg.scale);
+            black_box(run_instance(&mut gpu, &inst).unwrap().stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulate_scan, tracing_overhead);
 criterion_main!(benches);

@@ -40,7 +40,7 @@ fn dram_scheduling(c: &mut Criterion) {
             || {
                 let mut d = Dram::new(cfg);
                 for i in 0..32u64 {
-                    d.push(DramReq { id: i, line_addr: (i as u32) * 128 * 7, is_write: i % 3 == 0 });
+                    d.push(DramReq { id: i, line_addr: (i as u32) * 128 * 7, is_write: i % 3 == 0, row_hit: false });
                 }
                 d
             },

@@ -2,6 +2,7 @@
 //! short watchdog to expose hangs quickly.
 
 use gpu_sim::prelude::*;
+use gpu_sim::{log_error, log_info};
 use haccrg_baselines::{run_baseline, BaselineKind};
 use haccrg_workloads::scan::Scan;
 use haccrg_workloads::Scale;
@@ -9,14 +10,14 @@ use haccrg_workloads::Scale;
 fn main() {
     let mut cfg = GpuConfig::quadro_fx5800();
     cfg.watchdog_cycles = 3_000_000;
-    println!("running SW baseline…");
+    log_info!("running SW baseline…");
     match run_baseline(&Scan::single_block(), BaselineKind::SwHaccrg, cfg, Scale::Tiny) {
         Ok(o) => println!("SW ok: {} cycles, verify {:?}", o.stats.cycles, o.verified.is_ok()),
-        Err(e) => println!("SW ERR: {e}"),
+        Err(e) => log_error!("SW baseline failed: {e}"),
     }
-    println!("running GRace baseline…");
+    log_info!("running GRace baseline…");
     match run_baseline(&Scan::single_block(), BaselineKind::GraceAdd, cfg, Scale::Tiny) {
         Ok(o) => println!("GRace ok: {} cycles, verify {:?}", o.stats.cycles, o.verified.is_ok()),
-        Err(e) => println!("GRace ERR: {e}"),
+        Err(e) => log_error!("GRace baseline failed: {e}"),
     }
 }

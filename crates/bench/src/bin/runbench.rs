@@ -7,20 +7,36 @@
 //! ```
 //!
 //! Options:
-//! * `--bench NAME`      — Table II name (required; see `--list`)
-//! * `--detector MODE`   — `off` | `shared` | `full` (default `full`)
-//! * `--scale SCALE`     — `paper` | `repro` | `tiny` (default `repro`)
-//! * `--multi-block`     — use the racy multi-block variants of SCAN/KMEANS
-//!                          and the buggy OFFT (the default); `--clean`
-//!                          selects the fixed variants
-//! * `--list`            — list benchmarks and exit
+//! * `--bench NAME`       — Table II name (required; see `--list`)
+//! * `--detector MODE`    — `off` | `shared` | `full` (default `full`)
+//! * `--scale SCALE`      — `paper` | `repro` | `tiny` (default `repro`)
+//! * `--multi-block`      — use the racy multi-block variants of SCAN/KMEANS
+//!                           and the buggy OFFT (the default); `--clean`
+//!                           selects the fixed variants
+//! * `--trace-out FILE`   — record structured events and write Chrome
+//!                           `trace-event` JSON (open at <https://ui.perfetto.dev>)
+//! * `--sample-every N`   — cut a metrics delta sample every N cycles
+//! * `--metrics-out FILE` — write the sampled metrics time series as JSON
+//!                           (requires `--sample-every`)
+//! * `--list`             — list benchmarks and exit
 
+use std::fs::File;
+use std::io::BufWriter;
+
+use gpu_sim::prelude::*;
+use gpu_sim::trace::metrics_json;
+use gpu_sim::trace::perfetto::write_chrome_trace;
+use gpu_sim::{log_error, log_info, log_warn};
 use haccrg::config::DetectorConfig;
 use haccrg_workloads::kmeans::KMeans;
 use haccrg_workloads::offt::OffT;
-use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::runner::{run_instance, RunConfig};
 use haccrg_workloads::scan::Scan;
 use haccrg_workloads::{all_benchmarks, benchmark_by_name, Benchmark};
+
+/// Capacity of the event ring buffer behind `--trace-out` (events beyond
+/// this keep the newest; the exporter records how many were dropped).
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,11 +50,28 @@ fn main() {
     }
 
     let Some(name) = get("--bench") else {
-        eprintln!("usage: runbench --bench NAME [--detector off|shared|full] [--scale paper|repro|tiny] [--clean] [--list]");
+        log_error!(
+            "usage: runbench --bench NAME [--detector off|shared|full] \
+             [--scale paper|repro|tiny] [--clean] [--trace-out FILE] \
+             [--sample-every N] [--metrics-out FILE] [--list]"
+        );
         std::process::exit(2);
     };
     let scale = haccrg_bench::scale_from_args();
     let clean = args.iter().any(|a| a == "--clean");
+    let trace_out = get("--trace-out");
+    let metrics_out = get("--metrics-out");
+    let sample_every: u64 = match get("--sample-every") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            log_error!("--sample-every: {v:?} is not a cycle count");
+            std::process::exit(2);
+        }),
+        None => 0,
+    };
+    if metrics_out.is_some() && sample_every == 0 {
+        log_error!("--metrics-out needs --sample-every N");
+        std::process::exit(2);
+    }
 
     let bench: Box<dyn Benchmark> = match (name.to_uppercase().as_str(), clean) {
         ("SCAN", true) => Box::new(Scan::single_block()),
@@ -47,7 +80,7 @@ fn main() {
         _ => match benchmark_by_name(&name) {
             Some(b) => b,
             None => {
-                eprintln!("unknown benchmark {name:?}; try --list");
+                log_error!("unknown benchmark {name:?}; try --list");
                 std::process::exit(2);
             }
         },
@@ -59,10 +92,56 @@ fn main() {
         _ => RunConfig::detecting(scale),
     };
 
-    let out = run(bench.as_ref(), &cfg).unwrap_or_else(|e| {
-        eprintln!("simulation failed: {e}");
+    // Assemble the GPU by hand (rather than `runner::run`) so the tracer
+    // can be configured between detector installation and kernel prep.
+    let mut gpu = Gpu::new(cfg.gpu);
+    gpu.set_detector(cfg.detector);
+    let recorder = trace_out.as_ref().map(|_| {
+        let rec = RingRecorder::shared(TRACE_CAPACITY);
+        gpu.tracer.install(Box::new(rec.clone()));
+        rec
+    });
+    if sample_every > 0 {
+        gpu.tracer.set_sample_every(sample_every);
+    }
+    let inst = bench.prepare(&mut gpu, cfg.scale);
+
+    let out = run_instance(&mut gpu, &inst).unwrap_or_else(|e| {
+        log_error!("simulation failed: {e}");
         std::process::exit(1);
     });
+
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        let rec = rec.borrow();
+        if rec.dropped() > 0 {
+            log_warn!(
+                "event ring overflowed: kept the newest {} of {} events",
+                rec.len(),
+                rec.total()
+            );
+        }
+        match File::create(path) {
+            Ok(f) => match write_chrome_trace(BufWriter::new(f), &rec.events(), rec.dropped()) {
+                Ok(()) => log_info!("wrote {} trace events to {path}", rec.len()),
+                Err(e) => {
+                    log_error!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                log_error!("cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics_out {
+        let text = metrics_json(gpu.tracer.samples());
+        if let Err(e) = std::fs::write(path, text) {
+            log_error!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        log_info!("wrote {} metric samples to {path}", gpu.tracer.samples().len());
+    }
 
     println!("benchmark : {}", bench.name());
     println!("launches  : {}", out.launches);

@@ -169,6 +169,9 @@ pub struct InjectionResult {
     pub detected: bool,
     pub new_distinct: usize,
     pub categories: Vec<RaceCategory>,
+    /// The fresh race records the injection produced (full provenance:
+    /// cycle, SM, warp, and both access PCs), for reporting.
+    pub fresh: Vec<haccrg::prelude::RaceRecord>,
 }
 
 /// Execute one plan: run clean, run injected, compare.
@@ -199,6 +202,7 @@ pub fn run_plan(p: &Plan, scale: Scale) -> InjectionResult {
         detected: !fresh.is_empty(),
         new_distinct: fresh.len(),
         categories,
+        fresh: fresh.into_iter().copied().collect(),
     }
 }
 

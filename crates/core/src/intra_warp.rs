@@ -51,6 +51,8 @@ pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> 
                 space,
                 addr: overlap,
                 pc: b.pc,
+                prev_pc: a.pc,
+                cycle: b.cycle,
                 prev: a.who,
                 cur: b.who,
             });

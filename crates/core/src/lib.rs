@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::granularity::Granularity;
     pub use crate::lockset::AtomicIdRegister;
     pub use crate::race::{RaceCategory, RaceKind, RaceLog, RaceRecord};
-    pub use crate::shadow::{ShadowEntry, ShadowPolicy};
+    pub use crate::shadow::{ShadowEntry, ShadowPolicy, ShadowState};
     pub use crate::shared_rdu::SharedRdu;
 }
 

@@ -46,8 +46,9 @@ fn field(v: u64, pos: u32, bits: u32) -> u64 {
 }
 
 /// Pack an entry into the hardware word. Warp ID and the simulator-side
-/// `write_cycle` are not part of the hardware layout (the warp is derived
-/// from `tid / warp_size`); they are reconstructed on unpack.
+/// `write_cycle` / `pc` provenance are not part of the hardware layout
+/// (the warp is derived from `tid / warp_size`); they are reconstructed
+/// (or zeroed) on unpack.
 pub fn pack(e: &ShadowEntry) -> u64 {
     use layout::*;
     (u64::from(e.modified) << MODIFIED)
@@ -78,6 +79,7 @@ pub fn unpack(w: u64, warp_size: u32) -> ShadowEntry {
         atomic_sig: BloomSig(field(w, ATOMIC, ATOMIC_BITS) as u32),
         protected: field(w, PROTECTED, 1) != 0,
         write_cycle: 0,
+        pc: 0,
     }
 }
 
@@ -130,6 +132,7 @@ mod tests {
                 atomic_sig: BloomSig(sig),
                 protected,
                 write_cycle: 0,
+                pc: 0,
             };
             let back = unpack(pack(&e), 32);
             prop_assert_eq!(back, e);

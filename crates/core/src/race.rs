@@ -75,28 +75,66 @@ pub struct RaceRecord {
     pub addr: u32,
     /// Static instruction of the *current* (second) access.
     pub pc: u32,
+    /// Static instruction of the *previous* (first) access, as recorded
+    /// in the shadow entry when its epoch was opened.
+    pub prev_pc: u32,
+    /// Simulator cycle at which the conflict was detected (0 when the
+    /// access stream carries no timing, e.g. offline trace replay).
+    pub cycle: u64,
     /// The thread recorded in the shadow entry (first access of the pair).
     pub prev: ThreadCoord,
     /// The thread whose access triggered the report.
     pub cur: ThreadCoord,
 }
 
-impl fmt::Display for RaceRecord {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} race @ {:?}:{:#x} (pc {:#x}): thread {} (warp {}, block {}) vs thread {} (warp {}, block {})",
+impl RaceRecord {
+    /// Multi-line human-readable provenance report: what raced, where,
+    /// when (cycle), and the SM / warp / PC of both conflicting accesses.
+    pub fn provenance(&self) -> String {
+        format!(
+            "{} {} race on {:?} address {:#x}\n\
+             \x20 detected at cycle {}\n\
+             \x20 first  access: pc {:#x}  sm {:2}  warp {:3}  block {:3}  thread {}\n\
+             \x20 second access: pc {:#x}  sm {:2}  warp {:3}  block {:3}  thread {}",
             self.category,
             self.kind,
             self.space,
             self.addr,
-            self.pc,
-            self.prev.tid,
+            self.cycle,
+            self.prev_pc,
+            self.prev.sm,
             self.prev.warp,
             self.prev.block,
-            self.cur.tid,
+            self.prev.tid,
+            self.pc,
+            self.cur.sm,
             self.cur.warp,
             self.cur.block,
+            self.cur.tid,
+        )
+    }
+}
+
+impl fmt::Display for RaceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} race @ {:?}:{:#x} (cycle {}): thread {} (pc {:#x}, warp {}, block {}, sm {}) vs thread {} (pc {:#x}, warp {}, block {}, sm {})",
+            self.category,
+            self.kind,
+            self.space,
+            self.addr,
+            self.cycle,
+            self.prev.tid,
+            self.prev_pc,
+            self.prev.warp,
+            self.prev.block,
+            self.prev.sm,
+            self.cur.tid,
+            self.pc,
+            self.cur.warp,
+            self.cur.block,
+            self.cur.sm,
         )
     }
 }
@@ -210,6 +248,8 @@ mod tests {
             space: MemSpace::Shared,
             addr,
             pc,
+            prev_pc: 0,
+            cycle: 0,
             prev: ThreadCoord::new(0, 0, 0, 0),
             cur: ThreadCoord::new(1, 1, 0, 0),
         }
@@ -281,5 +321,29 @@ mod tests {
         assert!(s.contains("WAR"));
         assert!(s.contains("barrier"));
         assert!(s.contains("warp"));
+    }
+
+    #[test]
+    fn dedup_key_ignores_provenance_fields() {
+        let mut log = RaceLog::default();
+        let mut a = rec(4, 1, RaceKind::Raw);
+        a.cycle = 100;
+        a.prev_pc = 7;
+        let mut b = a;
+        b.cycle = 200; // same static race, later dynamic occurrence
+        assert!(log.push(a));
+        assert!(!log.push(b), "cycle must not participate in the dedup key");
+        assert_eq!(log.distinct(), 1);
+    }
+
+    #[test]
+    fn provenance_renders_both_accesses() {
+        let mut r = rec(64, 9, RaceKind::Raw);
+        r.cycle = 1234;
+        r.prev_pc = 6;
+        let p = r.provenance();
+        assert!(p.contains("cycle 1234"), "{p}");
+        assert!(p.contains("first  access: pc 0x6"), "{p}");
+        assert!(p.contains("second access: pc 0x9"), "{p}");
     }
 }

@@ -98,6 +98,34 @@ pub struct ShadowEntry {
     /// Issue cycle of the most recent write (simulator-provided; lets the
     /// stale-L1 rule distinguish cached copies that predate the write).
     pub write_cycle: u64,
+    /// Static instruction of the recorded access (race provenance: the
+    /// "first access" PC in reports).
+    pub pc: u32,
+}
+
+/// The four states of the Fig. 3 shadow state machine, decoded from the
+/// `(modified, shared)` bit pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShadowState {
+    /// `M=1, S=1`: the reset state — no access in the current epoch.
+    Fresh,
+    /// `M=0, S=0`: read by a single thread/warp.
+    ReadSingle,
+    /// `M=1, S=0`: written in this epoch.
+    Written,
+    /// `M=0, S=1`: read-shared by multiple warps.
+    ReadShared,
+}
+
+impl std::fmt::Display for ShadowState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShadowState::Fresh => "fresh",
+            ShadowState::ReadSingle => "read-single",
+            ShadowState::Written => "written",
+            ShadowState::ReadShared => "read-shared",
+        })
+    }
 }
 
 /// The reset state: `M = true, S = true` (§III-A State 1 precondition).
@@ -113,6 +141,7 @@ pub const FRESH: ShadowEntry = ShadowEntry {
     atomic_sig: BloomSig::EMPTY,
     protected: false,
     write_cycle: 0,
+    pc: 0,
 };
 
 impl Default for ShadowEntry {
@@ -125,6 +154,16 @@ impl ShadowEntry {
     /// Whether the entry is in the reset ("no access yet") state.
     pub fn is_fresh(&self) -> bool {
         self.modified && self.shared
+    }
+
+    /// The Fig. 3 state encoded by the `(modified, shared)` bit pair.
+    pub fn state(&self) -> ShadowState {
+        match (self.modified, self.shared) {
+            (true, true) => ShadowState::Fresh,
+            (false, false) => ShadowState::ReadSingle,
+            (true, false) => ShadowState::Written,
+            (false, true) => ShadowState::ReadShared,
+        }
     }
 
     /// Reset to the fresh state (barrier / kernel-launch invalidation).
@@ -144,6 +183,7 @@ impl ShadowEntry {
         self.atomic_sig = if a.in_critical_section { a.atomic_sig } else { BloomSig::EMPTY };
         self.protected = a.in_critical_section;
         self.write_cycle = if a.kind.is_write() { a.cycle } else { 0 };
+        self.pc = a.pc;
     }
 
     fn race(&self, a: &MemAccess, kind: RaceKind, category: RaceCategory, p: &ShadowPolicy) -> RaceRecord {
@@ -153,6 +193,8 @@ impl ShadowEntry {
             space: p.space,
             addr: a.addr,
             pc: a.pc,
+            prev_pc: self.pc,
+            cycle: a.cycle,
             prev: crate::access::ThreadCoord::new(self.tid, self.warp, self.block, self.sm),
             cur: a.who,
         }
@@ -231,6 +273,7 @@ impl ShadowEntry {
                 self.shared = false; // avoid aliasing the fresh encoding
                 self.fence_id = a.fence_id;
                 self.write_cycle = a.cycle;
+                self.pc = a.pc;
             }
             return None;
         }
@@ -277,6 +320,7 @@ impl ShadowEntry {
                 self.shared = false;
                 self.fence_id = a.fence_id;
                 self.write_cycle = a.cycle;
+                self.pc = a.pc;
             } else if a.who.warp != self.warp || !p.warp_filter {
                 self.shared = true;
             }
@@ -311,6 +355,7 @@ impl ShadowEntry {
                         self.sm = a.who.sm;
                         self.fence_id = a.fence_id;
                         self.write_cycle = a.cycle;
+                        self.pc = a.pc;
                         None
                     } else {
                         Some(self.race(a, RaceKind::War, RaceCategory::Barrier, p))
@@ -329,6 +374,7 @@ impl ShadowEntry {
                     if ordered_with_prev {
                         self.fence_id = a.fence_id;
                         self.write_cycle = a.cycle;
+                        self.pc = a.pc;
                         if same_warp && !same_thread {
                             self.tid = a.who.tid;
                         }

@@ -133,6 +133,24 @@ impl SharedRdu {
     pub fn entry(&self, idx: usize) -> &ShadowEntry {
         &self.entries[idx]
     }
+
+    /// Inclusive range of shadow-entry indices an access touches, clamped
+    /// to the table — the same chunks [`Self::observe`] walks. `None` if
+    /// the access lands entirely past the table (observability hooks use
+    /// this to snapshot states around an `observe`).
+    pub fn chunk_range(&self, addr: u32, size: u8) -> Option<(usize, usize)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (lo, hi) = self.gran.index_range(0, addr, size);
+        let hi = hi.min(self.entries.len() - 1);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Byte offset (into this SM's shared memory) of chunk `idx`.
+    pub fn chunk_addr(&self, idx: usize) -> u32 {
+        (idx as u32) << self.gran.shift()
+    }
 }
 
 #[cfg(test)]

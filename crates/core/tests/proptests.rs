@@ -138,6 +138,8 @@ proptest! {
             space: MemSpace::Shared,
             addr: addr * 4,
             pc,
+            prev_pc: 0,
+            cycle: 0,
             prev: ThreadCoord::new(0, 0, 0, 0),
             cur: ThreadCoord::new(1, 1, 0, 0),
         };

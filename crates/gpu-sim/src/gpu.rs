@@ -14,11 +14,12 @@ use crate::config::GpuConfig;
 use crate::detector::{DetectorMode, DetectorState};
 use crate::device::{DeviceMemory, HEAP_BASE};
 use crate::isa::Kernel;
-use crate::mem::icnt::Link;
+use crate::mem::icnt::{self, Link};
 use crate::mem::slice::MemSlice;
 use crate::mem::MemReq;
 use crate::sm::{LaunchContext, Sm};
-use crate::stats::SimStats;
+use crate::stats::{CacheStats, DramStats, SimStats};
+use crate::trace::{LaunchSampler, ReqTag, SimEvent, Tracer};
 
 /// Launch failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,13 +82,24 @@ pub struct Gpu {
     /// `(data line address, shadow line base if any)` pairs — input for
     /// the §IV-B TLB ablation.
     trace: Option<Vec<(u32, Option<u32>)>>,
+    /// Observability front-end: structured events + cycle-sampled
+    /// metrics. Disabled (zero-cost) by default; install a sink with
+    /// [`Tracer::install`] or enable sampling with
+    /// [`Tracer::set_sample_every`].
+    pub tracer: Tracer,
 }
 
 impl Gpu {
     /// A GPU with detection disabled (the baseline configuration).
     pub fn new(cfg: GpuConfig) -> Self {
         cfg.validate().expect("invalid GPU config");
-        Self { cfg, mem: DeviceMemory::new(cfg.device_mem_bytes), detector: None, trace: None }
+        Self {
+            cfg,
+            mem: DeviceMemory::new(cfg.device_mem_bytes),
+            detector: None,
+            trace: None,
+            tracer: Tracer::default(),
+        }
     }
 
     /// A GPU with HAccRG hardware detection enabled.
@@ -193,6 +205,18 @@ impl Gpu {
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms).map(|i| Sm::new(i, self.cfg)).collect();
         let mut slices: Vec<MemSlice> =
             (0..self.cfg.num_mem_slices).map(|i| MemSlice::new(i, self.cfg)).collect();
+        let launch_id = self.tracer.next_launch();
+        let tracing = self.tracer.on();
+        for slice in &mut slices {
+            slice.trace_on = tracing;
+        }
+        if tracing {
+            self.tracer.emit(0, SimEvent::KernelLaunch { launch: launch_id, grid, block_dim });
+        }
+        let mut sampler = self
+            .tracer
+            .sampling()
+            .then(|| LaunchSampler::new(self.tracer.sample_every(), launch_id, sms.len(), slices.len()));
         let lat = u64::from(self.cfg.icnt.latency);
         let mut sm_egress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(lat)).collect();
         let mut sm_ingress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(0)).collect();
@@ -233,7 +257,7 @@ impl Gpu {
 
             // Core cycles.
             for sm in &mut sms {
-                sm.cycle(now, &ctx, &mut self.mem, &mut det, &mut stats);
+                sm.cycle(now, &ctx, &mut self.mem, &mut det, &mut stats, &mut self.tracer);
                 if sm.freed_capacity {
                     sm.freed_capacity = false;
                     dispatch_needed = true;
@@ -246,6 +270,17 @@ impl Gpu {
                     if let Some(tr) = self.trace.as_mut() {
                         let shadow = (req.shadow_ops > 0).then_some(req.shadow_base);
                         tr.push((req.line_addr, shadow));
+                    }
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            SimEvent::ReqDepart {
+                                sm: req.sm,
+                                id: req.id,
+                                line: req.line_addr,
+                                kind: ReqTag::from(&req.kind),
+                            },
+                        );
                     }
                     let flits = req.request_flits(flit);
                     sm_egress[i].push(now, flits, req);
@@ -270,6 +305,11 @@ impl Gpu {
                     let flits = resp.response_flits(flit);
                     slice_egress[s].push(now, flits, resp);
                 }
+                if tracing {
+                    for ev in slice.trace_buf.drain(..) {
+                        self.tracer.emit(now, ev);
+                    }
+                }
             }
 
             // Network → SMs.
@@ -280,11 +320,44 @@ impl Gpu {
             }
             for (i, link) in sm_ingress.iter_mut().enumerate() {
                 while let Some(resp) = link.pop_ready(now) {
-                    sms[i].handle_response(resp, now, &ctx, &mut det, &mut stats);
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            SimEvent::RespArrive {
+                                sm: resp.sm,
+                                id: resp.id,
+                                line: resp.line_addr,
+                                kind: ReqTag::from(&resp.kind),
+                            },
+                        );
+                    }
+                    sms[i].handle_response(resp, now, &ctx, &mut det, &mut stats, &mut self.tracer);
                 }
             }
 
             now += 1;
+
+            // Cycle-sampled metrics: cut a delta snapshot every N cycles.
+            if let Some(sp) = sampler.as_mut() {
+                if sp.due(now) {
+                    let agg = aggregate_stats(
+                        &stats,
+                        now,
+                        &sms,
+                        &slices,
+                        [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
+                    );
+                    let sample = cut_sample(
+                        sp,
+                        now,
+                        &agg,
+                        &sms,
+                        &slices,
+                        [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
+                    );
+                    self.tracer.push_sample(sample);
+                }
+            }
 
             // Completion: all blocks dispatched and retired, all queues dry.
             if next_block >= grid
@@ -312,17 +385,32 @@ impl Gpu {
             }
         }
 
-        // Aggregate statistics.
-        stats.cycles = now;
-        for sm in &sms {
-            stats.l1.merge(&sm.l1.stats);
+        // Aggregate statistics (the same function the sampler snapshots
+        // through, so per-interval deltas telescope to this aggregate).
+        let stats = aggregate_stats(
+            &stats,
+            now,
+            &sms,
+            &slices,
+            [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
+        );
+
+        // Mandatory final (possibly partial) sampling interval.
+        if let Some(sp) = sampler.as_mut() {
+            if sp.last_cycle() < now {
+                let sample = cut_sample(
+                    sp,
+                    now,
+                    &stats,
+                    &sms,
+                    &slices,
+                    [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
+                );
+                self.tracer.push_sample(sample);
+            }
         }
-        for s in &slices {
-            stats.l2.merge(&s.l2.stats);
-            stats.dram.merge(&s.dram.stats);
-        }
-        for l in sm_egress.iter().chain(&sm_ingress).chain(&slice_ingress).chain(&slice_egress) {
-            stats.icnt_flits += l.flits;
+        if tracing {
+            self.tracer.emit(now, SimEvent::KernelEnd { launch: launch_id });
         }
 
         let (races, max_sync, max_fence) = match det {
@@ -343,4 +431,51 @@ impl Gpu {
             tracked_bytes,
         })
     }
+}
+
+/// Merge the per-unit counters into a launch-level [`SimStats`] snapshot
+/// at cycle `now`. `base` carries the counters the SMs bump directly
+/// (instructions, barriers, detector work, …); the caches, DRAM channels
+/// and links are folded in from the hardware units. Used both for the
+/// final launch aggregate and for every mid-run sampling snapshot, which
+/// is what makes the sampled deltas telescope exactly.
+fn aggregate_stats(
+    base: &SimStats,
+    now: u64,
+    sms: &[Sm],
+    slices: &[MemSlice],
+    links: [&[Link<MemReq>]; 4],
+) -> SimStats {
+    let mut s = base.clone();
+    s.cycles = now;
+    for sm in sms {
+        s.l1.merge(&sm.l1.stats);
+    }
+    for sl in slices {
+        s.l2.merge(&sl.l2.stats);
+        s.dram.merge(&sl.dram.stats);
+    }
+    for arr in links {
+        for l in arr {
+            s.icnt_flits += l.flits;
+        }
+    }
+    s
+}
+
+/// Cut one metrics sample: per-unit counter snapshots plus the
+/// interconnect-occupancy gauge, handed to the sampler for delta-ing.
+fn cut_sample(
+    sp: &mut LaunchSampler,
+    now: u64,
+    agg: &SimStats,
+    sms: &[Sm],
+    slices: &[MemSlice],
+    links: [&[Link<MemReq>]; 4],
+) -> crate::trace::MetricsSample {
+    let sm_l1: Vec<CacheStats> = sms.iter().map(|s| s.l1.stats).collect();
+    let l2: Vec<CacheStats> = slices.iter().map(|s| s.l2.stats).collect();
+    let dram: Vec<DramStats> = slices.iter().map(|s| s.dram.stats).collect();
+    let gauge: u64 = links.iter().map(|arr| icnt::in_flight(arr)).sum();
+    sp.snap(now, agg, &sm_l1, &l2, &dram, gauge)
 }

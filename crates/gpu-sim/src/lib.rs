@@ -21,6 +21,10 @@
 //!   checks, shadow-memory traffic charged through the same L2/DRAM path,
 //!   barrier-time shadow invalidation stalls, L1-hit detection probes, and
 //!   the Fig. 8 shared-shadow-in-global-memory mode — [`detector`].
+//! * an opt-in observability layer: structured event tracing with a
+//!   bounded ring recorder, cycle-sampled per-SM/per-slice metrics, and
+//!   a Chrome/Perfetto trace exporter — [`trace`]. Zero-cost when
+//!   disabled (the default).
 //!
 //! Simulations are fully deterministic.
 //!
@@ -64,6 +68,7 @@ pub mod mem;
 pub mod simt;
 pub mod sm;
 pub mod stats;
+pub mod trace;
 
 /// Commonly used types.
 pub mod prelude {
@@ -74,6 +79,9 @@ pub mod prelude {
     pub use crate::isa::builder::KernelBuilder;
     pub use crate::isa::{AtomOp, BinOp, CmpOp, Kernel, Op, Reg, Space, Src, UnOp};
     pub use crate::stats::SimStats;
+    pub use crate::trace::{
+        EventSink, MetricsSample, NullSink, RingRecorder, SimEvent, Tracer,
+    };
 }
 
 pub use prelude::*;

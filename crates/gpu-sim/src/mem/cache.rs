@@ -134,6 +134,12 @@ impl Cache {
         let tag = self.tag_of(addr);
         self.set_range(set).any(|i| self.lines[i].valid && self.lines[i].tag == tag)
     }
+
+    /// Number of valid lines currently resident (observability gauge; no
+    /// stats side effects).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +214,19 @@ mod tests {
         c.flush();
         assert!(!c.contains(0));
         assert!(!c.probe(0, false, 2));
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = Cache::new(cfg());
+        assert_eq!(c.occupancy(), 0);
+        c.fill(0, false, 1);
+        c.fill(128, false, 2);
+        assert_eq!(c.occupancy(), 2);
+        c.fill(0, true, 3); // idempotent refill
+        assert_eq!(c.occupancy(), 2);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct DramReq {
     pub id: u64,
     pub line_addr: u32,
     pub is_write: bool,
+    /// Filled in by the controller when the request is scheduled: whether
+    /// it hit the bank's open row (observability only — timing is charged
+    /// inside [`Dram::cycle`] regardless).
+    pub row_hit: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -115,7 +119,7 @@ impl Dram {
                     .position(|r| self.banks[self.bank_of(r.line_addr)].busy_until <= now)
             });
         let Some(idx) = pick else { return };
-        let req = self.queue.remove(idx).expect("index valid");
+        let mut req = self.queue.remove(idx).expect("index valid");
         let bank_idx = self.bank_of(req.line_addr);
         let row = self.row_of(req.line_addr);
         let cfg = self.cfg;
@@ -125,6 +129,7 @@ impl Dram {
         match bank.open_row {
             Some(r) if r == row => {
                 self.stats.row_hits += 1;
+                req.row_hit = true;
             }
             Some(_) => {
                 // Row conflict: precharge (after tRAS) + activate.
@@ -185,7 +190,7 @@ mod tests {
     #[test]
     fn single_read_latency_is_rcd_cl_burst() {
         let mut d = dram();
-        d.push(DramReq { id: 1, line_addr: 0, is_write: false });
+        d.push(DramReq { id: 1, line_addr: 0, is_write: false, row_hit: false });
         let done = run_until_done(&mut d, 0);
         assert_eq!(done.len(), 1);
         let cfg = GpuConfig::quadro_fx5800().dram;
@@ -200,16 +205,16 @@ mod tests {
         let cfg = GpuConfig::quadro_fx5800().dram;
         // Same row (consecutive lines within row_bytes).
         let mut d = dram();
-        d.push(DramReq { id: 1, line_addr: 0, is_write: false });
-        d.push(DramReq { id: 2, line_addr: 128, is_write: false });
+        d.push(DramReq { id: 1, line_addr: 0, is_write: false, row_hit: false });
+        d.push(DramReq { id: 2, line_addr: 128, is_write: false, row_hit: false });
         let done = run_until_done(&mut d, 0);
         let hit_finish = done[1].0;
         assert_eq!(d.stats.row_hits, 1);
 
         // Conflicting rows in the same bank (stride = row_bytes × banks).
         let mut d2 = dram();
-        d2.push(DramReq { id: 1, line_addr: 0, is_write: false });
-        d2.push(DramReq { id: 2, line_addr: cfg.row_bytes * cfg.banks, is_write: false });
+        d2.push(DramReq { id: 1, line_addr: 0, is_write: false, row_hit: false });
+        d2.push(DramReq { id: 2, line_addr: cfg.row_bytes * cfg.banks, is_write: false, row_hit: false });
         let done2 = run_until_done(&mut d2, 0);
         let conflict_finish = done2[1].0;
         assert_eq!(d2.stats.row_misses, 2);
@@ -221,11 +226,11 @@ mod tests {
         let cfg = GpuConfig::quadro_fx5800().dram;
         let mut d = dram();
         // Open row 0 of bank 0.
-        d.push(DramReq { id: 1, line_addr: 0, is_write: false });
+        d.push(DramReq { id: 1, line_addr: 0, is_write: false, row_hit: false });
         let _ = run_until_done(&mut d, 0);
         // Now queue: conflict first (older), then a row hit.
-        d.push(DramReq { id: 2, line_addr: cfg.row_bytes * cfg.banks, is_write: false });
-        d.push(DramReq { id: 3, line_addr: 128, is_write: false });
+        d.push(DramReq { id: 2, line_addr: cfg.row_bytes * cfg.banks, is_write: false, row_hit: false });
+        d.push(DramReq { id: 3, line_addr: 128, is_write: false, row_hit: false });
         let done = run_until_done(&mut d, 1000);
         assert_eq!(done[0].1.id, 3, "row hit scheduled first despite being younger");
         assert_eq!(done[1].1.id, 2);
@@ -236,8 +241,8 @@ mod tests {
         let cfg = GpuConfig::quadro_fx5800().dram;
         let mut d = dram();
         // Two requests in different banks.
-        d.push(DramReq { id: 1, line_addr: 0, is_write: false });
-        d.push(DramReq { id: 2, line_addr: cfg.row_bytes, is_write: false });
+        d.push(DramReq { id: 1, line_addr: 0, is_write: false, row_hit: false });
+        d.push(DramReq { id: 2, line_addr: cfg.row_bytes, is_write: false, row_hit: false });
         let done = run_until_done(&mut d, 0);
         // Second finishes just one burst later (bus serialization), not a
         // full access later.
@@ -249,7 +254,7 @@ mod tests {
     fn bus_busy_counts_bursts() {
         let mut d = dram();
         for i in 0..4 {
-            d.push(DramReq { id: i, line_addr: i as u32 * 128, is_write: i % 2 == 0 });
+            d.push(DramReq { id: i, line_addr: i as u32 * 128, is_write: i % 2 == 0, row_hit: false });
         }
         run_until_done(&mut d, 0);
         let cfg = GpuConfig::quadro_fx5800().dram;
@@ -263,7 +268,7 @@ mod tests {
         let cap = GpuConfig::quadro_fx5800().dram.queue_size;
         for i in 0..cap {
             assert!(d.can_accept());
-            d.push(DramReq { id: u64::from(i), line_addr: i * 128, is_write: false });
+            d.push(DramReq { id: u64::from(i), line_addr: i * 128, is_write: false, row_hit: false });
         }
         assert!(!d.can_accept());
     }

@@ -59,6 +59,12 @@ impl<T> Link<T> {
     }
 }
 
+/// Total packets in flight across a set of links (the tracer's
+/// interconnect-occupancy gauge).
+pub fn in_flight<T>(links: &[Link<T>]) -> u64 {
+    links.iter().map(|l| l.len() as u64).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +125,15 @@ mod tests {
         l.push(0, 3, 2);
         assert_eq!(l.flits, 8);
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn in_flight_sums_across_links() {
+        let mut a: Link<u32> = Link::new(0);
+        let mut b: Link<u32> = Link::new(0);
+        a.push(0, 1, 1);
+        a.push(0, 1, 2);
+        b.push(0, 1, 3);
+        assert_eq!(in_flight(&[a, b]), 3);
     }
 }

@@ -17,6 +17,7 @@ use crate::exec::eval_atom;
 use crate::mem::cache::Cache;
 use crate::mem::dram::{Dram, DramReq};
 use crate::mem::{MemReq, ReqKind};
+use crate::trace::SimEvent;
 
 /// Why a DRAM read was issued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +49,12 @@ pub struct MemSlice {
     next_dram_id: u64,
     /// Shadow L2 accesses performed (stats).
     pub shadow_l2_accesses: u64,
+    /// Whether to record trace events (mirrors the GPU tracer's state;
+    /// the slice has no tracer handle, so the GPU drains `trace_buf`).
+    pub trace_on: bool,
+    /// Events recorded this cycle, drained by the GPU after
+    /// [`Self::cycle`]. Empty whenever `trace_on` is false.
+    pub trace_buf: Vec<SimEvent>,
 }
 
 impl MemSlice {
@@ -66,6 +73,8 @@ impl MemSlice {
             serve_shadow_next: false,
             next_dram_id: 0,
             shadow_l2_accesses: 0,
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -92,7 +101,7 @@ impl MemSlice {
     fn dram_read(&mut self, line: u32) {
         let id = self.next_dram_id;
         self.next_dram_id += 1;
-        self.dram.push(DramReq { id, line_addr: line, is_write: false });
+        self.dram.push(DramReq { id, line_addr: line, is_write: false, row_hit: false });
     }
 
     fn handle_eviction(&mut self, ev: Option<crate::mem::cache::Eviction>) {
@@ -114,7 +123,7 @@ impl MemSlice {
             }
             let id = self.next_dram_id;
             self.next_dram_id += 1;
-            self.dram.push(DramReq { id, line_addr: line, is_write: true });
+            self.dram.push(DramReq { id, line_addr: line, is_write: true, row_hit: false });
             self.writeback_queue.pop_front();
         }
 
@@ -138,6 +147,14 @@ impl MemSlice {
         // DRAM progress.
         let completions = self.dram.cycle(now);
         for c in completions {
+            if self.trace_on {
+                self.trace_buf.push(SimEvent::DramAccess {
+                    slice: self.id,
+                    line: c.line_addr,
+                    write: c.is_write,
+                    row_hit: c.row_hit,
+                });
+            }
             if c.is_write {
                 continue;
             }
@@ -208,6 +225,14 @@ impl MemSlice {
 
         let is_write = req.kind.is_write();
         let hit = self.l2.probe(line, is_write, now);
+        if self.trace_on {
+            self.trace_buf.push(SimEvent::L2Access {
+                slice: self.id,
+                line,
+                hit,
+                shadow: matches!(req.kind, ReqKind::ShadowProbe),
+            });
+        }
         match (&req.kind, hit) {
             (ReqKind::ShadowProbe, _) => { /* consumed above; no response */ }
             (_, true) => {
@@ -243,6 +268,14 @@ impl MemSlice {
             }
             self.shadow_queue.pop_front();
             self.shadow_l2_accesses += 1;
+            if self.trace_on {
+                self.trace_buf.push(SimEvent::L2Access {
+                    slice: self.id,
+                    line,
+                    hit: false,
+                    shadow: true,
+                });
+            }
             // Shadow accesses are read-modify-write: the fill is dirty.
             if merged {
                 if let Some(e) = self.mshr.iter_mut().find(|(l, _, _, _)| *l == line) {
@@ -255,6 +288,14 @@ impl MemSlice {
         } else {
             self.shadow_queue.pop_front();
             self.shadow_l2_accesses += 1;
+            if self.trace_on {
+                self.trace_buf.push(SimEvent::L2Access {
+                    slice: self.id,
+                    line,
+                    hit: true,
+                    shadow: true,
+                });
+            }
             self.l2.probe(line, true, now);
         }
         true

@@ -22,6 +22,7 @@ use crate::mem::coalesce::{bank_conflict_degree, coalesce, LaneAddr};
 use crate::mem::{LaneAtomic, MemReq, ReqKind};
 use crate::simt::SimtStack;
 use crate::stats::SimStats;
+use crate::trace::{SimEvent, StallReason, Tracer};
 
 /// Everything shared by all SMs during one kernel launch.
 #[allow(missing_docs)] // field names are self-describing
@@ -215,6 +216,7 @@ impl Sm {
         mem: &mut DeviceMemory,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) {
         // Matured L1-hit load responses.
         let mut i = 0;
@@ -240,7 +242,7 @@ impl Sm {
                     let idx = (self.rr_next + k) % n;
                     if ready_at(&self.warps[idx]) {
                         self.rr_next = (idx + 1) % n;
-                        self.issue(idx, now, ctx, mem, det, stats);
+                        self.issue(idx, now, ctx, mem, det, stats, tracer);
                         return;
                     }
                 }
@@ -249,7 +251,7 @@ impl Sm {
                 // Greedy: stick with the last-issued warp while it can go.
                 let last = self.rr_next % n;
                 if ready_at(&self.warps[last]) {
-                    self.issue(last, now, ctx, mem, det, stats);
+                    self.issue(last, now, ctx, mem, det, stats, tracer);
                     return;
                 }
                 // Otherwise the oldest ready warp by global warp ID.
@@ -258,7 +260,7 @@ impl Sm {
                     .min_by_key(|&i| self.warps[i].as_ref().map_or(u32::MAX, |w| w.gwarp));
                 if let Some(idx) = pick {
                     self.rr_next = idx;
-                    self.issue(idx, now, ctx, mem, det, stats);
+                    self.issue(idx, now, ctx, mem, det, stats, tracer);
                 }
             }
         }
@@ -281,6 +283,7 @@ impl Sm {
         ctx: &LaunchContext,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) {
         match &resp.kind {
             ReqKind::LoadData => {
@@ -309,6 +312,9 @@ impl Sm {
                     stats.fences += 1;
                     if let Some(d) = det.as_mut() {
                         d.clocks.on_fence(gwarp);
+                    }
+                    if tracer.on() {
+                        tracer.emit(now, SimEvent::FenceComplete { sm: self.id, gwarp });
                     }
                 }
             }
@@ -370,6 +376,7 @@ impl Sm {
     }
 
     #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
         widx: usize,
@@ -378,6 +385,7 @@ impl Sm {
         mem: &mut DeviceMemory,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) {
         let warp_size = self.cfg.warp_size;
         let nr = usize::from(ctx.kernel.num_regs);
@@ -392,6 +400,9 @@ impl Sm {
         self.issue_free_at = now + self.cfg.issue_cycles();
         stats.warp_instructions += 1;
         stats.thread_instructions += u64::from(mask.count_ones());
+        if tracer.on() {
+            tracer.emit(now, SimEvent::WarpIssue { sm: self.id, gwarp, pc: instr.line });
+        }
 
         // Helper: per-lane register access goes through the CTA's flat
         // register file. Two disjoint field borrows (warps / ctas) are
@@ -548,7 +559,10 @@ impl Sm {
                     w.state = WarpState::AtBarrier;
                 }
                 cta!().barrier_waiting += 1;
-                self.maybe_release_barrier(cta_slot, now, det, stats);
+                if tracer.on() {
+                    tracer.emit(now, SimEvent::BarrierArrive { sm: self.id, block: block_id, gwarp });
+                }
+                self.maybe_release_barrier(cta_slot, now, det, stats, tracer);
             }
             Op::Membar => {
                 let w = warp!();
@@ -558,8 +572,17 @@ impl Sm {
                     if let Some(d) = det.as_mut() {
                         d.clocks.on_fence(gwarp);
                     }
+                    if tracer.on() {
+                        tracer.emit(now, SimEvent::FenceComplete { sm: self.id, gwarp });
+                    }
                 } else {
                     w.state = WarpState::WaitFence;
+                    if tracer.on() {
+                        tracer.emit(
+                            now,
+                            SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::Fence },
+                        );
+                    }
                 }
             }
             Op::CsBegin { lock } => {
@@ -588,26 +611,27 @@ impl Sm {
                 if warp!().simt.done() {
                     warp!().state = WarpState::Done;
                     cta!().live_warps -= 1;
-                    self.maybe_release_barrier(cta_slot, now, det, stats);
+                    self.maybe_release_barrier(cta_slot, now, det, stats, tracer);
                     self.maybe_retire_cta(cta_slot, det);
                 }
             }
             Op::Ld { space, d, addr, imm, size } => {
                 self.mem_access(
                     widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    space, MemOpKind::Load { d }, addr, imm, size, Src::Imm(0), Src::Imm(0), instr.line,
+                    tracer, space, MemOpKind::Load { d }, addr, imm, size, Src::Imm(0), Src::Imm(0),
+                    instr.line,
                 );
             }
             Op::St { space, addr, imm, src, size } => {
                 self.mem_access(
                     widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    space, MemOpKind::Store, addr, imm, size, src, Src::Imm(0), instr.line,
+                    tracer, space, MemOpKind::Store, addr, imm, size, src, Src::Imm(0), instr.line,
                 );
             }
             Op::Atom { space, op, d, addr, imm, src, src2 } => {
                 self.mem_access(
                     widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    space, MemOpKind::Atomic { op, d }, addr, imm, 4, src, src2, instr.line,
+                    tracer, space, MemOpKind::Atomic { op, d }, addr, imm, 4, src, src2, instr.line,
                 );
             }
         }
@@ -619,6 +643,7 @@ impl Sm {
         now: u64,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) {
         let (release, block_id, shared_base, shared_size, slots) = match self.ctas[cta_slot].as_ref() {
             Some(c) if c.live_warps > 0 && c.barrier_waiting >= c.live_warps => (
@@ -650,6 +675,12 @@ impl Sm {
             }
         }
 
+        if tracer.on() {
+            tracer.emit(
+                now,
+                SimEvent::BarrierRelease { sm: self.id, block: block_id, stall_cycles: stall },
+            );
+        }
         let cta = self.ctas[cta_slot].as_mut().expect("cta live");
         cta.barrier_waiting = 0;
         for slot in slots {
@@ -702,6 +733,7 @@ impl Sm {
         mem: &mut DeviceMemory,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
         space: Space,
         kind: MemOpKind,
         addr_reg: crate::isa::Reg,
@@ -787,7 +819,7 @@ impl Sm {
                 stats.bank_conflict_cycles += u64::from(conflicts - 1);
                 self.shared_detection(
                     cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx, det,
-                    stats,
+                    stats, tracer,
                 );
                 self.warps[widx].as_mut().expect("warp live").simt.advance();
             }
@@ -806,6 +838,18 @@ impl Sm {
                 if txs.len() > 1 {
                     self.issue_free_at += txs.len() as u64 - 1;
                 }
+                if tracer.on() {
+                    tracer.emit(
+                        now,
+                        SimEvent::MemCoalesce {
+                            sm: self.id,
+                            gwarp,
+                            pc: line_tag,
+                            lanes: lanes.len() as u32,
+                            transactions: txs.len() as u32,
+                        },
+                    );
+                }
 
                 let mut pending = 0u32;
                 for tx in &txs {
@@ -816,10 +860,21 @@ impl Sm {
                             let fill = self.l1.fill_time(tx.line_addr);
                             let hit = self.l1.probe(tx.line_addr, false, now);
                             let l1_fill = if hit { fill } else { None };
+                            if tracer.on() {
+                                tracer.emit(
+                                    now,
+                                    SimEvent::L1Access {
+                                        sm: self.id,
+                                        line: tx.line_addr,
+                                        hit,
+                                        write: false,
+                                    },
+                                );
+                            }
                             // RDU checks for this transaction's lanes.
                             let shadow = self.global_detection(
                                 cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
-                                kind, line_tag, l1_fill, now, ctx, det, stats,
+                                kind, line_tag, l1_fill, now, ctx, det, stats, tracer,
                             );
                             if hit {
                                 pending += 1;
@@ -859,12 +914,24 @@ impl Sm {
                             // Write-through, no-allocate (§II-A: "global
                             // memory writes to L1 data cache are written
                             // through").
-                            if self.l1.contains(tx.line_addr) {
+                            let resident = self.l1.contains(tx.line_addr);
+                            if resident {
                                 self.l1.probe(tx.line_addr, false, now);
+                            }
+                            if tracer.on() {
+                                tracer.emit(
+                                    now,
+                                    SimEvent::L1Access {
+                                        sm: self.id,
+                                        line: tx.line_addr,
+                                        hit: resident,
+                                        write: true,
+                                    },
+                                );
                             }
                             let shadow = self.global_detection(
                                 cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
-                                kind, line_tag, None, now, ctx, det, stats,
+                                kind, line_tag, None, now, ctx, det, stats, tracer,
                             );
                             let mut r = self.fresh_req(tx.line_addr, tx.bytes, widx, gwarp, ReqKind::StoreData);
                             if let Some((base, n)) = shadow {
@@ -911,6 +978,12 @@ impl Sm {
                 if matches!(kind, MemOpKind::Load { .. } | MemOpKind::Atomic { .. }) && pending > 0 {
                     w.pending_loads += pending;
                     w.state = WarpState::WaitMem;
+                    if tracer.on() {
+                        tracer.emit(
+                            now,
+                            SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::Memory },
+                        );
+                    }
                 }
             }
         }
@@ -932,6 +1005,7 @@ impl Sm {
         ctx: &LaunchContext,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) {
         let Some(d) = det.as_mut() else { return };
         if !d.cfg.shared_enabled {
@@ -974,6 +1048,7 @@ impl Sm {
             })
             .collect();
 
+        let races_before = d.log.records().len();
         let rdu = &mut d.shared[self.id as usize];
         if matches!(kind, MemOpKind::Store) {
             for r in rdu.check_warp_stores(&accesses) {
@@ -981,7 +1056,35 @@ impl Sm {
             }
         }
         for a in &accesses {
+            // When tracing, snapshot the touched chunks' Fig. 3 states so
+            // state-machine edges can be reported.
+            let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
+            let before: Vec<ShadowState> = watch
+                .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
+                .unwrap_or_default();
             rdu.observe(a, &d.clocks, &mut d.log);
+            if let Some((lo, hi)) = watch {
+                for (k, i) in (lo..=hi).enumerate() {
+                    let to = rdu.entry(i).state();
+                    if to != before[k] {
+                        tracer.emit(
+                            now,
+                            SimEvent::ShadowTransition {
+                                space: MemSpace::Shared,
+                                sm: self.id,
+                                chunk_addr: rdu.chunk_addr(i),
+                                from: before[k],
+                                to,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if tracer.on() {
+            for r in &d.log.records()[races_before..] {
+                tracer.emit(now, SimEvent::RaceDetected { record: *r });
+            }
         }
 
         // Fig. 8: shared shadow entries live in global memory, cached in
@@ -1034,9 +1137,11 @@ impl Sm {
         ctx: &LaunchContext,
         det: &mut Option<DetectorState>,
         stats: &mut SimStats,
+        tracer: &mut Tracer,
     ) -> Option<(u32, u8)> {
         let d = det.as_mut()?;
         let rdu = d.global.as_mut()?;
+        let races_before = d.log.records().len();
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
         let warp_size = self.cfg.warp_size;
 
@@ -1075,7 +1180,28 @@ impl Sm {
 
         let mut shadow_lines: Vec<u32> = Vec::new();
         for a in &accesses {
+            let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
+            let before: Vec<ShadowState> = watch
+                .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
+                .unwrap_or_default();
             let traffic = rdu.observe(a, &d.clocks, &mut d.log);
+            if let Some((lo, hi)) = watch {
+                for (k, i) in (lo..=hi).enumerate() {
+                    let to = rdu.entry(i).state();
+                    if to != before[k] {
+                        tracer.emit(
+                            now,
+                            SimEvent::ShadowTransition {
+                                space: MemSpace::Global,
+                                sm: self.id,
+                                chunk_addr: rdu.chunk_addr(i),
+                                from: before[k],
+                                to,
+                            },
+                        );
+                    }
+                }
+            }
             if traffic.reads > 0 {
                 for i in 0..traffic.reads {
                     let sa = traffic.shadow_addr + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
@@ -1084,6 +1210,12 @@ impl Sm {
                         shadow_lines.push(line);
                     }
                 }
+            }
+        }
+
+        if tracer.on() {
+            for r in &d.log.records()[races_before..] {
+                tracer.emit(now, SimEvent::RaceDetected { record: *r });
             }
         }
 

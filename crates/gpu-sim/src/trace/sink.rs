@@ -1,0 +1,145 @@
+//! Event sinks: where structured events go.
+//!
+//! The simulator calls [`EventSink::event`] through the [`Tracer`] only
+//! when tracing is enabled; with the default [`NullSink`] the tracer is
+//! disabled and no event is even constructed, so the instrumented hot
+//! paths cost one branch.
+//!
+//! [`Tracer`]: crate::trace::Tracer
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::trace::event::SimEvent;
+
+/// A consumer of structured simulator events.
+pub trait EventSink {
+    /// Receive one event stamped with the cycle it occurred on.
+    fn event(&mut self, cycle: u64, ev: &SimEvent);
+}
+
+/// Discards everything (the default sink while tracing is disabled).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&mut self, _cycle: u64, _ev: &SimEvent) {}
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity` events
+/// and counts how many were dropped, so truncation is never silent.
+#[derive(Clone, Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<(u64, SimEvent)>,
+    seen: u64,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, buf: VecDeque::with_capacity(capacity.min(1 << 16)), seen: 0 }
+    }
+
+    /// A recorder wrapped for shared ownership: install a clone of the
+    /// returned handle as the [`Tracer`] sink and keep the other to read
+    /// the events back after the run.
+    ///
+    /// [`Tracer`]: crate::trace::Tracer
+    pub fn shared(capacity: usize) -> Rc<RefCell<RingRecorder>> {
+        Rc::new(RefCell::new(Self::new(capacity)))
+    }
+
+    /// Retained `(cycle, event)` pairs, oldest first.
+    pub fn events(&self) -> Vec<(u64, SimEvent)> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever offered to the recorder.
+    pub fn total(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.buf.len() as u64
+    }
+}
+
+impl EventSink for RingRecorder {
+    fn event(&mut self, cycle: u64, ev: &SimEvent) {
+        self.seen += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((cycle, ev.clone()));
+    }
+}
+
+/// Forwarding impl so a shared handle can be installed as the sink while
+/// the caller keeps the other clone for reading results.
+impl EventSink for Rc<RefCell<RingRecorder>> {
+    fn event(&mut self, cycle: u64, ev: &SimEvent) {
+        self.borrow_mut().event(cycle, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u32) -> SimEvent {
+        SimEvent::WarpIssue { sm: 0, gwarp: 0, pc }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.event(u64::from(i), &ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 2);
+        let pcs: Vec<u32> = r
+            .events()
+            .iter()
+            .map(|(_, e)| match e {
+                SimEvent::WarpIssue { pc, .. } => *pc,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pcs, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn shared_handle_records_through_either_clone() {
+        let rec = RingRecorder::shared(16);
+        let mut sink = rec.clone();
+        sink.event(7, &ev(1));
+        assert_eq!(rec.borrow().len(), 1);
+        assert_eq!(rec.borrow().events()[0].0, 7);
+        assert_eq!(rec.borrow().dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = RingRecorder::new(0);
+        r.event(0, &ev(0));
+        r.event(1, &ev(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

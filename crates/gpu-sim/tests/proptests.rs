@@ -80,7 +80,7 @@ proptest! {
         let mut pushed = 0u64;
         for (i, &l) in lines.iter().enumerate() {
             if d.can_accept() {
-                d.push(DramReq { id: i as u64, line_addr: l & !127, is_write: i % 2 == 0 });
+                d.push(DramReq { id: i as u64, line_addr: l & !127, is_write: i % 2 == 0, row_hit: false });
                 pushed += 1;
             }
         }

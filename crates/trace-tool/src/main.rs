@@ -9,6 +9,10 @@
 //! * `--shared-gran N` / `--global-gran N` — tracking granularities
 //! * `--bloom BITSxBINS` — atomic-ID shape (e.g. `16x2`, the default)
 //! * `--no-warp-filter` — treat warp re-grouping as enabled
+//! * `-h` / `--help` — print usage
+//!
+//! Unknown options are rejected with the usage message (exit status 2);
+//! exit status 1 means the trace contained races.
 
 use std::fs::File;
 use std::io::{self, BufReader};
@@ -17,47 +21,102 @@ use haccrg::config::DetectorConfig;
 use haccrg::granularity::Granularity;
 use haccrg_trace::{analyze, report};
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+const USAGE: &str = "\
+usage: haccrg-trace [FILE|-] [options]
 
-    // First positional argument (skipping flags and their values).
+Run HAccRG race detection over a recorded access trace (a file, or
+stdin when the path is `-` or omitted).
+
+options:
+  --shared-gran N     shared-memory tracking granularity in bytes
+                      (power of two in [1,4096]; default 4)
+  --global-gran N     global-memory tracking granularity in bytes
+                      (power of two in [1,4096]; default 4)
+  --bloom BITSxBINS   atomic-ID Bloom-filter shape (default 16x2)
+  --no-warp-filter    treat warp re-grouping as enabled
+  -h, --help          print this message and exit
+
+exit status: 0 = no races, 1 = races detected, 2 = usage/input error";
+
+/// Parsed command line: detector configuration plus the input path
+/// (`None` or `Some("-")` = stdin).
+struct Options {
+    cfg: DetectorConfig,
+    path: Option<String>,
+}
+
+/// Parse `args` (without the program name). `Ok(None)` means help was
+/// requested; `Err` carries a message for stderr (usage follows).
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut cfg = DetectorConfig::paper_default();
     let mut path: Option<String> = None;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--shared-gran" | "--global-gran" | "--bloom" => i += 2,
-            "--no-warp-filter" => i += 1,
-            p => {
-                path.get_or_insert_with(|| p.to_string());
+        let a = args[i].as_str();
+        match a {
+            "-h" | "--help" => return Ok(None),
+            "--shared-gran" | "--global-gran" => {
+                let v = args.get(i + 1).ok_or_else(|| format!("{a} needs a value"))?;
+                let n: u32 = v.parse().map_err(|_| format!("{a}: {v:?} is not a number"))?;
+                let g = Granularity::new(n).map_err(|e| format!("{a}: {e}"))?;
+                if a == "--shared-gran" {
+                    cfg.shared_granularity = g;
+                } else {
+                    cfg.global_granularity = g;
+                }
+                i += 2;
+            }
+            "--bloom" => {
+                let v = args.get(i + 1).ok_or_else(|| "--bloom needs a value".to_string())?;
+                let (bits, bins) =
+                    v.split_once('x').ok_or_else(|| format!("--bloom: {v:?} is not BITSxBINS"))?;
+                cfg.bloom = haccrg::bloom::BloomConfig {
+                    bits: bits.parse().map_err(|_| format!("--bloom: bad bit count in {v:?}"))?,
+                    bins: bins.parse().map_err(|_| format!("--bloom: bad bin count in {v:?}"))?,
+                };
+                cfg.bloom.validate().map_err(|e| format!("--bloom: {e}"))?;
+                i += 2;
+            }
+            "--no-warp-filter" => {
+                cfg.warp_regrouping = true;
+                i += 1;
+            }
+            "-" => {
+                if path.replace("-".into()).is_some() {
+                    return Err("more than one input path given".into());
+                }
+                i += 1;
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown option {a:?}")),
+            _ => {
+                if path.replace(a.to_string()).is_some() {
+                    return Err("more than one input path given".into());
+                }
                 i += 1;
             }
         }
     }
+    Ok(Some(Options { cfg, path }))
+}
 
-    let mut cfg = DetectorConfig::paper_default();
-    if let Some(g) = get("--shared-gran").and_then(|s| s.parse().ok()) {
-        cfg.shared_granularity = Granularity::new(g).expect("valid shared granularity");
-    }
-    if let Some(g) = get("--global-gran").and_then(|s| s.parse().ok()) {
-        cfg.global_granularity = Granularity::new(g).expect("valid global granularity");
-    }
-    if let Some(spec) = get("--bloom") {
-        let (bits, bins) = spec.split_once('x').expect("--bloom BITSxBINS");
-        cfg.bloom = haccrg::bloom::BloomConfig {
-            bits: bits.parse().expect("bloom bits"),
-            bins: bins.parse().expect("bloom bins"),
-        };
-        cfg.bloom.validate().expect("valid bloom config");
-    }
-    if args.iter().any(|a| a == "--no-warp-filter") {
-        cfg.warp_regrouping = true;
-    }
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("haccrg-trace: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
-    let result = match path.as_deref() {
-        None | Some("-") => analyze(BufReader::new(io::stdin().lock()), &cfg),
+    let result = match opts.path.as_deref() {
+        None | Some("-") => analyze(BufReader::new(io::stdin().lock()), &opts.cfg),
         Some(p) => match File::open(p) {
-            Ok(f) => analyze(BufReader::new(f), &cfg),
+            Ok(f) => analyze(BufReader::new(f), &opts.cfg),
             Err(e) => {
                 eprintln!("cannot open {p}: {e}");
                 std::process::exit(2);
@@ -76,5 +135,72 @@ fn main() {
             eprintln!("trace error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn bare_invocation_reads_stdin_with_defaults() {
+        let o = parse_args(&[]).unwrap().expect("not help");
+        assert!(o.path.is_none());
+        assert_eq!(o.cfg.bloom, DetectorConfig::paper_default().bloom);
+    }
+
+    #[test]
+    fn positional_path_and_flags_parse() {
+        let o = parse_args(&argv(&[
+            "k.trace",
+            "--shared-gran",
+            "8",
+            "--bloom",
+            "16x4",
+            "--no-warp-filter",
+        ]))
+        .unwrap()
+        .expect("not help");
+        assert_eq!(o.path.as_deref(), Some("k.trace"));
+        assert_eq!(o.cfg.shared_granularity.bytes(), 8);
+        assert_eq!(o.cfg.bloom.bins, 4);
+        assert!(o.cfg.warp_regrouping);
+    }
+
+    #[test]
+    fn help_flag_wins() {
+        assert!(parse_args(&argv(&["--help"])).unwrap().is_none());
+        assert!(parse_args(&argv(&["k.trace", "-h"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = parse_args(&argv(&["--granularity", "8"])).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_rejected() {
+        assert!(parse_args(&argv(&["--shared-gran"])).is_err());
+        assert!(parse_args(&argv(&["--shared-gran", "three"])).is_err());
+        assert!(parse_args(&argv(&["--shared-gran", "6"])).is_err(), "not a power of two");
+        assert!(parse_args(&argv(&["--bloom", "16-2"])).is_err());
+        assert!(parse_args(&argv(&["--bloom", "7x2"])).is_err(), "invalid bit width");
+    }
+
+    #[test]
+    fn duplicate_paths_are_rejected() {
+        assert!(parse_args(&argv(&["a.trace", "b.trace"])).is_err());
+        assert!(parse_args(&argv(&["-", "b.trace"])).is_err());
+    }
+
+    #[test]
+    fn stdin_dash_is_accepted() {
+        let o = parse_args(&argv(&["-"])).unwrap().expect("not help");
+        assert_eq!(o.path.as_deref(), Some("-"));
     }
 }

@@ -6,8 +6,15 @@
 //! every thread writes `out[tid]`, the last arriver reads the whole array
 //! to sum it — with no barrier between the phases.
 //!
-//! Run with: `cargo run --release --example trace_pipeline`
+//! The second half shows the *simulator-backed* pipeline: the same
+//! detector wired into the cycle-level GPU model with structured event
+//! tracing, cycle-sampled metrics, and full race provenance. Pass a file
+//! path to also write a Chrome `trace-event` JSON loadable at
+//! <https://ui.perfetto.dev>.
+//!
+//! Run with: `cargo run --release --example trace_pipeline [trace.json]`
 
+use gpu_sim::prelude::{Gpu, RingRecorder};
 use haccrg::access::{AccessKind, MemAccess, MemSpace, ThreadCoord};
 use haccrg::config::DetectorConfig;
 use haccrg::replay::{Replayer, TraceEvent, TraceGeometry};
@@ -64,6 +71,57 @@ fn analyze(label: &str, with_barrier: bool) {
     }
 }
 
+/// The same detector inside the cycle-level simulator, with the
+/// observability layer switched on: structured events into a bounded
+/// ring, a metrics sample every 1000 cycles, and provenance-carrying
+/// race records.
+fn simulator_tracing(trace_path: Option<&str>) {
+    use haccrg_workloads::runner::{run_instance, RunConfig};
+    use haccrg_workloads::scan::Scan;
+    use haccrg_workloads::{Benchmark, Scale};
+
+    let cfg = RunConfig::detecting(Scale::Tiny);
+    let mut gpu = Gpu::new(cfg.gpu);
+    gpu.set_detector(cfg.detector);
+    let rec = RingRecorder::shared(1 << 16);
+    gpu.tracer.install(Box::new(rec.clone()));
+    gpu.tracer.set_sample_every(1000);
+
+    // The multi-block SCAN variant: one of the paper's real races.
+    let bench = Scan::default();
+    let inst = bench.prepare(&mut gpu, Scale::Tiny);
+    let out = run_instance(&mut gpu, &inst).expect("simulation");
+
+    let recorder = rec.borrow();
+    println!(
+        "simulated {} cycles; recorded {} events ({} dropped by the ring)",
+        out.stats.cycles,
+        recorder.len(),
+        recorder.dropped()
+    );
+    for (cycle, ev) in recorder.events().iter().take(6) {
+        println!("    cycle {cycle:>6}  {ev:?}");
+    }
+    println!("    …");
+    println!(
+        "{} metric samples at 1000-cycle intervals (delta counters per SM / slice)",
+        gpu.tracer.samples().len()
+    );
+    if let Some(r) = out.races.records().first() {
+        println!("\none detected race, with full provenance:\n{}", r.provenance());
+    }
+    if let Some(path) = trace_path {
+        let f = std::fs::File::create(path).expect("create trace file");
+        gpu_sim::trace::perfetto::write_chrome_trace(
+            std::io::BufWriter::new(f),
+            &recorder.events(),
+            recorder.dropped(),
+        )
+        .expect("write trace");
+        println!("\nwrote Chrome trace to {path} — open it at https://ui.perfetto.dev");
+    }
+}
+
 fn main() {
     println!("Fig. 1 of the paper, replayed as a recorded trace:\n");
     analyze("missing barrier (bug):", false);
@@ -73,4 +131,7 @@ fn main() {
         "\nThe same stream, saved as JSON lines, feeds the `haccrg-trace` CLI:\n\
          first line = TraceGeometry, then one TraceEvent per line."
     );
+    println!("\n— simulator-backed tracing —\n");
+    let trace_path = std::env::args().nth(1);
+    simulator_tracing(trace_path.as_deref());
 }

@@ -24,6 +24,34 @@ fn all_41_injected_races_are_detected() {
 }
 
 #[test]
+fn every_injected_race_carries_full_provenance() {
+    // One plan per injection kind keeps this test fast; the detection
+    // plumbing that fills provenance is shared by all 41.
+    let plans = campaign(Scale::Tiny);
+    for kind in
+        [InjKind::Barrier, InjKind::CrossBlock, InjKind::Fence, InjKind::CriticalSection]
+    {
+        let p = plans.iter().find(|p| p.kind == kind).unwrap();
+        let r = run_plan(p, Scale::Tiny);
+        assert!(!r.fresh.is_empty(), "{}: no fresh race records", r.label);
+        for rec in &r.fresh {
+            assert!(rec.cycle > 0, "{}: race without a detection cycle: {rec}", r.label);
+            assert_ne!(
+                rec.prev.tid, rec.cur.tid,
+                "{}: race between a thread and itself: {rec}",
+                r.label
+            );
+            let p = rec.provenance();
+            assert!(p.contains(&format!("cycle {}", rec.cycle)), "{p}");
+            assert!(p.contains(&format!("sm {:2}", rec.cur.sm)), "{p}");
+            assert!(p.contains(&format!("warp {:3}", rec.cur.warp)), "{p}");
+            assert!(p.contains(&format!("pc {:#x}", rec.pc)), "{p}");
+            assert!(p.contains(&format!("pc {:#x}", rec.prev_pc)), "{p}");
+        }
+    }
+}
+
+#[test]
 fn fence_injections_are_reported_as_fence_races() {
     for p in campaign(Scale::Tiny).iter().filter(|p| p.kind == InjKind::Fence) {
         let r = run_plan(p, Scale::Tiny);
