@@ -1,10 +1,11 @@
 //! Regenerate §VI-A: real races + the 41-fault injection campaign.
-//! Usage: `cargo run --release -p haccrg-bench --bin effectiveness [--scale …]`
+//! Usage: `cargo run --release -p haccrg-bench --bin effectiveness [--scale …] [--jobs N]`
 
 use haccrg_bench::effectiveness::{campaign_table, real_races, run_campaign};
 
 fn main() {
     let scale = haccrg_bench::scale_from_args();
+    haccrg_bench::jobs_from_args();
     println!("{}", real_races(scale).render());
     let results = run_campaign(scale);
     println!("{}", campaign_table(&results).render());

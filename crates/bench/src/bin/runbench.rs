@@ -18,6 +18,11 @@
 //! * `--sample-every N`   — cut a metrics delta sample every N cycles
 //! * `--metrics-out FILE` — write the sampled metrics time series as JSON
 //!                           (requires `--sample-every`)
+//! * `--parallel-sms`     — cycle SMs on worker threads (same stats,
+//!                           cycle counts, and races as serial execution;
+//!                           see DESIGN.md on the determinism contract)
+//! * `--jobs N`           — sweep worker count for multi-run harnesses
+//!                           (accepted here for a uniform CLI)
 //! * `--list`             — list benchmarks and exit
 
 use std::fs::File;
@@ -53,12 +58,15 @@ fn main() {
         log_error!(
             "usage: runbench --bench NAME [--detector off|shared|full] \
              [--scale paper|repro|tiny] [--clean] [--trace-out FILE] \
-             [--sample-every N] [--metrics-out FILE] [--list]"
+             [--sample-every N] [--metrics-out FILE] [--parallel-sms] \
+             [--jobs N] [--list]"
         );
         std::process::exit(2);
     };
     let scale = haccrg_bench::scale_from_args();
+    haccrg_bench::jobs_from_args();
     let clean = args.iter().any(|a| a == "--clean");
+    let parallel_sms = args.iter().any(|a| a == "--parallel-sms");
     let trace_out = get("--trace-out");
     let metrics_out = get("--metrics-out");
     let sample_every: u64 = match get("--sample-every") {
@@ -86,11 +94,12 @@ fn main() {
         },
     };
 
-    let cfg = match get("--detector").as_deref() {
+    let mut cfg = match get("--detector").as_deref() {
         Some("off") => RunConfig::base(scale),
         Some("shared") => RunConfig::with_detector(scale, DetectorConfig::shared_only()),
         _ => RunConfig::detecting(scale),
     };
+    cfg.gpu.parallel_sms = parallel_sms;
 
     // Assemble the GPU by hand (rather than `runner::run`) so the tracer
     // can be configured between detector installation and kernel prep.

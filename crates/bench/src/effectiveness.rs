@@ -16,8 +16,8 @@ use haccrg_workloads::{benchmark_by_name, Benchmark, Scale};
 
 use gpu_sim::prelude::Gpu;
 
-use crate::parallel_map;
 use crate::report::Table;
+use crate::{parallel_map, SweepRunner};
 
 /// The four §VI-A injection categories.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,9 +206,31 @@ pub fn run_plan(p: &Plan, scale: Scale) -> InjectionResult {
     }
 }
 
-/// Run the whole campaign; returns per-injection results.
+/// Run the whole campaign; returns per-injection results. Runs fan out
+/// over the process-wide [`SweepRunner`] pool; a run that panics yields
+/// a not-detected failure row (label annotated with the panic) instead
+/// of killing the sweep.
 pub fn run_campaign(scale: Scale) -> Vec<InjectionResult> {
-    parallel_map(campaign(scale), |p| run_plan(&p, scale))
+    let plans = campaign(scale);
+    // (label, kind) extracted up front: a panicked job consumes its Plan.
+    let meta: Vec<(String, InjKind)> =
+        plans.iter().map(|p| (p.label.clone(), p.kind)).collect();
+    SweepRunner::from_env()
+        .run(plans, |p| run_plan(&p, scale))
+        .into_iter()
+        .zip(meta)
+        .map(|(r, (label, kind))| match r {
+            Ok(res) => res,
+            Err(e) => InjectionResult {
+                label: format!("{label} [{e}]"),
+                kind,
+                detected: false,
+                new_distinct: 0,
+                categories: Vec::new(),
+                fresh: Vec::new(),
+            },
+        })
+        .collect()
 }
 
 /// Render the campaign as a summary table.

@@ -22,7 +22,10 @@
 pub mod effectiveness;
 pub mod figures;
 pub mod report;
+pub mod sweep;
 pub mod tables;
+
+pub use sweep::{JobError, SweepRunner};
 
 use haccrg_workloads::Scale;
 
@@ -40,28 +43,38 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
-/// Run one closure per item on scoped threads and collect results in
-/// input order. The simulator is single-threaded; independent runs
-/// parallelize perfectly.
+/// Parse the common `--jobs N` CLI argument and pin the process-wide
+/// sweep worker count (see [`sweep::set_jobs`]); returns the resulting
+/// count. Exits with status 2 on a malformed value.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => sweep::set_jobs(n),
+            None => {
+                eprintln!("--jobs needs a worker count");
+                std::process::exit(2);
+            }
+        }
+    }
+    sweep::configured_jobs()
+}
+
+/// Run one closure per item on a [`SweepRunner`] pool and collect results
+/// in input order. The simulator is deterministic per launch; independent
+/// runs parallelize perfectly. Panics if any job panicked — callers that
+/// want per-job failure rows use [`SweepRunner::run`] directly.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            let f = &f;
-            handles.push((i, s.spawn(move |_| f(item))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope");
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    SweepRunner::from_env()
+        .run(items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("sweep worker failed: {e}")))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Level-1 sweep parallelism: fan independent `(workload, config)` runs
+//! over a fixed-size scoped thread pool.
+//!
+//! The simulator itself is deterministic, so a sweep is embarrassingly
+//! parallel; what the harness must guarantee is that *harness-level*
+//! concurrency never leaks into the results:
+//!
+//! * **Deterministic ordering** — results come back in input order no
+//!   matter how jobs interleave across workers, so report tables are
+//!   byte-identical for any `--jobs N` (including `--jobs 1`).
+//! * **Panic isolation** — a job that panics poisons only its own slot
+//!   ([`JobError::Panicked`]); the rest of the sweep completes and the
+//!   caller renders a failure row instead of losing the whole battery.
+//!
+//! The worker count comes from [`SweepRunner::new`], or process-wide from
+//! the `--jobs N` flag via [`set_jobs`] / [`SweepRunner::from_env`]
+//! (default: one worker per available core).
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+
+/// Why a sweep slot has no result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; carries the panic message when it was a string.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A fixed-size scoped thread pool for simulation sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with exactly `jobs` workers; `0` means one per available
+    /// core.
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: if jobs == 0 { default_jobs() } else { jobs } }
+    }
+
+    /// The process-wide runner: the `--jobs N` value when one was pinned
+    /// with [`set_jobs`], otherwise one worker per available core.
+    pub fn from_env() -> Self {
+        SweepRunner::new(configured_jobs())
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f` over every item, at most [`Self::jobs`] at a time, and
+    /// return per-item outcomes in input order.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, JobError>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let total = items.len();
+        // Items parked in per-slot mutexes so workers can claim them by
+        // index (each slot is locked exactly once, uncontended).
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(total).max(1);
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, JobError>)>();
+
+        let mut out: Vec<Option<Result<R, JobError>>> = (0..total).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, slots, f) = (&next, &slots, &f);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let item =
+                        slot.lock().expect("slot lock").take().expect("slot claimed once");
+                    let r = catch_unwind(AssertUnwindSafe(|| f(item)))
+                        .map_err(|p| JobError::Panicked(panic_message(p.as_ref())));
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Receive in completion order, file by index: the output is
+            // ordered by construction, not by scheduling.
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+        });
+        out.into_iter().map(|r| r.expect("every slot reported")).collect()
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+/// Pin the process-wide sweep worker count (first call wins); `0` means
+/// one per available core.
+pub fn set_jobs(n: usize) {
+    let _ = JOBS.set(if n == 0 { default_jobs() } else { n });
+}
+
+/// The process-wide worker count: the [`set_jobs`] value if pinned,
+/// otherwise [`default_jobs`].
+pub fn configured_jobs() -> usize {
+    JOBS.get().copied().unwrap_or_else(default_jobs)
+}
+
+/// One worker per available core (at least 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Reverse sleep times so later items finish first.
+        let r = SweepRunner::new(4).run((0..16u64).collect(), |x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x * x
+        });
+        let want: Vec<_> = (0..16u64).map(|x| Ok(x * x)).collect();
+        assert_eq!(r, want);
+    }
+
+    #[test]
+    fn a_panicking_job_poisons_only_its_slot() {
+        let r = SweepRunner::new(3).run(vec![1, 2, 3, 4], |x| {
+            assert!(x != 3, "planted failure");
+            x * 10
+        });
+        assert_eq!(r[0], Ok(10));
+        assert_eq!(r[1], Ok(20));
+        assert_eq!(r[3], Ok(40));
+        match &r[2] {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("planted failure"), "{msg}"),
+            other => panic!("expected a poisoned slot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_worker_matches_many_workers() {
+        let f = |x: u32| x.wrapping_mul(2654435761);
+        let serial = SweepRunner::new(1).run((0..64).collect(), f);
+        let fanned = SweepRunner::new(8).run((0..64).collect(), f);
+        assert_eq!(serial, fanned);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_sweeps_work() {
+        let none: Vec<Result<u32, JobError>> = SweepRunner::new(4).run(Vec::<u32>::new(), |x| x);
+        assert!(none.is_empty());
+        let r = SweepRunner::new(64).run(vec![7u32], |x| x + 1);
+        assert_eq!(r, vec![Ok(8)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Level-1 determinism: a workload sweep produces identical results for
+//! any `--jobs N`, because results are collected in input order and each
+//! simulation is single-threaded and deterministic.
+
+use haccrg_bench::SweepRunner;
+use haccrg_workloads::runner::{run, RunConfig};
+use haccrg_workloads::{all_benchmarks, Scale};
+
+#[test]
+fn sweep_results_are_identical_for_any_worker_count() {
+    let sweep = |jobs: usize| {
+        let benches: Vec<_> = all_benchmarks().into_iter().take(4).collect();
+        SweepRunner::new(jobs).run(benches, |b| {
+            let out = run(b.as_ref(), &RunConfig::detecting(Scale::Tiny)).expect("run");
+            (
+                b.name().to_string(),
+                out.stats.cycles,
+                out.stats.warp_instructions,
+                out.races.distinct(),
+                out.races.total(),
+            )
+        })
+    };
+    let serial = sweep(1);
+    let fanned = sweep(4);
+    assert_eq!(serial, fanned, "sweep output must not depend on --jobs");
+    assert_eq!(serial.len(), 4);
+    assert!(serial.iter().all(Result::is_ok));
+}

@@ -234,6 +234,14 @@ impl RaceLog {
         // Dynamic occurrences beyond the other's retained records.
         self.total += other.total - other.records.len() as u64;
     }
+
+    /// Fold `n` extra dynamic occurrences into the total without touching
+    /// the distinct set. Callers that replay another log's records through
+    /// [`RaceLog::push`] one by one (to learn which were globally fresh)
+    /// use this for the occurrences the other log had already deduplicated.
+    pub fn add_dynamic(&mut self, n: u64) {
+        self.total += n;
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,19 @@ pub struct GpuConfig {
     pub device_mem_bytes: u32,
     /// Maximum cycles before a launch is declared hung (watchdog).
     pub watchdog_cycles: u64,
+    /// Cycle the SMs' core phase on a scoped worker pool instead of
+    /// serially. Results are bit-identical to serial execution — both
+    /// paths run the same two-phase compute/apply cycle and the apply
+    /// phase always merges SM outputs in SM-id order (see DESIGN.md,
+    /// "Parallel execution engine").
+    #[serde(default)]
+    pub parallel_sms: bool,
+    /// Worker-thread count for `parallel_sms` (capped at `num_sms`);
+    /// `0` means one per available core. Setting an explicit count also
+    /// forces the pool on machines reporting a single core, which the
+    /// determinism suite uses to exercise the parallel path everywhere.
+    #[serde(default)]
+    pub sm_workers: u32,
 }
 
 impl GpuConfig {
@@ -156,6 +169,8 @@ impl GpuConfig {
             icnt: IcntConfig { latency: 8, flit_bytes: 32 },
             device_mem_bytes: 192 * 1024 * 1024,
             watchdog_cycles: 300_000_000,
+            parallel_sms: false,
+            sm_workers: 0,
         }
     }
 

@@ -14,6 +14,14 @@ pub struct DeviceMemory {
     next: u32,
 }
 
+impl Default for DeviceMemory {
+    /// Zero-byte placeholder, used by the launch engine to `mem::take`
+    /// the real memory into an `Arc` for the duration of a launch.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl DeviceMemory {
     /// Create `bytes` of device memory.
     pub fn new(bytes: u32) -> Self {

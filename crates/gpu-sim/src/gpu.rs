@@ -6,18 +6,21 @@
 //! same cycle count, statistics and race log every time (no wall-clock,
 //! no unseeded randomness, strictly ordered queues).
 
+use std::sync::Arc;
+
 use haccrg::config::DetectorConfig;
 use haccrg::cost;
 use haccrg::prelude::*;
 
 use crate::config::GpuConfig;
-use crate::detector::{DetectorMode, DetectorState};
+use crate::detector::{DetectorMode, DetectorState, LaunchDet};
 use crate::device::{DeviceMemory, HEAP_BASE};
+use crate::engine::CyclePool;
 use crate::isa::Kernel;
 use crate::mem::icnt::{self, Link};
 use crate::mem::slice::MemSlice;
 use crate::mem::MemReq;
-use crate::sm::{LaunchContext, Sm};
+use crate::sm::{apply_global_batch, CycleOutput, LaunchContext, Sm, SmOp};
 use crate::stats::{CacheStats, DramStats, SimStats};
 use crate::trace::{LaunchSampler, ReqTag, SimEvent, Tracer};
 
@@ -173,9 +176,34 @@ impl Gpu {
             self.detector.map_or(Granularity::GLOBAL_DEFAULT, |d| d.cfg.global_granularity),
         )
         .allocated_bytes as u32;
-        let shared_shadow_base = shadow_base.saturating_add(shadow_alloc).saturating_add(4096);
         let shared_shadow_stride =
             ((self.cfg.shared_mem_per_sm / 4) * 2 + self.cfg.l1.line_bytes) & !(self.cfg.l1.line_bytes - 1);
+        // The whole shared-shadow region (one stride per SM) must fit in
+        // the 32-bit address space; saturating placement would silently
+        // alias it onto the global shadow table and corrupt detection.
+        let shadow_layout = shadow_base
+            .checked_add(shadow_alloc)
+            .and_then(|v| v.checked_add(4096))
+            .and_then(|base| {
+                self.cfg
+                    .num_sms
+                    .checked_mul(shared_shadow_stride)
+                    .and_then(|span| base.checked_add(span))
+                    .map(|_end| base)
+            });
+        let shared_shadow_base = match shadow_layout {
+            Some(base) => base,
+            None if self.detector.is_some() => {
+                return Err(SimError::BadLaunch(
+                    "shadow layout overflows the 32-bit address space \
+                     (tracked region + shared-shadow region too large)"
+                        .into(),
+                ));
+            }
+            // No detector: the region is never addressed, keep a benign
+            // saturated placeholder.
+            None => shadow_base.saturating_add(shadow_alloc).saturating_add(4096),
+        };
 
         let ctx = LaunchContext {
             kernel: kernel.clone(),
@@ -187,7 +215,7 @@ impl Gpu {
             shared_shadow_stride,
         };
 
-        let mut det: Option<DetectorState> = self.detector.map(|s| {
+        let det_state: Option<DetectorState> = self.detector.map(|s| {
             DetectorState::new(
                 s.cfg,
                 s.mode,
@@ -200,9 +228,18 @@ impl Gpu {
                 shadow_base,
             )
         });
-
-        let mut stats = SimStats::default();
+        // Split the detector for the two-phase engine: each SM owns its
+        // shared RDU during the compute phase; global RDU / clocks / log
+        // stay with the coordinator.
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms).map(|i| Sm::new(i, self.cfg)).collect();
+        let det: Option<LaunchDet> = det_state.map(|d| {
+            let (launch_det, rdus) = d.decompose();
+            for (sm, rdu) in sms.iter_mut().zip(rdus) {
+                sm.install_shared_rdu(rdu);
+            }
+            launch_det
+        });
+
         let mut slices: Vec<MemSlice> =
             (0..self.cfg.num_mem_slices).map(|i| MemSlice::new(i, self.cfg)).collect();
         let launch_id = self.tracer.next_launch();
@@ -213,177 +250,50 @@ impl Gpu {
         if tracing {
             self.tracer.emit(0, SimEvent::KernelLaunch { launch: launch_id, grid, block_dim });
         }
-        let mut sampler = self
+        let sampler = self
             .tracer
             .sampling()
             .then(|| LaunchSampler::new(self.tracer.sample_every(), launch_id, sms.len(), slices.len()));
         let lat = u64::from(self.cfg.icnt.latency);
-        let mut sm_egress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(lat)).collect();
-        let mut sm_ingress: Vec<Link<MemReq>> = (0..self.cfg.num_sms).map(|_| Link::new(0)).collect();
-        let mut slice_ingress: Vec<Link<MemReq>> =
-            (0..self.cfg.num_mem_slices).map(|_| Link::new(0)).collect();
-        let mut slice_egress: Vec<Link<MemReq>> =
-            (0..self.cfg.num_mem_slices).map(|_| Link::new(lat)).collect();
+        let outs: Vec<CycleOutput> =
+            (0..self.cfg.num_sms).map(|_| CycleOutput::new(tracing)).collect();
+        let mut st = LoopState {
+            mem: Arc::new(std::mem::take(&mut self.mem)),
+            det,
+            stats: SimStats::default(),
+            sms,
+            outs,
+            slices,
+            sm_egress: (0..self.cfg.num_sms).map(|_| Link::new(lat)).collect(),
+            sm_ingress: (0..self.cfg.num_sms).map(|_| Link::new(0)).collect(),
+            slice_ingress: (0..self.cfg.num_mem_slices).map(|_| Link::new(0)).collect(),
+            slice_egress: (0..self.cfg.num_mem_slices).map(|_| Link::new(lat)).collect(),
+            sampler,
+        };
 
-        let mut next_block = 0u32;
-        let mut dispatch_rr = 0usize;
-        let mut now = 0u64;
-        let flit = self.cfg.icnt.flit_bytes;
-        // The placement scan is O(SMs × warp slots): run it only at launch
-        // and after a CTA retires, not every cycle.
-        let mut dispatch_needed = true;
-
-        loop {
-            // Block dispatcher: round-robin over SMs with capacity.
-            if dispatch_needed {
-                dispatch_needed = false;
-                while next_block < grid {
-                    let mut placed = false;
-                    for k in 0..sms.len() {
-                        let i = (dispatch_rr + k) % sms.len();
-                        if sms[i].can_place(&ctx) {
-                            sms[i].place(next_block, &ctx);
-                            next_block += 1;
-                            dispatch_rr = (i + 1) % sms.len();
-                            placed = true;
-                            break;
-                        }
-                    }
-                    if !placed {
-                        break;
-                    }
-                }
-            }
-
-            // Core cycles.
-            for sm in &mut sms {
-                sm.cycle(now, &ctx, &mut self.mem, &mut det, &mut stats, &mut self.tracer);
-                if sm.freed_capacity {
-                    sm.freed_capacity = false;
-                    dispatch_needed = true;
-                }
-            }
-
-            // SM → network.
-            for (i, sm) in sms.iter_mut().enumerate() {
-                for req in sm.out_req.drain(..) {
-                    if let Some(tr) = self.trace.as_mut() {
-                        let shadow = (req.shadow_ops > 0).then_some(req.shadow_base);
-                        tr.push((req.line_addr, shadow));
-                    }
-                    if tracing {
-                        self.tracer.emit(
-                            now,
-                            SimEvent::ReqDepart {
-                                sm: req.sm,
-                                id: req.id,
-                                line: req.line_addr,
-                                kind: ReqTag::from(&req.kind),
-                            },
-                        );
-                    }
-                    let flits = req.request_flits(flit);
-                    sm_egress[i].push(now, flits, req);
-                }
-            }
-            // Network → slices (slice ingress models the port).
-            for link in &mut sm_egress {
-                while let Some(req) = link.pop_ready(now) {
-                    let s = self.cfg.slice_of(req.line_addr) as usize;
-                    slice_ingress[s].push(now, 1, req);
-                }
-            }
-            for (s, link) in slice_ingress.iter_mut().enumerate() {
-                while let Some(req) = link.pop_ready(now) {
-                    slices[s].push_input(req);
-                }
-            }
-
-            // Memory slices.
-            for (s, slice) in slices.iter_mut().enumerate() {
-                for resp in slice.cycle(now, &mut self.mem) {
-                    let flits = resp.response_flits(flit);
-                    slice_egress[s].push(now, flits, resp);
-                }
-                if tracing {
-                    for ev in slice.trace_buf.drain(..) {
-                        self.tracer.emit(now, ev);
-                    }
-                }
-            }
-
-            // Network → SMs.
-            for link in &mut slice_egress {
-                while let Some(resp) = link.pop_ready(now) {
-                    sm_ingress[resp.sm as usize].push(now, 1, resp);
-                }
-            }
-            for (i, link) in sm_ingress.iter_mut().enumerate() {
-                while let Some(resp) = link.pop_ready(now) {
-                    if tracing {
-                        self.tracer.emit(
-                            now,
-                            SimEvent::RespArrive {
-                                sm: resp.sm,
-                                id: resp.id,
-                                line: resp.line_addr,
-                                kind: ReqTag::from(&resp.kind),
-                            },
-                        );
-                    }
-                    sms[i].handle_response(resp, now, &ctx, &mut det, &mut stats, &mut self.tracer);
-                }
-            }
-
-            now += 1;
-
-            // Cycle-sampled metrics: cut a delta snapshot every N cycles.
-            if let Some(sp) = sampler.as_mut() {
-                if sp.due(now) {
-                    let agg = aggregate_stats(
-                        &stats,
-                        now,
-                        &sms,
-                        &slices,
-                        [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
-                    );
-                    let sample = cut_sample(
-                        sp,
-                        now,
-                        &agg,
-                        &sms,
-                        &slices,
-                        [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
-                    );
-                    self.tracer.push_sample(sample);
-                }
-            }
-
-            // Completion: all blocks dispatched and retired, all queues dry.
-            if next_block >= grid
-                && sms.iter().all(|s| !s.busy())
-                && sm_egress.iter().all(Link::is_empty)
-                && sm_ingress.iter().all(Link::is_empty)
-                && slice_ingress.iter().all(Link::is_empty)
-                && slice_egress.iter().all(Link::is_empty)
-                && slices.iter().all(MemSlice::idle)
-            {
-                break;
-            }
-            if now > self.cfg.watchdog_cycles {
-                return Err(SimError::Hang { cycles: now });
-            }
-            // No-progress guard: blocks remain but nothing is resident and
-            // nothing is in flight — the launch can never be placed.
-            if next_block < grid
-                && sms.iter().all(|s| !s.busy())
-                && slices.iter().all(MemSlice::idle)
-            {
-                return Err(SimError::BadLaunch(format!(
-                    "block {next_block} can never be placed (exceeds SM resources)"
-                )));
-            }
+        // Level-2 parallelism: run the same cycle loop with the compute
+        // phase fanned over a scoped worker pool. The apply phase (and
+        // everything downstream of it) is identical, so results are
+        // bit-identical to the serial path by construction.
+        let workers = match self.cfg.sm_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n as usize,
         }
+        .min(self.cfg.num_sms as usize);
+        let outcome = if self.cfg.parallel_sms && workers > 1 {
+            std::thread::scope(|scope| {
+                let pool = CyclePool::start(scope, &ctx, workers);
+                self.run_cycles(&ctx, &mut st, Some(&pool))
+            })
+        } else {
+            self.run_cycles(&ctx, &mut st, None)
+        };
+
+        let LoopState { mem, det, stats, sms, slices, sm_egress, sm_ingress, slice_ingress, slice_egress, mut sampler, .. } =
+            st;
+        // Restore device memory even on error so the GPU stays usable.
+        self.mem = Arc::try_unwrap(mem).ok().expect("memory snapshot outstanding after launch");
+        let now = outcome?;
 
         // Aggregate statistics (the same function the sampler snapshots
         // through, so per-interval deltas telescope to this aggregate).
@@ -430,6 +340,297 @@ impl Gpu {
             shadow_packed_bytes: shadow.packed_bytes,
             tracked_bytes,
         })
+    }
+
+    /// The per-launch cycle loop, shared by the serial and parallel
+    /// engines. Each cycle: dispatch → compute phase (possibly fanned
+    /// over `pool`) → serial apply phase in SM-id order → interconnect /
+    /// slices / responses → bookkeeping. Returns the final cycle count.
+    #[allow(clippy::too_many_lines)]
+    fn run_cycles(
+        &mut self,
+        ctx: &LaunchContext,
+        st: &mut LoopState,
+        pool: Option<&CyclePool>,
+    ) -> Result<u64, SimError> {
+        let grid = ctx.grid;
+        let tracing = self.tracer.on();
+        let flit = self.cfg.icnt.flit_bytes;
+
+        let mut next_block = 0u32;
+        let mut dispatch_rr = 0usize;
+        let mut now = 0u64;
+        // The placement scan is O(SMs × warp slots): run it only at launch
+        // and after a CTA retires, not every cycle.
+        let mut dispatch_needed = true;
+
+        loop {
+            // Block dispatcher: round-robin over SMs with capacity.
+            if dispatch_needed {
+                dispatch_needed = false;
+                while next_block < grid {
+                    let mut placed = false;
+                    for k in 0..st.sms.len() {
+                        let i = (dispatch_rr + k) % st.sms.len();
+                        if st.sms[i].can_place(ctx) {
+                            st.sms[i].place(next_block, ctx);
+                            next_block += 1;
+                            dispatch_rr = (i + 1) % st.sms.len();
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        break;
+                    }
+                }
+            }
+
+            // Compute phase: every SM advances one core cycle against the
+            // pre-cycle memory / clock snapshot, buffering its effects.
+            match pool {
+                Some(p) => {
+                    let det = st.det.as_ref().map(|d| (&d.clocks, d.statics()));
+                    p.run_cycle(now, &st.mem, det, &mut st.sms, &mut st.outs);
+                }
+                None => {
+                    for (sm, out) in st.sms.iter_mut().zip(st.outs.iter_mut()) {
+                        out.clear();
+                        let view = st.det.as_ref().map(LaunchDet::view);
+                        sm.cycle_compute(now, ctx, &st.mem, view, out);
+                    }
+                }
+            }
+
+            // Apply phase: merge buffered effects in SM-id order. This is
+            // the only place device memory, the clock file, the global RDU
+            // and the race log are mutated during a core cycle, so the
+            // parallel compute phase cannot perturb results.
+            {
+                let mem = Arc::get_mut(&mut st.mem)
+                    .expect("memory snapshot outstanding during apply phase");
+                for i in 0..st.sms.len() {
+                    apply_cycle_output(
+                        &mut st.sms[i],
+                        &mut st.outs[i],
+                        now,
+                        mem,
+                        &mut st.det,
+                        &mut st.stats,
+                        &mut self.tracer,
+                    );
+                    if st.sms[i].freed_capacity {
+                        st.sms[i].freed_capacity = false;
+                        dispatch_needed = true;
+                    }
+                }
+            }
+
+            // SM → network.
+            for (i, sm) in st.sms.iter_mut().enumerate() {
+                for req in sm.out_req.drain(..) {
+                    if let Some(tr) = self.trace.as_mut() {
+                        let shadow = (req.shadow_ops > 0).then_some(req.shadow_base);
+                        tr.push((req.line_addr, shadow));
+                    }
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            SimEvent::ReqDepart {
+                                sm: req.sm,
+                                id: req.id,
+                                line: req.line_addr,
+                                kind: ReqTag::from(&req.kind),
+                            },
+                        );
+                    }
+                    let flits = req.request_flits(flit);
+                    st.sm_egress[i].push(now, flits, req);
+                }
+            }
+            // Network → slices (slice ingress models the port).
+            for link in &mut st.sm_egress {
+                while let Some(req) = link.pop_ready(now) {
+                    let s = self.cfg.slice_of(req.line_addr) as usize;
+                    st.slice_ingress[s].push(now, 1, req);
+                }
+            }
+            for (s, link) in st.slice_ingress.iter_mut().enumerate() {
+                while let Some(req) = link.pop_ready(now) {
+                    st.slices[s].push_input(req);
+                }
+            }
+
+            // Memory slices.
+            {
+                let mem = Arc::get_mut(&mut st.mem)
+                    .expect("memory snapshot outstanding during slice phase");
+                for (s, slice) in st.slices.iter_mut().enumerate() {
+                    for resp in slice.cycle(now, mem) {
+                        let flits = resp.response_flits(flit);
+                        st.slice_egress[s].push(now, flits, resp);
+                    }
+                    if tracing {
+                        for ev in slice.trace_buf.drain(..) {
+                            self.tracer.emit(now, ev);
+                        }
+                    }
+                }
+            }
+
+            // Network → SMs.
+            for link in &mut st.slice_egress {
+                while let Some(resp) = link.pop_ready(now) {
+                    st.sm_ingress[resp.sm as usize].push(now, 1, resp);
+                }
+            }
+            for (i, link) in st.sm_ingress.iter_mut().enumerate() {
+                while let Some(resp) = link.pop_ready(now) {
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            SimEvent::RespArrive {
+                                sm: resp.sm,
+                                id: resp.id,
+                                line: resp.line_addr,
+                                kind: ReqTag::from(&resp.kind),
+                            },
+                        );
+                    }
+                    st.sms[i].handle_response(resp, now, ctx, &mut st.det, &mut st.stats, &mut self.tracer);
+                }
+            }
+
+            now += 1;
+
+            // Cycle-sampled metrics: cut a delta snapshot every N cycles.
+            if let Some(sp) = st.sampler.as_mut() {
+                if sp.due(now) {
+                    let agg = aggregate_stats(
+                        &st.stats,
+                        now,
+                        &st.sms,
+                        &st.slices,
+                        [&st.sm_egress, &st.sm_ingress, &st.slice_ingress, &st.slice_egress],
+                    );
+                    let sample = cut_sample(
+                        sp,
+                        now,
+                        &agg,
+                        &st.sms,
+                        &st.slices,
+                        [&st.sm_egress, &st.sm_ingress, &st.slice_ingress, &st.slice_egress],
+                    );
+                    self.tracer.push_sample(sample);
+                }
+            }
+
+            // Completion: all blocks dispatched and retired, all queues dry.
+            if next_block >= grid
+                && st.sms.iter().all(|s| !s.busy())
+                && st.sm_egress.iter().all(Link::is_empty)
+                && st.sm_ingress.iter().all(Link::is_empty)
+                && st.slice_ingress.iter().all(Link::is_empty)
+                && st.slice_egress.iter().all(Link::is_empty)
+                && st.slices.iter().all(MemSlice::idle)
+            {
+                break;
+            }
+            if now > self.cfg.watchdog_cycles {
+                return Err(SimError::Hang { cycles: now });
+            }
+            // No-progress guard: blocks remain but nothing is resident and
+            // nothing is in flight — the launch can never be placed. The
+            // interconnect links must be checked too: a response still in
+            // flight can wake an SM and free capacity, so in-flight traffic
+            // is progress even when every SM and slice is momentarily idle.
+            if next_block < grid
+                && st.sms.iter().all(|s| !s.busy())
+                && st.sm_egress.iter().all(Link::is_empty)
+                && st.sm_ingress.iter().all(Link::is_empty)
+                && st.slice_ingress.iter().all(Link::is_empty)
+                && st.slice_egress.iter().all(Link::is_empty)
+                && st.slices.iter().all(MemSlice::idle)
+            {
+                return Err(SimError::BadLaunch(format!(
+                    "block {next_block} can never be placed (exceeds SM resources)"
+                )));
+            }
+        }
+        Ok(now)
+    }
+}
+
+/// Everything the cycle loop owns for one launch, grouped so the loop body
+/// can run identically inside or outside a `thread::scope`.
+struct LoopState {
+    /// Device memory behind an [`Arc`] so compute workers can read the
+    /// pre-cycle snapshot; the coordinator regains `&mut` access via
+    /// [`Arc::get_mut`] once every worker has dropped its clone.
+    mem: Arc<DeviceMemory>,
+    det: Option<LaunchDet>,
+    stats: SimStats,
+    sms: Vec<Sm>,
+    outs: Vec<CycleOutput>,
+    slices: Vec<MemSlice>,
+    sm_egress: Vec<Link<MemReq>>,
+    sm_ingress: Vec<Link<MemReq>>,
+    slice_ingress: Vec<Link<MemReq>>,
+    slice_egress: Vec<Link<MemReq>>,
+    sampler: Option<LaunchSampler>,
+}
+
+/// Serial apply phase for one SM's buffered cycle output: fold its stat
+/// deltas into the launch totals, then replay its [`SmOp`]s in order.
+/// Called in SM-id order, which is what makes the parallel engine's
+/// results bit-identical to serial execution.
+fn apply_cycle_output(
+    sm: &mut Sm,
+    out: &mut CycleOutput,
+    now: u64,
+    mem: &mut DeviceMemory,
+    det: &mut Option<LaunchDet>,
+    stats: &mut SimStats,
+    tracer: &mut Tracer,
+) {
+    stats.accumulate(&out.stats);
+    for op in out.ops.drain(..) {
+        match op {
+            SmOp::MemWrite { addr, val, size } => mem.write(addr, val, size),
+            SmOp::NoteGlobal { block } => {
+                if let Some(d) = det.as_mut() {
+                    d.clocks_mut().note_global_access(block);
+                }
+            }
+            SmOp::Barrier { block } => {
+                if let Some(d) = det.as_mut() {
+                    d.clocks_mut().on_barrier(block);
+                }
+            }
+            SmOp::Fence { gwarp } => {
+                if let Some(d) = det.as_mut() {
+                    d.clocks_mut().on_fence(gwarp);
+                }
+            }
+            SmOp::SharedRaces { log } => {
+                if let Some(d) = det.as_mut() {
+                    for r in log.records() {
+                        let fresh = d.log.push(*r);
+                        if fresh && tracer.on() {
+                            tracer.emit(now, SimEvent::RaceDetected { record: *r });
+                        }
+                    }
+                    // Occurrences the SM-local log had already deduplicated.
+                    d.log.add_dynamic(log.total() - log.records().len() as u64);
+                }
+            }
+            SmOp::Emit { cycle, ev } => tracer.emit(cycle, ev),
+            SmOp::GlobalBatch { accesses, is_store, sink } => {
+                if let Some(d) = det.as_mut() {
+                    apply_global_batch(sm, &accesses, is_store, sink, now, d, stats, tracer);
+                }
+            }
+        }
     }
 }
 

@@ -61,6 +61,7 @@
 pub mod config;
 pub mod detector;
 pub mod device;
+pub(crate) mod engine;
 pub mod exec;
 pub mod gpu;
 pub mod isa;

@@ -8,12 +8,24 @@
 //! the occupancy; global loads/atomics block the issuing warp until their
 //! responses return (simple in-order SPs, §II-A), with latency hidden by
 //! switching among the SM's other warps; stores are non-blocking but
-//! tracked so `membar` can wait for them.
+//! tracked so `membar` can wait for them; a global load that cannot get
+//! L1 MSHRs replays until fills drain.
+//!
+//! ## Two-phase execution
+//!
+//! The core cycle is split so SMs can run concurrently (see DESIGN.md,
+//! "Parallel execution engine"): [`Sm::cycle_compute`] reads device
+//! memory and the detector clocks as immutable snapshots, mutates only
+//! SM-owned state (warps, CTAs, L1, MSHRs, its shared RDU), and buffers
+//! every cross-SM side effect into a [`CycleOutput`]. The coordinator
+//! then applies each SM's [`SmOp`]s in SM-id order — exactly the order
+//! the old serial loop produced them — so serial and parallel execution
+//! are bit-identical.
 
 use haccrg::prelude::*;
 
 use crate::config::GpuConfig;
-use crate::detector::DetectorState;
+use crate::detector::{DetView, LaunchDet};
 use crate::device::DeviceMemory;
 use crate::exec::{eval_bin, eval_cmp, eval_un};
 use crate::isa::{Kernel, Op, Space, SpecialReg, Src};
@@ -23,6 +35,110 @@ use crate::mem::{LaneAtomic, MemReq, ReqKind};
 use crate::simt::SimtStack;
 use crate::stats::SimStats;
 use crate::trace::{SimEvent, StallReason, Tracer};
+
+/// Buffered side effects of one SM core cycle — the compute phase's
+/// output, applied by the coordinator in SM-id order.
+pub struct CycleOutput {
+    /// Whether tracer events should be buffered (mirrors `Tracer::on`).
+    pub tracing: bool,
+    /// Counter deltas accumulated by this SM this cycle.
+    pub stats: SimStats,
+    /// Cross-SM side effects, in program order.
+    pub ops: Vec<SmOp>,
+}
+
+impl CycleOutput {
+    /// An empty output buffer.
+    pub fn new(tracing: bool) -> Self {
+        Self { tracing, stats: SimStats::default(), ops: Vec::new() }
+    }
+
+    /// Reset for the next cycle, keeping allocations.
+    pub fn clear(&mut self) {
+        self.stats = SimStats::default();
+        self.ops.clear();
+    }
+
+    fn emit(&mut self, cycle: u64, ev: SimEvent) {
+        if self.tracing {
+            self.ops.push(SmOp::Emit { cycle, ev });
+        }
+    }
+}
+
+/// One deferred cross-SM side effect of the compute phase.
+pub enum SmOp {
+    /// Functional global-memory store (write-through data).
+    MemWrite {
+        /// Byte address.
+        addr: u32,
+        /// Value (low `size` bytes significant).
+        val: u32,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// `ClockFile::note_global_access` for a resident block.
+    NoteGlobal {
+        /// Block ID.
+        block: u32,
+    },
+    /// `ClockFile::on_barrier` — a resident block released its barrier.
+    Barrier {
+        /// Block ID.
+        block: u32,
+    },
+    /// `ClockFile::on_fence` — a warp's `membar` completed at issue.
+    Fence {
+        /// Global warp ID.
+        gwarp: u32,
+    },
+    /// Race pushes of one shared-RDU instruction, captured in a local
+    /// log and replayed into the launch log (dynamic totals preserved).
+    SharedRaces {
+        /// The instruction-local capture.
+        log: RaceLog,
+    },
+    /// A buffered tracer event.
+    Emit {
+        /// Cycle stamp.
+        cycle: u64,
+        /// The event.
+        ev: SimEvent,
+    },
+    /// Global-RDU work for the lanes of one coalesced transaction; runs
+    /// against live clocks/log in the apply phase.
+    GlobalBatch {
+        /// Per-lane accesses, capture-ordered.
+        accesses: Vec<MemAccess>,
+        /// Whether to run the intra-warp store-store pre-check.
+        is_store: bool,
+        /// Where resulting shadow traffic attaches.
+        sink: ShadowSink,
+    },
+}
+
+/// Where a global-RDU batch's shadow-line accesses go once known.
+pub enum ShadowSink {
+    /// Piggyback on the data request at `out_req[req_idx]` (misses and
+    /// stores).
+    Attach {
+        /// Index into the SM's `out_req` of this cycle.
+        req_idx: usize,
+    },
+    /// Emit a detection-only [`ReqKind::ShadowProbe`] (L1 hits and
+    /// merged misses). `count_stat` preserves the historical accounting:
+    /// hit probes count toward `probe_packets`, merged-miss probes don't.
+    Probe {
+        /// Probed line address.
+        line_addr: u32,
+        /// Issuing warp slot.
+        warp_slot: usize,
+        /// Issuing global warp ID.
+        gwarp: u32,
+        /// Bump `SimStats::probe_packets`?
+        count_stat: bool,
+    },
+}
 
 /// Everything shared by all SMs during one kernel launch.
 #[allow(missing_docs)] // field names are self-describing
@@ -98,10 +214,16 @@ pub struct Sm {
     rr_next: usize,
     issue_free_at: u64,
     pub l1: Cache,
-    /// line → warp slots to wake when the fill returns.
-    l1_mshr: Vec<(u32, Vec<usize>)>,
-    /// L1-hit load responses maturing locally.
-    local_ready: Vec<(u64, usize)>,
+    /// line → `(warp slot, gwarp)` waiters to wake when the fill returns.
+    /// Waiters carry the global warp ID so a response arriving after the
+    /// CTA retired and another warp reused the slot wakes nobody.
+    l1_mshr: Vec<(u32, Vec<(usize, u32)>)>,
+    /// L1-hit load responses maturing locally: `(cycle, slot, gwarp)`.
+    local_ready: Vec<(u64, usize, u32)>,
+    /// This SM's shared-memory RDU for the current launch (installed by
+    /// the GPU when a detector is configured; owned here so the compute
+    /// phase needs no shared detector state).
+    pub shared_rdu: Option<SharedRdu>,
     /// Requests produced this cycle, drained by the GPU into the network.
     pub out_req: Vec<MemReq>,
     pub threads_resident: u32,
@@ -124,6 +246,7 @@ impl Sm {
             l1: Cache::new(cfg.l1),
             l1_mshr: Vec::new(),
             local_ready: Vec::new(),
+            shared_rdu: None,
             out_req: Vec::new(),
             threads_resident: 0,
             regs_resident: 0,
@@ -208,22 +331,28 @@ impl Sm {
         self.regs_resident += threads * u32::from(ctx.kernel.num_regs);
     }
 
-    /// One core cycle: retire matured L1 hits, then try to issue.
-    pub fn cycle(
+    /// Install this SM's shared RDU for the coming launch.
+    pub fn install_shared_rdu(&mut self, rdu: SharedRdu) {
+        self.shared_rdu = Some(rdu);
+    }
+
+    /// One core cycle, compute phase: retire matured L1 hits, then try
+    /// to issue. Reads `mem` and the detector clocks as snapshots;
+    /// cross-SM side effects land in `out` for the serial apply phase.
+    pub fn cycle_compute(
         &mut self,
         now: u64,
         ctx: &LaunchContext,
-        mem: &mut DeviceMemory,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
+        mem: &DeviceMemory,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
     ) {
         // Matured L1-hit load responses.
         let mut i = 0;
         while i < self.local_ready.len() {
             if self.local_ready[i].0 <= now {
-                let (_, slot) = self.local_ready.swap_remove(i);
-                self.wake_load(slot);
+                let (_, slot, gwarp) = self.local_ready.swap_remove(i);
+                self.wake_load(slot, gwarp);
             } else {
                 i += 1;
             }
@@ -242,7 +371,7 @@ impl Sm {
                     let idx = (self.rr_next + k) % n;
                     if ready_at(&self.warps[idx]) {
                         self.rr_next = (idx + 1) % n;
-                        self.issue(idx, now, ctx, mem, det, stats, tracer);
+                        self.issue(idx, now, ctx, mem, det, out);
                         return;
                     }
                 }
@@ -251,7 +380,7 @@ impl Sm {
                 // Greedy: stick with the last-issued warp while it can go.
                 let last = self.rr_next % n;
                 if ready_at(&self.warps[last]) {
-                    self.issue(last, now, ctx, mem, det, stats, tracer);
+                    self.issue(last, now, ctx, mem, det, out);
                     return;
                 }
                 // Otherwise the oldest ready warp by global warp ID.
@@ -260,14 +389,18 @@ impl Sm {
                     .min_by_key(|&i| self.warps[i].as_ref().map_or(u32::MAX, |w| w.gwarp));
                 if let Some(idx) = pick {
                     self.rr_next = idx;
-                    self.issue(idx, now, ctx, mem, det, stats, tracer);
+                    self.issue(idx, now, ctx, mem, det, out);
                 }
             }
         }
     }
 
-    fn wake_load(&mut self, warp_slot: usize) {
-        if let Some(w) = self.warps[warp_slot].as_mut() {
+    /// Wake one pending load of the warp in `warp_slot` — but only if the
+    /// slot still belongs to `gwarp`. A stale wake (slot retired and
+    /// reused by a later block) would decrement the *new* warp's
+    /// `pending_loads` and release it before its own loads returned.
+    fn wake_load(&mut self, warp_slot: usize, gwarp: u32) {
+        if let Some(w) = self.warps[warp_slot].as_mut().filter(|w| w.gwarp == gwarp) {
             w.pending_loads = w.pending_loads.saturating_sub(1);
             if w.pending_loads == 0 && w.state == WarpState::WaitMem {
                 w.state = WarpState::Ready;
@@ -275,13 +408,14 @@ impl Sm {
         }
     }
 
-    /// A response arrived from the memory system.
+    /// A response arrived from the memory system. Runs coordinator-side
+    /// (after the compute phase), so it mutates detector clocks directly.
     pub fn handle_response(
         &mut self,
         resp: MemReq,
         now: u64,
         ctx: &LaunchContext,
-        det: &mut Option<DetectorState>,
+        det: &mut Option<LaunchDet>,
         stats: &mut SimStats,
         tracer: &mut Tracer,
     ) {
@@ -291,8 +425,8 @@ impl Sm {
                 let _ = ev; // L1 is write-through: evictions are clean.
                 if let Some(pos) = self.l1_mshr.iter().position(|(l, _)| *l == resp.line_addr) {
                     let (_, waiters) = self.l1_mshr.swap_remove(pos);
-                    for slot in waiters {
-                        self.wake_load(slot);
+                    for (slot, gwarp) in waiters {
+                        self.wake_load(slot, gwarp);
                     }
                 }
             }
@@ -311,7 +445,7 @@ impl Sm {
                 if fence_done {
                     stats.fences += 1;
                     if let Some(d) = det.as_mut() {
-                        d.clocks.on_fence(gwarp);
+                        d.clocks_mut().on_fence(gwarp);
                     }
                     if tracer.on() {
                         tracer.emit(now, SimEvent::FenceComplete { sm: self.id, gwarp });
@@ -334,7 +468,7 @@ impl Sm {
                         }
                     }
                 }
-                self.wake_load(slot);
+                self.wake_load(slot, resp.gwarp);
             }
             ReqKind::SharedShadowFill => {
                 self.l1.fill(resp.line_addr, false, now);
@@ -342,8 +476,8 @@ impl Sm {
                 // this fill while it was outstanding — wake it).
                 if let Some(pos) = self.l1_mshr.iter().position(|(l, _)| *l == resp.line_addr) {
                     let (_, waiters) = self.l1_mshr.swap_remove(pos);
-                    for slot in waiters {
-                        self.wake_load(slot);
+                    for (slot, gwarp) in waiters {
+                        self.wake_load(slot, gwarp);
                     }
                 }
             }
@@ -375,17 +509,49 @@ impl Sm {
         }
     }
 
+    /// Count the L1 MSHR entries a global load would newly allocate and
+    /// report whether the file cannot hold them.
+    fn mshr_short(
+        &self,
+        cta_slot: usize,
+        warp_in_block: u32,
+        mask: u32,
+        ctx: &LaunchContext,
+        addr_reg: crate::isa::Reg,
+        imm: u32,
+        size: u8,
+    ) -> bool {
+        let nr = usize::from(ctx.kernel.num_regs);
+        let cta = self.ctas[cta_slot].as_ref().expect("cta live");
+        let mut lanes: Vec<LaneAddr> = Vec::with_capacity(32);
+        for l in 0..self.cfg.warp_size {
+            if mask & (1 << l) == 0 {
+                continue;
+            }
+            let t = (warp_in_block * self.cfg.warp_size + l) as usize;
+            let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
+            lanes.push(LaneAddr { lane: l as u8, addr: a, size });
+        }
+        let txs = coalesce(&lanes, self.cfg.l1.line_bytes);
+        let needed = txs
+            .iter()
+            .filter(|tx| {
+                !self.l1.contains(tx.line_addr)
+                    && !self.l1_mshr.iter().any(|(l, _)| *l == tx.line_addr)
+            })
+            .count();
+        self.l1_mshr.len() + needed > self.cfg.l1.mshrs as usize
+    }
+
     #[allow(clippy::too_many_lines)]
-    #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
         widx: usize,
         now: u64,
         ctx: &LaunchContext,
-        mem: &mut DeviceMemory,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
+        mem: &DeviceMemory,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
     ) {
         let warp_size = self.cfg.warp_size;
         let nr = usize::from(ctx.kernel.num_regs);
@@ -397,12 +563,32 @@ impl Sm {
         let instr = ctx.kernel.instrs[pc as usize];
         let block_id = self.ctas[cta_slot].as_ref().expect("cta live").block_id;
 
-        self.issue_free_at = now + self.cfg.issue_cycles();
-        stats.warp_instructions += 1;
-        stats.thread_instructions += u64::from(mask.count_ones());
-        if tracer.on() {
-            tracer.emit(now, SimEvent::WarpIssue { sm: self.id, gwarp, pc: instr.line });
+        // Structural hazard (S1): a global load whose new misses would
+        // overflow the L1 MSHR file cannot issue — the warp replays once
+        // fills drain. Checked before any architectural side effect, so
+        // a replayed issue is indistinguishable from a first attempt.
+        // When the file is empty the load always proceeds, even if its
+        // transaction count alone exceeds capacity: the model issues a
+        // warp's transactions atomically, so the structural limit is
+        // enforced between instructions (and livelock is impossible).
+        if let Op::Ld { space: Space::Global, addr, imm, size, .. } = instr.op {
+            if !self.l1_mshr.is_empty()
+                && self.mshr_short(cta_slot, warp_in_block, mask, ctx, addr, imm, size)
+            {
+                out.stats.l1_mshr_full_stalls += 1;
+                self.warps[widx].as_mut().expect("warp live").resume_at = now + 1;
+                out.emit(
+                    now,
+                    SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::MshrFull },
+                );
+                return;
+            }
         }
+
+        self.issue_free_at = now + self.cfg.issue_cycles();
+        out.stats.warp_instructions += 1;
+        out.stats.thread_instructions += u64::from(mask.count_ones());
+        out.emit(now, SimEvent::WarpIssue { sm: self.id, gwarp, pc: instr.line });
 
         // Helper: per-lane register access goes through the CTA's flat
         // register file. Two disjoint field borrows (warps / ctas) are
@@ -551,7 +737,7 @@ impl Sm {
                 }
             }
             Op::Bar => {
-                stats.barriers += 1;
+                out.stats.barriers += 1;
                 {
                     let w = warp!();
                     debug_assert!(w.simt.convergent(), "barrier in divergent control flow");
@@ -559,34 +745,28 @@ impl Sm {
                     w.state = WarpState::AtBarrier;
                 }
                 cta!().barrier_waiting += 1;
-                if tracer.on() {
-                    tracer.emit(now, SimEvent::BarrierArrive { sm: self.id, block: block_id, gwarp });
-                }
-                self.maybe_release_barrier(cta_slot, now, det, stats, tracer);
+                out.emit(now, SimEvent::BarrierArrive { sm: self.id, block: block_id, gwarp });
+                self.maybe_release_barrier(cta_slot, now, det, out);
             }
             Op::Membar => {
                 let w = warp!();
                 w.simt.advance();
                 if w.outstanding_stores == 0 {
-                    stats.fences += 1;
-                    if let Some(d) = det.as_mut() {
-                        d.clocks.on_fence(gwarp);
+                    out.stats.fences += 1;
+                    if det.is_some() {
+                        out.ops.push(SmOp::Fence { gwarp });
                     }
-                    if tracer.on() {
-                        tracer.emit(now, SimEvent::FenceComplete { sm: self.id, gwarp });
-                    }
+                    out.emit(now, SimEvent::FenceComplete { sm: self.id, gwarp });
                 } else {
                     w.state = WarpState::WaitFence;
-                    if tracer.on() {
-                        tracer.emit(
-                            now,
-                            SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::Fence },
-                        );
-                    }
+                    out.emit(
+                        now,
+                        SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::Fence },
+                    );
                 }
             }
             Op::CsBegin { lock } => {
-                let bloom = det.as_ref().map(|d| d.cfg.bloom).unwrap_or_default();
+                let bloom = det.map(|v| v.cfg.bloom).unwrap_or_default();
                 let cta = cta!();
                 for l in 0..warp_size {
                     if mask & (1 << l) != 0 {
@@ -611,27 +791,27 @@ impl Sm {
                 if warp!().simt.done() {
                     warp!().state = WarpState::Done;
                     cta!().live_warps -= 1;
-                    self.maybe_release_barrier(cta_slot, now, det, stats, tracer);
-                    self.maybe_retire_cta(cta_slot, det);
+                    self.maybe_release_barrier(cta_slot, now, det, out);
+                    self.maybe_retire_cta(cta_slot, det, out);
                 }
             }
             Op::Ld { space, d, addr, imm, size } => {
                 self.mem_access(
-                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    tracer, space, MemOpKind::Load { d }, addr, imm, size, Src::Imm(0), Src::Imm(0),
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, out,
+                    space, MemOpKind::Load { d }, addr, imm, size, Src::Imm(0), Src::Imm(0),
                     instr.line,
                 );
             }
             Op::St { space, addr, imm, src, size } => {
                 self.mem_access(
-                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    tracer, space, MemOpKind::Store, addr, imm, size, src, Src::Imm(0), instr.line,
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, out,
+                    space, MemOpKind::Store, addr, imm, size, src, Src::Imm(0), instr.line,
                 );
             }
             Op::Atom { space, op, d, addr, imm, src, src2 } => {
                 self.mem_access(
-                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, stats,
-                    tracer, space, MemOpKind::Atomic { op, d }, addr, imm, 4, src, src2, instr.line,
+                    widx, cta_slot, warp_in_block, gwarp, block_id, mask, now, ctx, mem, det, out,
+                    space, MemOpKind::Atomic { op, d }, addr, imm, 4, src, src2, instr.line,
                 );
             }
         }
@@ -641,9 +821,8 @@ impl Sm {
         &mut self,
         cta_slot: usize,
         now: u64,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
     ) {
         let (release, block_id, shared_base, shared_size, slots) = match self.ctas[cta_slot].as_ref() {
             Some(c) if c.live_warps > 0 && c.barrier_waiting >= c.live_warps => (
@@ -659,28 +838,30 @@ impl Sm {
             return;
         }
 
-        // Detector barrier work: bump the sync ID (§IV-B) and invalidate
-        // the block's shared shadow entries (§IV-A), stalling the block
-        // for the invalidation cycles in hardware mode.
+        // Detector barrier work: bump the sync ID (§IV-B) — deferred to
+        // the apply phase, since the clock file is shared — and invalidate
+        // the block's shared shadow entries (§IV-A) in this SM's own RDU,
+        // stalling the block for the invalidation cycles in hardware mode.
         let mut stall = 0u64;
-        if let Some(d) = det.as_mut() {
-            d.clocks.on_barrier(block_id);
-            if d.cfg.shared_enabled && shared_size > 0 {
-                let cycles =
-                    d.shared[self.id as usize].reset_block_range(shared_base, shared_base + shared_size);
-                if d.hardware() && !d.sw_shared_shadow() {
+        if let Some(v) = det {
+            out.ops.push(SmOp::Barrier { block: block_id });
+            if v.cfg.shared_enabled && shared_size > 0 {
+                let cycles = self
+                    .shared_rdu
+                    .as_mut()
+                    .expect("shared RDU installed")
+                    .reset_block_range(shared_base, shared_base + shared_size);
+                if v.hardware && !v.sw_shared_shadow {
                     stall = cycles;
-                    stats.shadow_reset_stall_cycles += cycles;
+                    out.stats.shadow_reset_stall_cycles += cycles;
                 }
             }
         }
 
-        if tracer.on() {
-            tracer.emit(
-                now,
-                SimEvent::BarrierRelease { sm: self.id, block: block_id, stall_cycles: stall },
-            );
-        }
+        out.emit(
+            now,
+            SimEvent::BarrierRelease { sm: self.id, block: block_id, stall_cycles: stall },
+        );
         let cta = self.ctas[cta_slot].as_mut().expect("cta live");
         cta.barrier_waiting = 0;
         for slot in slots {
@@ -693,7 +874,7 @@ impl Sm {
         }
     }
 
-    fn maybe_retire_cta(&mut self, cta_slot: usize, det: &mut Option<DetectorState>) {
+    fn maybe_retire_cta(&mut self, cta_slot: usize, det: Option<DetView<'_>>, _out: &mut CycleOutput) {
         let retire = matches!(&self.ctas[cta_slot], Some(c) if c.live_warps == 0);
         if !retire {
             return;
@@ -709,9 +890,11 @@ impl Sm {
         );
         // Kernel end is an implicit barrier: clear the block's shared
         // shadow entries so the next block on this range starts fresh.
-        if let Some(d) = det.as_mut() {
-            if d.cfg.shared_enabled && cta.shared_size > 0 {
-                d.shared[self.id as usize]
+        if let Some(v) = det {
+            if v.cfg.shared_enabled && cta.shared_size > 0 {
+                self.shared_rdu
+                    .as_mut()
+                    .expect("shared RDU installed")
                     .reset_block_range(cta.shared_base, cta.shared_base + cta.shared_size);
             }
         }
@@ -719,6 +902,10 @@ impl Sm {
 
     /// Shared/global load, store, or atomic — the memory pipeline front
     /// end plus all RDU hooks.
+    ///
+    /// Global stores are *not* applied to `mem` here: they are buffered as
+    /// [`SmOp::MemWrite`]s and applied by the coordinator in SM-id order,
+    /// so parallel SMs all read the same pre-cycle memory snapshot.
     #[allow(clippy::too_many_arguments)]
     fn mem_access(
         &mut self,
@@ -730,10 +917,9 @@ impl Sm {
         mask: u32,
         now: u64,
         ctx: &LaunchContext,
-        mem: &mut DeviceMemory,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
+        mem: &DeviceMemory,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
         space: Space,
         kind: MemOpKind,
         addr_reg: crate::isa::Reg,
@@ -761,7 +947,7 @@ impl Sm {
                 lanes.push(LaneAddr { lane: l as u8, addr: a, size });
                 match (space, kind) {
                     (Space::Shared, MemOpKind::Load { d }) => {
-                        let v = read_shared(&cta.shared_data, a, size, stats);
+                        let v = read_shared(&cta.shared_data, a, size, &mut out.stats);
                         cta.regs[t * nr + usize::from(d.0)] = v;
                     }
                     (Space::Shared, MemOpKind::Store) => {
@@ -769,12 +955,12 @@ impl Sm {
                             Src::Imm(x) => x,
                             Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
                         };
-                        write_shared(&mut cta.shared_data, a, v, size, stats);
+                        write_shared(&mut cta.shared_data, a, v, size, &mut out.stats);
                     }
                     (Space::Shared, MemOpKind::Atomic { op, d }) => {
                         // Shared-memory atomics are serialized by the SM
                         // itself: functional RMW at issue.
-                        let old = read_shared(&cta.shared_data, a, size, stats);
+                        let old = read_shared(&cta.shared_data, a, size, &mut out.stats);
                         let vs = match src {
                             Src::Imm(x) => x,
                             Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
@@ -784,7 +970,7 @@ impl Sm {
                             Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
                         };
                         let new = crate::exec::eval_atom(op, old, vs, vs2);
-                        write_shared(&mut cta.shared_data, a, new, size, stats);
+                        write_shared(&mut cta.shared_data, a, new, size, &mut out.stats);
                         cta.regs[t * nr + usize::from(d.0)] = old;
                     }
                     (Space::Global, MemOpKind::Load { d }) => {
@@ -796,7 +982,7 @@ impl Sm {
                             Src::Imm(x) => x,
                             Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
                         };
-                        mem.write(a, v, size);
+                        out.ops.push(SmOp::MemWrite { addr: a, val: v, size });
                     }
                     (Space::Global, MemOpKind::Atomic { .. }) => {
                         // Functional execution happens at the memory slice
@@ -808,48 +994,46 @@ impl Sm {
 
         match space {
             Space::Shared => {
-                stats.shared_insts += 1;
+                out.stats.shared_insts += 1;
                 match kind {
-                    MemOpKind::Load { .. } => stats.shared_loads += lanes.len() as u64,
-                    MemOpKind::Store => stats.shared_stores += lanes.len() as u64,
-                    MemOpKind::Atomic { .. } => stats.atomics += lanes.len() as u64,
+                    MemOpKind::Load { .. } => out.stats.shared_loads += lanes.len() as u64,
+                    MemOpKind::Store => out.stats.shared_stores += lanes.len() as u64,
+                    MemOpKind::Atomic { .. } => out.stats.atomics += lanes.len() as u64,
                 }
                 let conflicts = bank_conflict_degree(&lanes, self.cfg.shared_banks);
                 self.issue_free_at += u64::from(conflicts - 1);
-                stats.bank_conflict_cycles += u64::from(conflicts - 1);
+                out.stats.bank_conflict_cycles += u64::from(conflicts - 1);
                 self.shared_detection(
                     cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx, det,
-                    stats, tracer,
+                    out,
                 );
                 self.warps[widx].as_mut().expect("warp live").simt.advance();
             }
             Space::Global => {
-                stats.global_insts += 1;
+                out.stats.global_insts += 1;
                 match kind {
-                    MemOpKind::Load { .. } => stats.global_loads += lanes.len() as u64,
-                    MemOpKind::Store => stats.global_stores += lanes.len() as u64,
-                    MemOpKind::Atomic { .. } => stats.atomics += lanes.len() as u64,
+                    MemOpKind::Load { .. } => out.stats.global_loads += lanes.len() as u64,
+                    MemOpKind::Store => out.stats.global_stores += lanes.len() as u64,
+                    MemOpKind::Atomic { .. } => out.stats.atomics += lanes.len() as u64,
                 }
-                if let Some(d) = det.as_mut() {
-                    d.clocks.note_global_access(block_id);
+                if det.is_some() {
+                    out.ops.push(SmOp::NoteGlobal { block: block_id });
                 }
                 let txs = coalesce(&lanes, self.cfg.l1.line_bytes);
-                stats.global_transactions += txs.len() as u64;
+                out.stats.global_transactions += txs.len() as u64;
                 if txs.len() > 1 {
                     self.issue_free_at += txs.len() as u64 - 1;
                 }
-                if tracer.on() {
-                    tracer.emit(
-                        now,
-                        SimEvent::MemCoalesce {
-                            sm: self.id,
-                            gwarp,
-                            pc: line_tag,
-                            lanes: lanes.len() as u32,
-                            transactions: txs.len() as u32,
-                        },
-                    );
-                }
+                out.emit(
+                    now,
+                    SimEvent::MemCoalesce {
+                        sm: self.id,
+                        gwarp,
+                        pc: line_tag,
+                        lanes: lanes.len() as u32,
+                        transactions: txs.len() as u32,
+                    },
+                );
 
                 let mut pending = 0u32;
                 for tx in &txs {
@@ -860,54 +1044,69 @@ impl Sm {
                             let fill = self.l1.fill_time(tx.line_addr);
                             let hit = self.l1.probe(tx.line_addr, false, now);
                             let l1_fill = if hit { fill } else { None };
-                            if tracer.on() {
-                                tracer.emit(
-                                    now,
-                                    SimEvent::L1Access {
-                                        sm: self.id,
-                                        line: tx.line_addr,
-                                        hit,
-                                        write: false,
-                                    },
-                                );
-                            }
-                            // RDU checks for this transaction's lanes.
-                            let shadow = self.global_detection(
-                                cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
-                                kind, line_tag, l1_fill, now, ctx, det, stats, tracer,
+                            out.emit(
+                                now,
+                                SimEvent::L1Access {
+                                    sm: self.id,
+                                    line: tx.line_addr,
+                                    hit,
+                                    write: false,
+                                },
+                            );
+                            // RDU checks for this transaction's lanes are
+                            // deferred to the serial apply phase (the
+                            // global RDU is shared across SMs); here we
+                            // only capture the access descriptors.
+                            let batch = self.global_batch(
+                                cta_slot, gwarp, block_id, warp_in_block, &lanes,
+                                tx.lanes.as_slice(), kind, line_tag, l1_fill, now, ctx, det,
                             );
                             if hit {
                                 pending += 1;
                                 self.local_ready
-                                    .push((now + u64::from(self.cfg.l1.hit_latency), widx));
+                                    .push((now + u64::from(self.cfg.l1.hit_latency), widx, gwarp));
                                 // §IV-B: L1 read hits still notify the
                                 // global RDU via a detection-only packet.
-                                if let Some((base, n)) = shadow {
-                                    let mut p = self.fresh_req(tx.line_addr, 0, widx, gwarp, ReqKind::ShadowProbe);
-                                    p.shadow_ops = n;
-                                    p.shadow_base = base;
-                                    stats.probe_packets += 1;
-                                    self.out_req.push(p);
+                                if let Some(accesses) = batch {
+                                    out.ops.push(SmOp::GlobalBatch {
+                                        accesses,
+                                        is_store: false,
+                                        sink: ShadowSink::Probe {
+                                            line_addr: tx.line_addr,
+                                            warp_slot: widx,
+                                            gwarp,
+                                            count_stat: true,
+                                        },
+                                    });
                                 }
                             } else if let Some(e) = self.l1_mshr.iter_mut().find(|(l, _)| *l == tx.line_addr) {
                                 // Merged miss.
                                 pending += 1;
-                                e.1.push(widx);
-                                if let Some((base, n)) = shadow {
-                                    let mut p = self.fresh_req(tx.line_addr, 0, widx, gwarp, ReqKind::ShadowProbe);
-                                    p.shadow_ops = n;
-                                    p.shadow_base = base;
-                                    self.out_req.push(p);
+                                e.1.push((widx, gwarp));
+                                if let Some(accesses) = batch {
+                                    out.ops.push(SmOp::GlobalBatch {
+                                        accesses,
+                                        is_store: false,
+                                        sink: ShadowSink::Probe {
+                                            line_addr: tx.line_addr,
+                                            warp_slot: widx,
+                                            gwarp,
+                                            count_stat: false,
+                                        },
+                                    });
                                 }
                             } else {
                                 pending += 1;
-                                self.l1_mshr.push((tx.line_addr, vec![widx]));
-                                let mut r = self.fresh_req(tx.line_addr, self.cfg.l1.line_bytes, widx, gwarp, ReqKind::LoadData);
-                                if let Some((base, n)) = shadow {
-                                    r.shadow_ops = n;
-                                    r.shadow_base = base;
-                                }
+                                self.l1_mshr.push((tx.line_addr, vec![(widx, gwarp)]));
+                                let r = self.fresh_req(tx.line_addr, self.cfg.l1.line_bytes, widx, gwarp, ReqKind::LoadData);
                                 self.out_req.push(r);
+                                if let Some(accesses) = batch {
+                                    out.ops.push(SmOp::GlobalBatch {
+                                        accesses,
+                                        is_store: false,
+                                        sink: ShadowSink::Attach { req_idx: self.out_req.len() - 1 },
+                                    });
+                                }
                             }
                         }
                         MemOpKind::Store => {
@@ -918,28 +1117,29 @@ impl Sm {
                             if resident {
                                 self.l1.probe(tx.line_addr, false, now);
                             }
-                            if tracer.on() {
-                                tracer.emit(
-                                    now,
-                                    SimEvent::L1Access {
-                                        sm: self.id,
-                                        line: tx.line_addr,
-                                        hit: resident,
-                                        write: true,
-                                    },
-                                );
-                            }
-                            let shadow = self.global_detection(
-                                cta_slot, gwarp, block_id, warp_in_block, &lanes, tx.lanes.as_slice(),
-                                kind, line_tag, None, now, ctx, det, stats, tracer,
+                            out.emit(
+                                now,
+                                SimEvent::L1Access {
+                                    sm: self.id,
+                                    line: tx.line_addr,
+                                    hit: resident,
+                                    write: true,
+                                },
                             );
-                            let mut r = self.fresh_req(tx.line_addr, tx.bytes, widx, gwarp, ReqKind::StoreData);
-                            if let Some((base, n)) = shadow {
-                                r.shadow_ops = n;
-                                r.shadow_base = base;
+                            let batch = self.global_batch(
+                                cta_slot, gwarp, block_id, warp_in_block, &lanes,
+                                tx.lanes.as_slice(), kind, line_tag, None, now, ctx, det,
+                            );
+                            let r = self.fresh_req(tx.line_addr, tx.bytes, widx, gwarp, ReqKind::StoreData);
+                            self.out_req.push(r);
+                            if let Some(accesses) = batch {
+                                out.ops.push(SmOp::GlobalBatch {
+                                    accesses,
+                                    is_store: true,
+                                    sink: ShadowSink::Attach { req_idx: self.out_req.len() - 1 },
+                                });
                             }
                             self.warps[widx].as_mut().expect("warp live").outstanding_stores += 1;
-                            self.out_req.push(r);
                         }
                         MemOpKind::Atomic { op, d } => {
                             let cta = self.ctas[cta_slot].as_ref().expect("cta live");
@@ -973,17 +1173,16 @@ impl Sm {
                     }
                 }
 
+                let sm_id = self.id;
                 let w = self.warps[widx].as_mut().expect("warp live");
                 w.simt.advance();
                 if matches!(kind, MemOpKind::Load { .. } | MemOpKind::Atomic { .. }) && pending > 0 {
                     w.pending_loads += pending;
                     w.state = WarpState::WaitMem;
-                    if tracer.on() {
-                        tracer.emit(
-                            now,
-                            SimEvent::WarpStall { sm: self.id, gwarp, reason: StallReason::Memory },
-                        );
-                    }
+                    out.emit(
+                        now,
+                        SimEvent::WarpStall { sm: sm_id, gwarp, reason: StallReason::Memory },
+                    );
                 }
             }
         }
@@ -991,6 +1190,11 @@ impl Sm {
 
     /// Shared-memory RDU hook: intra-warp pre-issue WAW check, per-lane
     /// shadow-state checks, and (Fig. 8 mode) shared-shadow L1 traffic.
+    ///
+    /// The shared RDU is owned by this SM, so detection runs fully in the
+    /// compute phase; races land in a *local* log that the coordinator
+    /// replays into the launch-wide log (see [`SmOp::SharedRaces`]) so
+    /// cross-SM deduplication stays deterministic.
     #[allow(clippy::too_many_arguments)]
     fn shared_detection(
         &mut self,
@@ -1003,17 +1207,17 @@ impl Sm {
         line_tag: u32,
         now: u64,
         ctx: &LaunchContext,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
     ) {
-        let Some(d) = det.as_mut() else { return };
-        if !d.cfg.shared_enabled {
+        let Some(v) = det else { return };
+        if !v.cfg.shared_enabled {
             return;
         }
+        let sm_id = self.id;
+        let warp_size = self.cfg.warp_size;
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
         let shared_base = cta.shared_base;
-        let warp_size = self.cfg.warp_size;
 
         let accesses: Vec<MemAccess> = lanes
             .iter()
@@ -1023,7 +1227,7 @@ impl Sm {
                     block_id * ctx.block_dim + t,
                     gwarp,
                     block_id,
-                    self.id,
+                    sm_id,
                 );
                 let akind = match kind {
                     MemOpKind::Load { .. } => AccessKind::Read,
@@ -1037,8 +1241,8 @@ impl Sm {
                     kind: akind,
                     who,
                     pc: line_tag,
-                    sync_id: d.clocks.sync_id(block_id),
-                    fence_id: d.clocks.fence_id(gwarp),
+                    sync_id: v.clocks.sync_id(block_id),
+                    fence_id: v.clocks.fence_id(gwarp),
                     atomic_sig: lk.signature(),
                     in_critical_section: lk.in_critical_section(),
                     l1_hit: false,
@@ -1048,49 +1252,52 @@ impl Sm {
             })
             .collect();
 
-        let races_before = d.log.records().len();
-        let rdu = &mut d.shared[self.id as usize];
-        if matches!(kind, MemOpKind::Store) {
-            for r in rdu.check_warp_stores(&accesses) {
-                d.log.push(r);
+        let mut local = RaceLog::default();
+        {
+            let rdu = self.shared_rdu.as_mut().expect("shared RDU installed");
+            if matches!(kind, MemOpKind::Store) {
+                for r in rdu.check_warp_stores(&accesses) {
+                    local.push(r);
+                }
             }
-        }
-        for a in &accesses {
-            // When tracing, snapshot the touched chunks' Fig. 3 states so
-            // state-machine edges can be reported.
-            let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
-            let before: Vec<ShadowState> = watch
-                .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
-                .unwrap_or_default();
-            rdu.observe(a, &d.clocks, &mut d.log);
-            if let Some((lo, hi)) = watch {
-                for (k, i) in (lo..=hi).enumerate() {
-                    let to = rdu.entry(i).state();
-                    if to != before[k] {
-                        tracer.emit(
-                            now,
-                            SimEvent::ShadowTransition {
-                                space: MemSpace::Shared,
-                                sm: self.id,
-                                chunk_addr: rdu.chunk_addr(i),
-                                from: before[k],
-                                to,
-                            },
-                        );
+            for a in &accesses {
+                // When tracing, snapshot the touched chunks' Fig. 3 states so
+                // state-machine edges can be reported.
+                let watch = if out.tracing { rdu.chunk_range(a.addr, a.size) } else { None };
+                let before: Vec<ShadowState> = watch
+                    .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
+                    .unwrap_or_default();
+                rdu.observe(a, v.clocks, &mut local);
+                if let Some((lo, hi)) = watch {
+                    for (k, i) in (lo..=hi).enumerate() {
+                        let to = rdu.entry(i).state();
+                        if to != before[k] {
+                            let chunk_addr = rdu.chunk_addr(i);
+                            out.emit(
+                                now,
+                                SimEvent::ShadowTransition {
+                                    space: MemSpace::Shared,
+                                    sm: sm_id,
+                                    chunk_addr,
+                                    from: before[k],
+                                    to,
+                                },
+                            );
+                        }
                     }
                 }
             }
         }
-        if tracer.on() {
-            for r in &d.log.records()[races_before..] {
-                tracer.emit(now, SimEvent::RaceDetected { record: *r });
-            }
+        // Race reports go through the coordinator, which knows whether a
+        // record is fresh launch-wide (and emits RaceDetected events).
+        if local.total() > 0 {
+            out.ops.push(SmOp::SharedRaces { log: local });
         }
 
         // Fig. 8: shared shadow entries live in global memory, cached in
         // L1; the RDU's fetches occupy the L1 port and may miss to L2.
-        if d.sw_shared_shadow() {
-            let gran = d.cfg.shared_granularity;
+        if v.sw_shared_shadow {
+            let gran = v.cfg.shared_granularity;
             let mut lines: Vec<u32> = Vec::new();
             for a in &accesses {
                 // 2 bytes per 12-bit entry, rounded up.
@@ -1103,11 +1310,19 @@ impl Sm {
                 }
             }
             for line in lines {
-                stats.shared_shadow_l1_accesses += 1;
+                out.stats.shared_shadow_l1_accesses += 1;
                 self.issue_free_at += 1; // L1 port occupancy
                 if !self.l1.probe(line, false, now) {
-                    if let Some(e) = self.l1_mshr.iter_mut().find(|(l, _)| *l == line) {
-                        let _ = e;
+                    if self.l1_mshr.iter().any(|(l, _)| *l == line) {
+                        // A data or shadow fill for this line is already
+                        // in flight.
+                    } else if self.l1_mshr.len() >= self.cfg.l1.mshrs as usize {
+                        // MSHR file full (S1 enforces capacity for data
+                        // loads): issue the fill without tracking it. The
+                        // response path tolerates a missing entry — we
+                        // only lose fill dedup for this line.
+                        let r = self.fresh_req(line, self.cfg.l1.line_bytes, 0, u32::MAX, ReqKind::SharedShadowFill);
+                        self.out_req.push(r);
                     } else {
                         self.l1_mshr.push((line, Vec::new()));
                         let r = self.fresh_req(line, self.cfg.l1.line_bytes, 0, u32::MAX, ReqKind::SharedShadowFill);
@@ -1118,12 +1333,14 @@ impl Sm {
         }
     }
 
-    /// Global-memory RDU hook for the lanes of one transaction. Returns
-    /// the shadow line accesses to piggyback: `(first_line, count)`.
+    /// Capture the access descriptors for one global transaction's lanes
+    /// (compute phase). The global RDU is shared across SMs, so the actual
+    /// shadow-table lookups run serially in [`apply_global_batch`]; this
+    /// only snapshots what the RDU will need — addresses, thread coords,
+    /// clock values, lock signatures, and L1 residency.
     #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::too_many_arguments)]
-    fn global_detection(
-        &mut self,
+    fn global_batch(
+        &self,
         cta_slot: usize,
         gwarp: u32,
         block_id: u32,
@@ -1135,13 +1352,13 @@ impl Sm {
         l1_fill: Option<u64>,
         now: u64,
         ctx: &LaunchContext,
-        det: &mut Option<DetectorState>,
-        stats: &mut SimStats,
-        tracer: &mut Tracer,
-    ) -> Option<(u32, u8)> {
-        let d = det.as_mut()?;
-        let rdu = d.global.as_mut()?;
-        let races_before = d.log.records().len();
+        det: Option<DetView<'_>>,
+    ) -> Option<Vec<MemAccess>> {
+        let v = det?;
+        // The global RDU exists exactly when global detection is enabled.
+        if !v.cfg.global_enabled {
+            return None;
+        }
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
         let warp_size = self.cfg.warp_size;
 
@@ -1162,8 +1379,8 @@ impl Sm {
                 kind: akind,
                 who,
                 pc: line_tag,
-                sync_id: d.clocks.sync_id(block_id),
-                fence_id: d.clocks.fence_id(gwarp),
+                sync_id: v.clocks.sync_id(block_id),
+                fence_id: v.clocks.fence_id(gwarp),
                 atomic_sig: lk.signature(),
                 in_critical_section: lk.in_critical_section(),
                 l1_hit: l1_fill.is_some(),
@@ -1171,60 +1388,101 @@ impl Sm {
                 cycle: now,
             });
         }
+        Some(accesses)
+    }
+}
 
-        if matches!(kind, MemOpKind::Store) {
-            for r in rdu.check_warp_stores(&accesses) {
-                d.log.push(r);
-            }
+/// Run one [`SmOp::GlobalBatch`] through the shared global RDU (serial
+/// apply phase) and route the resulting shadow traffic: either piggyback
+/// it on the data request captured at issue ([`ShadowSink::Attach`]) or
+/// emit a detection-only probe packet ([`ShadowSink::Probe`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_global_batch(
+    sm: &mut Sm,
+    accesses: &[MemAccess],
+    is_store: bool,
+    sink: ShadowSink,
+    now: u64,
+    det: &mut LaunchDet,
+    stats: &mut SimStats,
+    tracer: &mut Tracer,
+) {
+    let Some(rdu) = det.global.as_mut() else { return };
+    let races_before = det.log.records().len();
+
+    if is_store {
+        for r in rdu.check_warp_stores(accesses) {
+            det.log.push(r);
         }
+    }
 
-        let mut shadow_lines: Vec<u32> = Vec::new();
-        for a in &accesses {
-            let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
-            let before: Vec<ShadowState> = watch
-                .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
-                .unwrap_or_default();
-            let traffic = rdu.observe(a, &d.clocks, &mut d.log);
-            if let Some((lo, hi)) = watch {
-                for (k, i) in (lo..=hi).enumerate() {
-                    let to = rdu.entry(i).state();
-                    if to != before[k] {
-                        tracer.emit(
-                            now,
-                            SimEvent::ShadowTransition {
-                                space: MemSpace::Global,
-                                sm: self.id,
-                                chunk_addr: rdu.chunk_addr(i),
-                                from: before[k],
-                                to,
-                            },
-                        );
-                    }
+    let mut shadow_lines: Vec<u32> = Vec::new();
+    for a in accesses {
+        let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
+        let before: Vec<ShadowState> = watch
+            .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
+            .unwrap_or_default();
+        let traffic = rdu.observe(a, &det.clocks, &mut det.log);
+        if let Some((lo, hi)) = watch {
+            for (k, i) in (lo..=hi).enumerate() {
+                let to = rdu.entry(i).state();
+                if to != before[k] {
+                    tracer.emit(
+                        now,
+                        SimEvent::ShadowTransition {
+                            space: MemSpace::Global,
+                            sm: sm.id,
+                            chunk_addr: rdu.chunk_addr(i),
+                            from: before[k],
+                            to,
+                        },
+                    );
                 }
             }
-            if traffic.reads > 0 {
-                for i in 0..traffic.reads {
-                    let sa = traffic.shadow_addr + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
-                    let line = sa & !(self.cfg.l2.line_bytes - 1);
-                    if !shadow_lines.contains(&line) {
-                        shadow_lines.push(line);
-                    }
+        }
+        if traffic.reads > 0 {
+            for i in 0..traffic.reads {
+                let sa = traffic.shadow_addr + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
+                let line = sa & !(sm.cfg.l2.line_bytes - 1);
+                if !shadow_lines.contains(&line) {
+                    shadow_lines.push(line);
                 }
             }
         }
+    }
 
-        if tracer.on() {
-            for r in &d.log.records()[races_before..] {
-                tracer.emit(now, SimEvent::RaceDetected { record: *r });
+    if tracer.on() {
+        for r in &det.log.records()[races_before..] {
+            tracer.emit(now, SimEvent::RaceDetected { record: *r });
+        }
+    }
+
+    let shadow = if det.hardware() && !shadow_lines.is_empty() {
+        stats.shadow_l2_accesses += shadow_lines.len() as u64;
+        shadow_lines.sort_unstable();
+        Some((shadow_lines[0], shadow_lines.len().min(255) as u8))
+    } else {
+        None
+    };
+
+    match sink {
+        ShadowSink::Attach { req_idx } => {
+            if let Some((base, n)) = shadow {
+                let r = &mut sm.out_req[req_idx];
+                r.shadow_ops = n;
+                r.shadow_base = base;
             }
         }
-
-        if d.hardware() && !shadow_lines.is_empty() {
-            stats.shadow_l2_accesses += shadow_lines.len() as u64;
-            shadow_lines.sort_unstable();
-            Some((shadow_lines[0], shadow_lines.len().min(255) as u8))
-        } else {
-            None
+        ShadowSink::Probe { line_addr, warp_slot, gwarp, count_stat } => {
+            if let Some((base, n)) = shadow {
+                let mut p = sm.fresh_req(line_addr, 0, warp_slot, gwarp, ReqKind::ShadowProbe);
+                p.shadow_ops = n;
+                p.shadow_base = base;
+                if count_stat {
+                    stats.probe_packets += 1;
+                }
+                sm.out_req.push(p);
+            }
         }
     }
 }
@@ -1260,5 +1518,107 @@ fn write_shared(data: &mut [u8], addr: u32, val: u32, size: u8, stats: &mut SimS
         1 => data[a] = val as u8,
         2 => data[a..a + 2].copy_from_slice(&(val as u16).to_le_bytes()),
         _ => data[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::builder::KernelBuilder;
+
+    fn ctx() -> LaunchContext {
+        LaunchContext {
+            kernel: KernelBuilder::new("noop").build(),
+            grid: 1,
+            block_dim: 32,
+            warps_per_block: 1,
+            params: Vec::new(),
+            shared_shadow_base: 0,
+            shared_shadow_stride: 0,
+        }
+    }
+
+    fn waiting_warp(gwarp: u32) -> Warp {
+        Warp {
+            cta_slot: 0,
+            warp_in_block: 0,
+            gwarp,
+            simt: SimtStack::new(u32::MAX),
+            state: WarpState::WaitMem,
+            pending_loads: 1,
+            outstanding_stores: 0,
+            resume_at: 0,
+        }
+    }
+
+    fn load_resp(line_addr: u32, kind: ReqKind) -> MemReq {
+        MemReq {
+            id: 1,
+            line_addr,
+            bytes: 0,
+            sm: 0,
+            warp_slot: 0,
+            gwarp: 0,
+            kind,
+            shadow_ops: 0,
+            shadow_base: 0,
+            atomic_old: Vec::new(),
+        }
+    }
+
+    fn deliver(sm: &mut Sm, resp: MemReq) {
+        let ctx = ctx();
+        let mut det = None;
+        let mut stats = SimStats::default();
+        let mut tracer = Tracer::default();
+        sm.handle_response(resp, 10, &ctx, &mut det, &mut stats, &mut tracer);
+    }
+
+    #[test]
+    fn stale_load_response_does_not_wake_a_reused_slot() {
+        let mut sm = Sm::new(0, GpuConfig::test_small());
+        // gwarp 0 registered a waiter on slot 0, then its CTA retired and
+        // gwarp 7 took over the slot with a pending load of its own.
+        sm.warps[0] = Some(waiting_warp(7));
+        sm.l1_mshr.push((0x400, vec![(0, 0)]));
+        deliver(&mut sm, load_resp(0x400, ReqKind::LoadData));
+        let w = sm.warps[0].as_ref().expect("occupant still resident");
+        assert_eq!(w.pending_loads, 1, "stale wake must not touch the new occupant");
+        assert_eq!(w.state, WarpState::WaitMem);
+        assert!(sm.l1_mshr.is_empty(), "the MSHR entry is still freed");
+    }
+
+    #[test]
+    fn matching_load_response_wakes_its_waiter() {
+        let mut sm = Sm::new(0, GpuConfig::test_small());
+        sm.warps[0] = Some(waiting_warp(7));
+        sm.l1_mshr.push((0x400, vec![(0, 7)]));
+        deliver(&mut sm, load_resp(0x400, ReqKind::LoadData));
+        let w = sm.warps[0].as_ref().expect("occupant still resident");
+        assert_eq!(w.pending_loads, 0);
+        assert_eq!(w.state, WarpState::Ready);
+    }
+
+    #[test]
+    fn stale_shared_shadow_fill_is_guarded_too() {
+        let mut sm = Sm::new(0, GpuConfig::test_small());
+        sm.warps[0] = Some(waiting_warp(3));
+        // A data load merged into an outstanding shadow fill, then the
+        // slot was recycled (waiter gwarp 1 != occupant gwarp 3).
+        sm.l1_mshr.push((0x800, vec![(0, 1)]));
+        deliver(&mut sm, load_resp(0x800, ReqKind::SharedShadowFill));
+        let w = sm.warps[0].as_ref().expect("occupant still resident");
+        assert_eq!(w.pending_loads, 1, "stale wake must not touch the new occupant");
+        assert!(sm.l1_mshr.is_empty());
+    }
+
+    #[test]
+    fn an_empty_waiter_list_wakes_nobody_and_clears_the_entry() {
+        let mut sm = Sm::new(0, GpuConfig::test_small());
+        sm.warps[0] = Some(waiting_warp(2));
+        sm.l1_mshr.push((0xC00, Vec::new()));
+        deliver(&mut sm, load_resp(0xC00, ReqKind::LoadData));
+        assert_eq!(sm.warps[0].as_ref().unwrap().pending_loads, 1);
+        assert!(sm.l1_mshr.is_empty());
     }
 }

@@ -21,6 +21,9 @@ pub enum StallReason {
     Memory,
     /// Waiting for a `membar` (outstanding global stores to reach L2).
     Fence,
+    /// A global load could not allocate L1 MSHRs (all occupied); the
+    /// warp replays the issue once fills drain.
+    MshrFull,
 }
 
 /// A [`ReqKind`] stripped to a copyable, serializable tag for events.

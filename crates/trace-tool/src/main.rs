@@ -40,6 +40,7 @@ exit status: 0 = no races, 1 = races detected, 2 = usage/input error";
 
 /// Parsed command line: detector configuration plus the input path
 /// (`None` or `Some("-")` = stdin).
+#[derive(Debug)]
 struct Options {
     cfg: DetectorConfig,
     path: Option<String>,
