@@ -1,0 +1,430 @@
+//! Offline mini-`proptest`: a deterministic, working re-implementation of
+//! the subset of the proptest API this workspace uses, so property tests
+//! actually run without network access. Not a shrinker — failures report
+//! the raw case. The real crate replaces this wherever the registry is
+//! reachable.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 source for case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic() -> Self {
+            TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Mirrors `proptest::test_runner::Config` for the fields used here.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::*;
+
+    pub trait Strategy: 'static {
+        type Value;
+
+        fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            let ctl = Rc::new(RecCtl {
+                leaf: self.boxed(),
+                full: RefCell::new(None),
+                budget: Cell::new(0),
+            });
+            let inner = BoxedStrategy(Rc::new(RecHandle(ctl.clone())) as Rc<dyn StrategyDyn<_>>);
+            let full = recurse(inner).boxed();
+            *ctl.full.borrow_mut() = Some(full.clone());
+            Recursive { full, ctl, depth }
+        }
+    }
+
+    /// Object-safe face of [`Strategy`] for boxing.
+    pub trait StrategyDyn<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> StrategyDyn<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_one(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn StrategyDyn<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + 'static,
+        O: 'static,
+    {
+        type Value = O;
+        fn gen_one(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_one(rng))
+        }
+    }
+
+    pub(crate) struct RecCtl<T> {
+        pub(crate) leaf: BoxedStrategy<T>,
+        pub(crate) full: RefCell<Option<BoxedStrategy<T>>>,
+        pub(crate) budget: Cell<u32>,
+    }
+
+    pub(crate) struct RecHandle<T>(pub(crate) Rc<RecCtl<T>>);
+
+    impl<T> StrategyDyn<T> for RecHandle<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T {
+            let budget = self.0.budget.get();
+            if budget == 0 {
+                return self.0.leaf.0.gen_dyn(rng);
+            }
+            self.0.budget.set(budget - 1);
+            let full = self.0.full.borrow().clone().expect("recursive strategy initialised");
+            let v = full.0.gen_dyn(rng);
+            self.0.budget.set(budget);
+            v
+        }
+    }
+
+    pub struct Recursive<T> {
+        pub(crate) full: BoxedStrategy<T>,
+        pub(crate) ctl: Rc<RecCtl<T>>,
+        pub(crate) depth: u32,
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            self.ctl.budget.set(self.depth);
+            self.full.0.gen_dyn(rng)
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn gen_one(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    pub fn union<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.next_u64() % total.max(1);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.0.gen_dyn(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            self.arms[0].1 .0.gen_dyn(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi - lo) as u128 + 1;
+                    lo + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_one(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types supported by `any::<T>()` in this stub.
+    pub trait Arbitrary: Sized + 'static {
+        fn arb_from(raw: u64) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb_from(raw: u64) -> Self { raw as $t }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb_from(raw: u64) -> Self {
+            raw & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            T::arb_from(rng.next_u64())
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let n = self.size.start + (rng.next_u64() as usize % span);
+            (0..n).map(|_| self.element.gen_one(rng)).collect()
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$(($w as u32, $crate::strategy::Strategy::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$((1u32, $crate::strategy::Strategy::boxed($s))),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg=($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg=($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg=($cfg:expr)) => {};
+    (cfg=($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($(#[$meta])*) name=$name bound=() rest_args=($($args)*) body=$body }
+        $crate::__proptest_fns! { cfg=($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    // Argument munchers: `pat in strategy` and `name: Type` forms.
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=(mut $p:ident in $e:expr, $($r:tt)*) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [mut $p in $e]) rest_args=($($r)*) body=$body }
+    };
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=(mut $p:ident in $e:expr) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [mut $p in $e]) rest_args=() body=$body }
+    };
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=($p:ident in $e:expr, $($r:tt)*) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [$p in $e]) rest_args=($($r)*) body=$body }
+    };
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=($p:ident in $e:expr) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [$p in $e]) rest_args=() body=$body }
+    };
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=($p:ident : $t:ty, $($r:tt)*) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [$p in $crate::arbitrary::any::<$t>()]) rest_args=($($r)*) body=$body }
+    };
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=($p:ident : $t:ty) body=$body:block) => {
+        $crate::__proptest_one! { cfg=($cfg) metas=($($m)*) name=$name bound=($($b)* [$p in $crate::arbitrary::any::<$t>()]) rest_args=() body=$body }
+    };
+    // Terminal: emit the test fn.
+    (cfg=($cfg:expr) metas=($($m:tt)*) name=$name:ident bound=($($b:tt)*) rest_args=() body=$body:block) => {
+        $($m)*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $crate::__proptest_bind_all! { __rng ($($b)*) }
+                $body
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_all {
+    ($rng:ident ()) => {};
+    ($rng:ident ([mut $p:ident in $e:expr] $($r:tt)*)) => {
+        let mut $p = $crate::strategy::Strategy::gen_one(&($e), &mut $rng);
+        $crate::__proptest_bind_all! { $rng ($($r)*) }
+    };
+    ($rng:ident ([$p:ident in $e:expr] $($r:tt)*)) => {
+        let $p = $crate::strategy::Strategy::gen_one(&($e), &mut $rng);
+        $crate::__proptest_bind_all! { $rng ($($r)*) }
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::Just;

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-446376f08af7f0ec.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/liball-446376f08af7f0ec.rmeta: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

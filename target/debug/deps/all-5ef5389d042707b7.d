@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-5ef5389d042707b7.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/all-5ef5389d042707b7: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-a8df4aa107913483.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/all-a8df4aa107913483: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-b6a12cfda85da30f.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/liball-b6a12cfda85da30f.rmeta: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

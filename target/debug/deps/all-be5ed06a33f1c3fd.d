@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-be5ed06a33f1c3fd.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/liball-be5ed06a33f1c3fd.rmeta: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

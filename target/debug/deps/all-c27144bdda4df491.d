@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-c27144bdda4df491.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/liball-c27144bdda4df491.rmeta: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

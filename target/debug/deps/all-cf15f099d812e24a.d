@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all-cf15f099d812e24a.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/debug/deps/all-cf15f099d812e24a: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

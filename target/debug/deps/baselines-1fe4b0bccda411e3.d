@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-1fe4b0bccda411e3.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-1fe4b0bccda411e3: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-bad251993759e41d.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-bad251993759e41d: tests/baselines.rs
+
+tests/baselines.rs:

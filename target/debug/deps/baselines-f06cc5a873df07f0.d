@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-f06cc5a873df07f0.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-f06cc5a873df07f0.rmeta: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom-3266db814e976871.d: crates/bench/benches/bloom.rs
+
+/root/repo/target/debug/deps/libbloom-3266db814e976871.rmeta: crates/bench/benches/bloom.rs
+
+crates/bench/benches/bloom.rs:

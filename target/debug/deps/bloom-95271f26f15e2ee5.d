@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom-95271f26f15e2ee5.d: crates/bench/benches/bloom.rs
+
+/root/repo/target/debug/deps/libbloom-95271f26f15e2ee5.rmeta: crates/bench/benches/bloom.rs
+
+crates/bench/benches/bloom.rs:

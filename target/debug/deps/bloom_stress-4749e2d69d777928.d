@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-4749e2d69d777928.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/libbloom_stress-4749e2d69d777928.rmeta: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

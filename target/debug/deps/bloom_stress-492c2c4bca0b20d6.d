@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-492c2c4bca0b20d6.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/bloom_stress-492c2c4bca0b20d6: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-6b6418159d66115d.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/bloom_stress-6b6418159d66115d: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-979ab25405bcece0.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/bloom_stress-979ab25405bcece0: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

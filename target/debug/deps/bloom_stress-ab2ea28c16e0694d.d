@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-ab2ea28c16e0694d.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/libbloom_stress-ab2ea28c16e0694d.rmeta: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-e3124eda543e7cfe.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/libbloom_stress-e3124eda543e7cfe.rmeta: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

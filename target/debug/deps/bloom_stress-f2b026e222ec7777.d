@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_stress-f2b026e222ec7777.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/debug/deps/libbloom_stress-f2b026e222ec7777.rmeta: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

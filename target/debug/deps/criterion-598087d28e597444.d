@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-598087d28e597444.d: devtools/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-598087d28e597444.rmeta: devtools/stubs/criterion/src/lib.rs
+
+devtools/stubs/criterion/src/lib.rs:

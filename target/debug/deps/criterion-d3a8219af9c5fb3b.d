@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d3a8219af9c5fb3b.d: devtools/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d3a8219af9c5fb3b.rlib: devtools/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d3a8219af9c5fb3b.rmeta: devtools/stubs/criterion/src/lib.rs
+
+devtools/stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-ad8579e40e8f374c.d: devtools/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ad8579e40e8f374c.rlib: devtools/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ad8579e40e8f374c.rmeta: devtools/stubs/crossbeam/src/lib.rs
+
+devtools/stubs/crossbeam/src/lib.rs:

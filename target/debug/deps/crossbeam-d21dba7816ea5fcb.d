@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-d21dba7816ea5fcb.d: devtools/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d21dba7816ea5fcb.rmeta: devtools/stubs/crossbeam/src/lib.rs
+
+devtools/stubs/crossbeam/src/lib.rs:

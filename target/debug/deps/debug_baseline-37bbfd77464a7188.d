@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-37bbfd77464a7188.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/libdebug_baseline-37bbfd77464a7188.rmeta: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

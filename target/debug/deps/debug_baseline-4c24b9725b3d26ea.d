@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-4c24b9725b3d26ea.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/libdebug_baseline-4c24b9725b3d26ea.rmeta: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

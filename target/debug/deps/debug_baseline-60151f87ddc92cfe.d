@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-60151f87ddc92cfe.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/libdebug_baseline-60151f87ddc92cfe.rmeta: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-6b3d81c2feebad0c.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/debug_baseline-6b3d81c2feebad0c: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-cfd30c43d0805ee9.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/libdebug_baseline-cfd30c43d0805ee9.rmeta: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-d87ca67a2536ff41.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/debug_baseline-d87ca67a2536ff41: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

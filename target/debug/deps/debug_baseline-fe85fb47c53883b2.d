@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_baseline-fe85fb47c53883b2.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/debug/deps/debug_baseline-fe85fb47c53883b2: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_timing-5f2e05d3259e0acb.d: crates/gpu-sim/tests/detector_timing.rs
+
+/root/repo/target/debug/deps/libdetector_timing-5f2e05d3259e0acb.rmeta: crates/gpu-sim/tests/detector_timing.rs
+
+crates/gpu-sim/tests/detector_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_timing-6fdfb56a5ce2b20a.d: crates/gpu-sim/tests/detector_timing.rs
+
+/root/repo/target/debug/deps/detector_timing-6fdfb56a5ce2b20a: crates/gpu-sim/tests/detector_timing.rs
+
+crates/gpu-sim/tests/detector_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-3cc9efd8caee8221.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-3cc9efd8caee8221.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

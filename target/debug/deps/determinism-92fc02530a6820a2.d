@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-92fc02530a6820a2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-92fc02530a6820a2: tests/determinism.rs
+
+tests/determinism.rs:

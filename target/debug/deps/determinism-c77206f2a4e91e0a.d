@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c77206f2a4e91e0a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c77206f2a4e91e0a: tests/determinism.rs
+
+tests/determinism.rs:

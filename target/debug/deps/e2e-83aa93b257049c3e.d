@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-83aa93b257049c3e.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/debug/deps/libe2e-83aa93b257049c3e.rmeta: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-a5f9489a0236f0bd.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/debug/deps/libe2e-a5f9489a0236f0bd.rmeta: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-16d1c886664587a2.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/libeffectiveness-16d1c886664587a2.rmeta: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

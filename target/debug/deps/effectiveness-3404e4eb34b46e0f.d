@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-3404e4eb34b46e0f.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/libeffectiveness-3404e4eb34b46e0f.rmeta: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-3433965e6be76a2f.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/effectiveness-3433965e6be76a2f: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-781bb7f8c0731789.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/libeffectiveness-781bb7f8c0731789.rmeta: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

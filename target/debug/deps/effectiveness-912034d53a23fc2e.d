@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-912034d53a23fc2e.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/effectiveness-912034d53a23fc2e: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

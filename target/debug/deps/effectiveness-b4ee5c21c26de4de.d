@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-b4ee5c21c26de4de.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/libeffectiveness-b4ee5c21c26de4de.rmeta: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

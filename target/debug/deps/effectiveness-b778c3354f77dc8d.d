@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/effectiveness-b778c3354f77dc8d.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/debug/deps/effectiveness-b778c3354f77dc8d: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

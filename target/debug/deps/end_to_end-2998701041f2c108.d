@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2998701041f2c108.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2998701041f2c108: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-787ede6329d3ed5f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-787ede6329d3ed5f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-00ae4a15ce366478.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-00ae4a15ce366478: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

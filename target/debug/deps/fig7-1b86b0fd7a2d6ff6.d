@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1b86b0fd7a2d6ff6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-1b86b0fd7a2d6ff6.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-365449a9a43d07a1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-365449a9a43d07a1.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

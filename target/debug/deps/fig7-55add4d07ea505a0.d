@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-55add4d07ea505a0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-55add4d07ea505a0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a2fe30531578503b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-a2fe30531578503b.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-bb87828b1d72e9e7.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-bb87828b1d72e9e7: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e05e3ef54eb662d6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-e05e3ef54eb662d6.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-101a538b7fe2c01c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-101a538b7fe2c01c.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

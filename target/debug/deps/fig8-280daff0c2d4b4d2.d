@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-280daff0c2d4b4d2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-280daff0c2d4b4d2.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3210c4dd81ea37df.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3210c4dd81ea37df: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-343e9720432365bc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-343e9720432365bc.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

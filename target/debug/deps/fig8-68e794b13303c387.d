@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-68e794b13303c387.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-68e794b13303c387: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6e46ae0703d9b4ae.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-6e46ae0703d9b4ae.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7b3d89d9af6ed0da.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7b3d89d9af6ed0da: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-032547d7d4ad3650.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-032547d7d4ad3650.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2d0ee0bfde3f534c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-2d0ee0bfde3f534c.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4ca1e8825b919b2c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-4ca1e8825b919b2c.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

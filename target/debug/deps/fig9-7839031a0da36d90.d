@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-7839031a0da36d90.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-7839031a0da36d90: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-79ea3a9e611de034.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-79ea3a9e611de034: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

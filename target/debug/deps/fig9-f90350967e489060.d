@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f90350967e489060.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f90350967e489060: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

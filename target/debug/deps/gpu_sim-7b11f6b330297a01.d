@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/gpu_sim-7b11f6b330297a01.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/detector.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/gpu.rs crates/gpu-sim/src/isa/mod.rs crates/gpu-sim/src/isa/builder.rs crates/gpu-sim/src/isa/disasm.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/coalesce.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/icnt.rs crates/gpu-sim/src/mem/slice.rs crates/gpu-sim/src/mem/tlb.rs crates/gpu-sim/src/simt.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/trace/mod.rs crates/gpu-sim/src/trace/event.rs crates/gpu-sim/src/trace/logger.rs crates/gpu-sim/src/trace/metrics.rs crates/gpu-sim/src/trace/perfetto.rs crates/gpu-sim/src/trace/sink.rs
+
+/root/repo/target/debug/deps/libgpu_sim-7b11f6b330297a01.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/detector.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/engine.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/gpu.rs crates/gpu-sim/src/isa/mod.rs crates/gpu-sim/src/isa/builder.rs crates/gpu-sim/src/isa/disasm.rs crates/gpu-sim/src/mem/mod.rs crates/gpu-sim/src/mem/cache.rs crates/gpu-sim/src/mem/coalesce.rs crates/gpu-sim/src/mem/dram.rs crates/gpu-sim/src/mem/icnt.rs crates/gpu-sim/src/mem/slice.rs crates/gpu-sim/src/mem/tlb.rs crates/gpu-sim/src/simt.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/trace/mod.rs crates/gpu-sim/src/trace/event.rs crates/gpu-sim/src/trace/logger.rs crates/gpu-sim/src/trace/metrics.rs crates/gpu-sim/src/trace/perfetto.rs crates/gpu-sim/src/trace/sink.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/detector.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/engine.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/gpu.rs:
+crates/gpu-sim/src/isa/mod.rs:
+crates/gpu-sim/src/isa/builder.rs:
+crates/gpu-sim/src/isa/disasm.rs:
+crates/gpu-sim/src/mem/mod.rs:
+crates/gpu-sim/src/mem/cache.rs:
+crates/gpu-sim/src/mem/coalesce.rs:
+crates/gpu-sim/src/mem/dram.rs:
+crates/gpu-sim/src/mem/icnt.rs:
+crates/gpu-sim/src/mem/slice.rs:
+crates/gpu-sim/src/mem/tlb.rs:
+crates/gpu-sim/src/simt.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/stats.rs:
+crates/gpu-sim/src/trace/mod.rs:
+crates/gpu-sim/src/trace/event.rs:
+crates/gpu-sim/src/trace/logger.rs:
+crates/gpu-sim/src/trace/metrics.rs:
+crates/gpu-sim/src/trace/perfetto.rs:
+crates/gpu-sim/src/trace/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-144420f484c00d39.d: tests/granularity.rs
+
+/root/repo/target/debug/deps/granularity-144420f484c00d39: tests/granularity.rs
+
+tests/granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-4a058a35ec88cdbd.d: tests/granularity.rs
+
+/root/repo/target/debug/deps/granularity-4a058a35ec88cdbd: tests/granularity.rs
+
+tests/granularity.rs:

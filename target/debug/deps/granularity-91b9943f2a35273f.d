@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-91b9943f2a35273f.d: tests/granularity.rs
+
+/root/repo/target/debug/deps/libgranularity-91b9943f2a35273f.rmeta: tests/granularity.rs
+
+tests/granularity.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/haccrg-a1eb038eb459f43a.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bloom.rs crates/core/src/clocks.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/global_rdu.rs crates/core/src/granularity.rs crates/core/src/intra_warp.rs crates/core/src/lockset.rs crates/core/src/locktable.rs crates/core/src/packed.rs crates/core/src/race.rs crates/core/src/replay.rs crates/core/src/shadow.rs crates/core/src/shared_rdu.rs
+
+/root/repo/target/debug/deps/libhaccrg-a1eb038eb459f43a.rmeta: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bloom.rs crates/core/src/clocks.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/global_rdu.rs crates/core/src/granularity.rs crates/core/src/intra_warp.rs crates/core/src/lockset.rs crates/core/src/locktable.rs crates/core/src/packed.rs crates/core/src/race.rs crates/core/src/replay.rs crates/core/src/shadow.rs crates/core/src/shared_rdu.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/bloom.rs:
+crates/core/src/clocks.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/global_rdu.rs:
+crates/core/src/granularity.rs:
+crates/core/src/intra_warp.rs:
+crates/core/src/lockset.rs:
+crates/core/src/locktable.rs:
+crates/core/src/packed.rs:
+crates/core/src/race.rs:
+crates/core/src/replay.rs:
+crates/core/src/shadow.rs:
+crates/core/src/shared_rdu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccrg_baselines-6a6f2448cb2c43e6.d: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/debug/deps/haccrg_baselines-6a6f2448cb2c43e6: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grace.rs:
+crates/baselines/src/instrument.rs:
+crates/baselines/src/runner.rs:
+crates/baselines/src/sw_haccrg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccrg_baselines-9cd7eeb463116f23.d: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/debug/deps/libhaccrg_baselines-9cd7eeb463116f23.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grace.rs:
+crates/baselines/src/instrument.rs:
+crates/baselines/src/runner.rs:
+crates/baselines/src/sw_haccrg.rs:

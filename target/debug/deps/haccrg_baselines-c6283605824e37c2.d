@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccrg_baselines-c6283605824e37c2.d: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/debug/deps/libhaccrg_baselines-c6283605824e37c2.rlib: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/debug/deps/libhaccrg_baselines-c6283605824e37c2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grace.rs:
+crates/baselines/src/instrument.rs:
+crates/baselines/src/runner.rs:
+crates/baselines/src/sw_haccrg.rs:

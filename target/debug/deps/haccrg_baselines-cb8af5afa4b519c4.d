@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccrg_baselines-cb8af5afa4b519c4.d: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/debug/deps/libhaccrg_baselines-cb8af5afa4b519c4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grace.rs:
+crates/baselines/src/instrument.rs:
+crates/baselines/src/runner.rs:
+crates/baselines/src/sw_haccrg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccrg_bench-37f7e72bb23ddfb4.d: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-37f7e72bb23ddfb4.rmeta: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effectiveness.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

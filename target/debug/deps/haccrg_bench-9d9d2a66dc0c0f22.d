@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/haccrg_bench-9d9d2a66dc0c0f22.d: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-9d9d2a66dc0c0f22.rlib: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-9d9d2a66dc0c0f22.rmeta: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effectiveness.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/tables.rs:

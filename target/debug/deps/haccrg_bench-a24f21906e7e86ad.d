@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccrg_bench-a24f21906e7e86ad.d: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-a24f21906e7e86ad.rlib: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-a24f21906e7e86ad.rmeta: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effectiveness.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/haccrg_bench-c297a7b016ff38e5.d: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhaccrg_bench-c297a7b016ff38e5.rmeta: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effectiveness.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_suite-517a20ae5b4f289c.d: src/lib.rs
+
+/root/repo/target/debug/deps/haccrg_suite-517a20ae5b4f289c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_suite-a42b802343266b21.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-a42b802343266b21.rmeta: src/lib.rs
+
+src/lib.rs:

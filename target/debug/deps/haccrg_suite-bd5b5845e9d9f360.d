@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_suite-bd5b5845e9d9f360.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-bd5b5845e9d9f360.rmeta: src/lib.rs
+
+src/lib.rs:

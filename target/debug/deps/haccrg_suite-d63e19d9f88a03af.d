@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccrg_suite-d63e19d9f88a03af.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-d63e19d9f88a03af.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-d63e19d9f88a03af.rmeta: src/lib.rs
+
+src/lib.rs:

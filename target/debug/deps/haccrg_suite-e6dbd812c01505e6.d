@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccrg_suite-e6dbd812c01505e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-e6dbd812c01505e6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_suite-e6dbd812c01505e6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_suite-f6dafd3592f488c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/haccrg_suite-f6dafd3592f488c0: src/lib.rs
+
+src/lib.rs:

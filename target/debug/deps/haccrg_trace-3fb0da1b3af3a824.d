@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-3fb0da1b3af3a824.d: crates/trace-tool/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-3fb0da1b3af3a824.rmeta: crates/trace-tool/src/lib.rs
+
+crates/trace-tool/src/lib.rs:

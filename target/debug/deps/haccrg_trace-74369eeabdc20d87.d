@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccrg_trace-74369eeabdc20d87.d: crates/trace-tool/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-74369eeabdc20d87.rlib: crates/trace-tool/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-74369eeabdc20d87.rmeta: crates/trace-tool/src/lib.rs
+
+crates/trace-tool/src/lib.rs:

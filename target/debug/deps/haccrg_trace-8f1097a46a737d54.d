@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-8f1097a46a737d54.d: crates/trace-tool/src/main.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-8f1097a46a737d54.rmeta: crates/trace-tool/src/main.rs
+
+crates/trace-tool/src/main.rs:

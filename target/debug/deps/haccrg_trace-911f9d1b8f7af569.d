@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-911f9d1b8f7af569.d: crates/trace-tool/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-911f9d1b8f7af569.rmeta: crates/trace-tool/src/lib.rs
+
+crates/trace-tool/src/lib.rs:

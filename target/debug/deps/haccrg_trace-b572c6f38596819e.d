@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-b572c6f38596819e.d: crates/trace-tool/src/lib.rs
+
+/root/repo/target/debug/deps/haccrg_trace-b572c6f38596819e: crates/trace-tool/src/lib.rs
+
+crates/trace-tool/src/lib.rs:

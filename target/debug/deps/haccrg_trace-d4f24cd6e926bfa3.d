@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-d4f24cd6e926bfa3.d: crates/trace-tool/src/main.rs
+
+/root/repo/target/debug/deps/haccrg_trace-d4f24cd6e926bfa3: crates/trace-tool/src/main.rs
+
+crates/trace-tool/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccrg_trace-da17b55ee72c3e73.d: crates/trace-tool/src/main.rs
+
+/root/repo/target/debug/deps/libhaccrg_trace-da17b55ee72c3e73.rmeta: crates/trace-tool/src/main.rs
+
+crates/trace-tool/src/main.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/haccrg_workloads-02ce8590ba10d4ba.d: crates/workloads/src/lib.rs crates/workloads/src/fwalsh.rs crates/workloads/src/hash.rs crates/workloads/src/hist.rs crates/workloads/src/inject.rs crates/workloads/src/kmeans.rs crates/workloads/src/mcarlo.rs crates/workloads/src/offt.rs crates/workloads/src/psum.rs crates/workloads/src/reduce.rs crates/workloads/src/runner.rs crates/workloads/src/scan.rs crates/workloads/src/sortnw.rs crates/workloads/src/variants.rs
+
+/root/repo/target/debug/deps/libhaccrg_workloads-02ce8590ba10d4ba.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fwalsh.rs crates/workloads/src/hash.rs crates/workloads/src/hist.rs crates/workloads/src/inject.rs crates/workloads/src/kmeans.rs crates/workloads/src/mcarlo.rs crates/workloads/src/offt.rs crates/workloads/src/psum.rs crates/workloads/src/reduce.rs crates/workloads/src/runner.rs crates/workloads/src/scan.rs crates/workloads/src/sortnw.rs crates/workloads/src/variants.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fwalsh.rs:
+crates/workloads/src/hash.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/inject.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/mcarlo.rs:
+crates/workloads/src/offt.rs:
+crates/workloads/src/psum.rs:
+crates/workloads/src/reduce.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/scan.rs:
+crates/workloads/src/sortnw.rs:
+crates/workloads/src/variants.rs:

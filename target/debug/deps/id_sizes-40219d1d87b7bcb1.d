@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-40219d1d87b7bcb1.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/id_sizes-40219d1d87b7bcb1: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-6af6dd2191e5e8bc.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/libid_sizes-6af6dd2191e5e8bc.rmeta: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-799c00975d654f5e.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/id_sizes-799c00975d654f5e: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-98d3355498a76c1d.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/id_sizes-98d3355498a76c1d: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-b6e0fe9ac76621dd.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/libid_sizes-b6e0fe9ac76621dd.rmeta: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-c2b61e9b21877983.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/libid_sizes-c2b61e9b21877983.rmeta: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_sizes-ee34db5c9ac1105a.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/debug/deps/libid_sizes-ee34db5c9ac1105a.rmeta: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

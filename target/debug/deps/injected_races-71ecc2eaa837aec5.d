@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/injected_races-71ecc2eaa837aec5.d: tests/injected_races.rs
+
+/root/repo/target/debug/deps/libinjected_races-71ecc2eaa837aec5.rmeta: tests/injected_races.rs
+
+tests/injected_races.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/injected_races-7a10cc766050ddd9.d: tests/injected_races.rs
+
+/root/repo/target/debug/deps/injected_races-7a10cc766050ddd9: tests/injected_races.rs
+
+tests/injected_races.rs:

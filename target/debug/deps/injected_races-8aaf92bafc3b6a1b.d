@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/injected_races-8aaf92bafc3b6a1b.d: tests/injected_races.rs
+
+/root/repo/target/debug/deps/injected_races-8aaf92bafc3b6a1b: tests/injected_races.rs
+
+tests/injected_races.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-2aac0c741cc59237.d: crates/gpu-sim/tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-2aac0c741cc59237.rmeta: crates/gpu-sim/tests/integration.rs
+
+crates/gpu-sim/tests/integration.rs:

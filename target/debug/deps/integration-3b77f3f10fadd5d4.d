@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-3b77f3f10fadd5d4.d: crates/gpu-sim/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-3b77f3f10fadd5d4: crates/gpu-sim/tests/integration.rs
+
+crates/gpu-sim/tests/integration.rs:

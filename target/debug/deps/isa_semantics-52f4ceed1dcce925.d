@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isa_semantics-52f4ceed1dcce925.d: crates/gpu-sim/tests/isa_semantics.rs
+
+/root/repo/target/debug/deps/libisa_semantics-52f4ceed1dcce925.rmeta: crates/gpu-sim/tests/isa_semantics.rs
+
+crates/gpu-sim/tests/isa_semantics.rs:

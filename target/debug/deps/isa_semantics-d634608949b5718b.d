@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isa_semantics-d634608949b5718b.d: crates/gpu-sim/tests/isa_semantics.rs
+
+/root/repo/target/debug/deps/isa_semantics-d634608949b5718b: crates/gpu-sim/tests/isa_semantics.rs
+
+crates/gpu-sim/tests/isa_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_fuzz-2c052dc3e008e1fb.d: crates/gpu-sim/tests/kernel_fuzz.rs
+
+/root/repo/target/debug/deps/kernel_fuzz-2c052dc3e008e1fb: crates/gpu-sim/tests/kernel_fuzz.rs
+
+crates/gpu-sim/tests/kernel_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_fuzz-c281beaa6c8d116d.d: crates/gpu-sim/tests/kernel_fuzz.rs
+
+/root/repo/target/debug/deps/libkernel_fuzz-c281beaa6c8d116d.rmeta: crates/gpu-sim/tests/kernel_fuzz.rs
+
+crates/gpu-sim/tests/kernel_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockset_scenarios-7910d988b46faa54.d: crates/core/tests/lockset_scenarios.rs
+
+/root/repo/target/debug/deps/lockset_scenarios-7910d988b46faa54: crates/core/tests/lockset_scenarios.rs
+
+crates/core/tests/lockset_scenarios.rs:

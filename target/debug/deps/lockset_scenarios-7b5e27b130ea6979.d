@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockset_scenarios-7b5e27b130ea6979.d: crates/core/tests/lockset_scenarios.rs
+
+/root/repo/target/debug/deps/liblockset_scenarios-7b5e27b130ea6979.rmeta: crates/core/tests/lockset_scenarios.rs
+
+crates/core/tests/lockset_scenarios.rs:

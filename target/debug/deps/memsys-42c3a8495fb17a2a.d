@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsys-42c3a8495fb17a2a.d: crates/bench/benches/memsys.rs
+
+/root/repo/target/debug/deps/libmemsys-42c3a8495fb17a2a.rmeta: crates/bench/benches/memsys.rs
+
+crates/bench/benches/memsys.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsys-a303dd4d3f41c554.d: crates/bench/benches/memsys.rs
+
+/root/repo/target/debug/deps/libmemsys-a303dd4d3f41c554.rmeta: crates/bench/benches/memsys.rs
+
+crates/bench/benches/memsys.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsys_edge-79423a87eb08fd3e.d: crates/gpu-sim/tests/memsys_edge.rs
+
+/root/repo/target/debug/deps/libmemsys_edge-79423a87eb08fd3e.rmeta: crates/gpu-sim/tests/memsys_edge.rs
+
+crates/gpu-sim/tests/memsys_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsys_edge-bf1c96dc3cda58a8.d: crates/gpu-sim/tests/memsys_edge.rs
+
+/root/repo/target/debug/deps/memsys_edge-bf1c96dc3cda58a8: crates/gpu-sim/tests/memsys_edge.rs
+
+crates/gpu-sim/tests/memsys_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-1e6f3292c70a10c8.d: crates/gpu-sim/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-1e6f3292c70a10c8: crates/gpu-sim/tests/observability.rs
+
+crates/gpu-sim/tests/observability.rs:

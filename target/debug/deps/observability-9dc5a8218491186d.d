@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-9dc5a8218491186d.d: crates/gpu-sim/tests/observability.rs
+
+/root/repo/target/debug/deps/libobservability-9dc5a8218491186d.rmeta: crates/gpu-sim/tests/observability.rs
+
+crates/gpu-sim/tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-36b1e07a9b473ef3.d: tests/overheads.rs
+
+/root/repo/target/debug/deps/liboverheads-36b1e07a9b473ef3.rmeta: tests/overheads.rs
+
+tests/overheads.rs:

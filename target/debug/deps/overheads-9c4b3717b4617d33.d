@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-9c4b3717b4617d33.d: tests/overheads.rs
+
+/root/repo/target/debug/deps/overheads-9c4b3717b4617d33: tests/overheads.rs
+
+tests/overheads.rs:

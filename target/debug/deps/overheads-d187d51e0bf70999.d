@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-d187d51e0bf70999.d: tests/overheads.rs
+
+/root/repo/target/debug/deps/overheads-d187d51e0bf70999: tests/overheads.rs
+
+tests/overheads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-4d3d5b8a72d7cc9f.d: crates/gpu-sim/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-4d3d5b8a72d7cc9f: crates/gpu-sim/tests/parallel_determinism.rs
+
+crates/gpu-sim/tests/parallel_determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-583c7b360577b8b2.d: devtools/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-583c7b360577b8b2.rlib: devtools/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-583c7b360577b8b2.rmeta: devtools/stubs/parking_lot/src/lib.rs
+
+devtools/stubs/parking_lot/src/lib.rs:

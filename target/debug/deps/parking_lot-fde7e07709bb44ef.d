@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-fde7e07709bb44ef.d: devtools/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-fde7e07709bb44ef.rmeta: devtools/stubs/parking_lot/src/lib.rs
+
+devtools/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0859bdbc391ff376.d: devtools/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0859bdbc391ff376.rmeta: devtools/stubs/proptest/src/lib.rs
+
+devtools/stubs/proptest/src/lib.rs:

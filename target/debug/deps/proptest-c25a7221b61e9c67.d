@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c25a7221b61e9c67.d: devtools/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c25a7221b61e9c67.rlib: devtools/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c25a7221b61e9c67.rmeta: devtools/stubs/proptest/src/lib.rs
+
+devtools/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6feed91f4ec4b947.d: crates/gpu-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6feed91f4ec4b947: crates/gpu-sim/tests/proptests.rs
+
+crates/gpu-sim/tests/proptests.rs:

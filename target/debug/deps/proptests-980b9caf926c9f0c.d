@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-980b9caf926c9f0c.d: crates/gpu-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-980b9caf926c9f0c.rmeta: crates/gpu-sim/tests/proptests.rs
+
+crates/gpu-sim/tests/proptests.rs:

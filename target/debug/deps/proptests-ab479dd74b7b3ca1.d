@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ab479dd74b7b3ca1.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-ab479dd74b7b3ca1.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

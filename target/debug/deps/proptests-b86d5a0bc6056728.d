@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b86d5a0bc6056728.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b86d5a0bc6056728: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0fcdba77536050f8.d: devtools/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0fcdba77536050f8.rlib: devtools/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0fcdba77536050f8.rmeta: devtools/stubs/rand/src/lib.rs
+
+devtools/stubs/rand/src/lib.rs:

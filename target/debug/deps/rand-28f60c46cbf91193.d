@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-28f60c46cbf91193.d: devtools/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-28f60c46cbf91193.rmeta: devtools/stubs/rand/src/lib.rs
+
+devtools/stubs/rand/src/lib.rs:

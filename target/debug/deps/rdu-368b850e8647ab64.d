@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rdu-368b850e8647ab64.d: crates/bench/benches/rdu.rs
+
+/root/repo/target/debug/deps/librdu-368b850e8647ab64.rmeta: crates/bench/benches/rdu.rs
+
+crates/bench/benches/rdu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rdu-61506d72b6174474.d: crates/bench/benches/rdu.rs
+
+/root/repo/target/debug/deps/librdu-61506d72b6174474.rmeta: crates/bench/benches/rdu.rs
+
+crates/bench/benches/rdu.rs:

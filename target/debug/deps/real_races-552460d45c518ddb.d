@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_races-552460d45c518ddb.d: tests/real_races.rs
+
+/root/repo/target/debug/deps/real_races-552460d45c518ddb: tests/real_races.rs
+
+tests/real_races.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_races-a6fe927639d0f2d8.d: tests/real_races.rs
+
+/root/repo/target/debug/deps/libreal_races-a6fe927639d0f2d8.rmeta: tests/real_races.rs
+
+tests/real_races.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_races-b3219d23ba96564c.d: tests/real_races.rs
+
+/root/repo/target/debug/deps/real_races-b3219d23ba96564c: tests/real_races.rs
+
+tests/real_races.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regrouping-60e5141f8e3e949d.d: tests/regrouping.rs
+
+/root/repo/target/debug/deps/regrouping-60e5141f8e3e949d: tests/regrouping.rs
+
+tests/regrouping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regrouping-614625c28b9fca33.d: tests/regrouping.rs
+
+/root/repo/target/debug/deps/libregrouping-614625c28b9fca33.rmeta: tests/regrouping.rs
+
+tests/regrouping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regrouping-87d33c97627016a0.d: tests/regrouping.rs
+
+/root/repo/target/debug/deps/regrouping-87d33c97627016a0: tests/regrouping.rs
+
+tests/regrouping.rs:

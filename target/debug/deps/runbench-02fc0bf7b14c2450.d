@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-02fc0bf7b14c2450.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/runbench-02fc0bf7b14c2450: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

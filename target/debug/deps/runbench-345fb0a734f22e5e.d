@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-345fb0a734f22e5e.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/runbench-345fb0a734f22e5e: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

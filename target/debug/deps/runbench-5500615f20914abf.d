@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-5500615f20914abf.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/librunbench-5500615f20914abf.rmeta: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-5bf2fe339a7b1db4.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/librunbench-5bf2fe339a7b1db4.rmeta: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-a61be4bd0b0e92c5.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/librunbench-a61be4bd0b0e92c5.rmeta: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

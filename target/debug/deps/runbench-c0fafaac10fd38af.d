@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-c0fafaac10fd38af.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/librunbench-c0fafaac10fd38af.rmeta: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runbench-d9f0dc7b90e820e4.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/debug/deps/runbench-d9f0dc7b90e820e4: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-236ce0cc53fb5f6e.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/libsched_ablation-236ce0cc53fb5f6e.rmeta: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-4a8e539741981d64.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/libsched_ablation-4a8e539741981d64.rmeta: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

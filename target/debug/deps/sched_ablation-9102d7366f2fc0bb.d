@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-9102d7366f2fc0bb.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/libsched_ablation-9102d7366f2fc0bb.rmeta: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

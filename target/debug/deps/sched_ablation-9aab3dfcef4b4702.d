@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-9aab3dfcef4b4702.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/libsched_ablation-9aab3dfcef4b4702.rmeta: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

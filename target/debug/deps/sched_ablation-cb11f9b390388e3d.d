@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-cb11f9b390388e3d.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/sched_ablation-cb11f9b390388e3d: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

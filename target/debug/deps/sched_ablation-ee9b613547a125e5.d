@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-ee9b613547a125e5.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/sched_ablation-ee9b613547a125e5: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ablation-faec2f2193c3bcb7.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/debug/deps/sched_ablation-faec2f2193c3bcb7: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

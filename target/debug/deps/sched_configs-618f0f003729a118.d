@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_configs-618f0f003729a118.d: crates/gpu-sim/tests/sched_configs.rs
+
+/root/repo/target/debug/deps/sched_configs-618f0f003729a118: crates/gpu-sim/tests/sched_configs.rs
+
+crates/gpu-sim/tests/sched_configs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_configs-d426c403aab56f7c.d: crates/gpu-sim/tests/sched_configs.rs
+
+/root/repo/target/debug/deps/libsched_configs-d426c403aab56f7c.rmeta: crates/gpu-sim/tests/sched_configs.rs
+
+crates/gpu-sim/tests/sched_configs.rs:

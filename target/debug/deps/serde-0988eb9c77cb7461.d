@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0988eb9c77cb7461.d: devtools/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0988eb9c77cb7461.rlib: devtools/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0988eb9c77cb7461.rmeta: devtools/stubs/serde/src/lib.rs
+
+devtools/stubs/serde/src/lib.rs:

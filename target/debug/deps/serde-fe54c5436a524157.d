@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fe54c5436a524157.d: devtools/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fe54c5436a524157.rmeta: devtools/stubs/serde/src/lib.rs
+
+devtools/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-76e6d33b6414a8fd.d: devtools/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-76e6d33b6414a8fd.so: devtools/stubs/serde_derive/src/lib.rs
+
+devtools/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a6fb0f1ba3f9ed73.d: devtools/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a6fb0f1ba3f9ed73.so: devtools/stubs/serde_derive/src/lib.rs
+
+devtools/stubs/serde_derive/src/lib.rs:

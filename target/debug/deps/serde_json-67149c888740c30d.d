@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-67149c888740c30d.d: devtools/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-67149c888740c30d.rmeta: devtools/stubs/serde_json/src/lib.rs
+
+devtools/stubs/serde_json/src/lib.rs:

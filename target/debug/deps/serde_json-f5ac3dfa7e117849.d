@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f5ac3dfa7e117849.d: devtools/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f5ac3dfa7e117849.rlib: devtools/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f5ac3dfa7e117849.rmeta: devtools/stubs/serde_json/src/lib.rs
+
+devtools/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_state-a031d3c840ec76d1.d: crates/bench/benches/shadow_state.rs
+
+/root/repo/target/debug/deps/libshadow_state-a031d3c840ec76d1.rmeta: crates/bench/benches/shadow_state.rs
+
+crates/bench/benches/shadow_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_state-c1e3624653476cc4.d: crates/bench/benches/shadow_state.rs
+
+/root/repo/target/debug/deps/libshadow_state-c1e3624653476cc4.rmeta: crates/bench/benches/shadow_state.rs
+
+crates/bench/benches/shadow_state.rs:

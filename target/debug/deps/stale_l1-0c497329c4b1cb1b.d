@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stale_l1-0c497329c4b1cb1b.d: tests/stale_l1.rs
+
+/root/repo/target/debug/deps/stale_l1-0c497329c4b1cb1b: tests/stale_l1.rs
+
+tests/stale_l1.rs:

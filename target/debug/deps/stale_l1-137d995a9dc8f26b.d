@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stale_l1-137d995a9dc8f26b.d: tests/stale_l1.rs
+
+/root/repo/target/debug/deps/stale_l1-137d995a9dc8f26b: tests/stale_l1.rs
+
+tests/stale_l1.rs:

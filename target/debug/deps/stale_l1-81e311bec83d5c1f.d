@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stale_l1-81e311bec83d5c1f.d: tests/stale_l1.rs
+
+/root/repo/target/debug/deps/libstale_l1-81e311bec83d5c1f.rmeta: tests/stale_l1.rs
+
+tests/stale_l1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-5fc075348d8ab9ca.d: crates/bench/tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-5fc075348d8ab9ca: crates/bench/tests/sweep_determinism.rs
+
+crates/bench/tests/sweep_determinism.rs:

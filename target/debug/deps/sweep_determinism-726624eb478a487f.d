@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-726624eb478a487f.d: crates/bench/tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/libsweep_determinism-726624eb478a487f.rmeta: crates/bench/tests/sweep_determinism.rs
+
+crates/bench/tests/sweep_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4d85c8282b7fd5b7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4d85c8282b7fd5b7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

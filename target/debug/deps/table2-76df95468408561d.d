@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-76df95468408561d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-76df95468408561d.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

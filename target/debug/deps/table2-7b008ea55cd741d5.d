@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7b008ea55cd741d5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7b008ea55cd741d5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8942b312b74ca976.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-8942b312b74ca976.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

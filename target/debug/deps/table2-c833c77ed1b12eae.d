@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c833c77ed1b12eae.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-c833c77ed1b12eae.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-dfed8296647bbfa9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-dfed8296647bbfa9.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

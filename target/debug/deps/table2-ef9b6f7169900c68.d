@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ef9b6f7169900c68.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ef9b6f7169900c68: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-0f3d4f8f3e6f8adb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-0f3d4f8f3e6f8adb.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-12c8d838df25f057.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-12c8d838df25f057: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

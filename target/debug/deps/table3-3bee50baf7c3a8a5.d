@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3bee50baf7c3a8a5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-3bee50baf7c3a8a5.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

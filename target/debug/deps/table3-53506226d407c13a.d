@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-53506226d407c13a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-53506226d407c13a.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-700899e9f20c413b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-700899e9f20c413b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

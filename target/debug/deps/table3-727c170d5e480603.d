@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-727c170d5e480603.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-727c170d5e480603: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

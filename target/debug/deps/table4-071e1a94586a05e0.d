@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-071e1a94586a05e0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-071e1a94586a05e0.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

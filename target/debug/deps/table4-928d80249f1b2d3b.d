@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-928d80249f1b2d3b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-928d80249f1b2d3b.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9ac220e0feb9d501.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9ac220e0feb9d501: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9e92fc9a4a099998.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-9e92fc9a4a099998.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ae02c2858035f0b2.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ae02c2858035f0b2: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

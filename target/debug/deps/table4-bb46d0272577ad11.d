@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-bb46d0272577ad11.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-bb46d0272577ad11.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

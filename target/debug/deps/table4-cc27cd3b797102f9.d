@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-cc27cd3b797102f9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-cc27cd3b797102f9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

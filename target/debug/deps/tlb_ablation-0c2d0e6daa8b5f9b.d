@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-0c2d0e6daa8b5f9b.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/libtlb_ablation-0c2d0e6daa8b5f9b.rmeta: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-334875c302b93809.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/tlb_ablation-334875c302b93809: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-3f4b741b6f32697e.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/tlb_ablation-3f4b741b6f32697e: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

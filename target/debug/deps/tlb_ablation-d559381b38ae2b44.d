@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-d559381b38ae2b44.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/libtlb_ablation-d559381b38ae2b44.rmeta: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

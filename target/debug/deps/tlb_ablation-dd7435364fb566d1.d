@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-dd7435364fb566d1.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/tlb_ablation-dd7435364fb566d1: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

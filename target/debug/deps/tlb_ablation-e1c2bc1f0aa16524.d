@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-e1c2bc1f0aa16524.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/libtlb_ablation-e1c2bc1f0aa16524.rmeta: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

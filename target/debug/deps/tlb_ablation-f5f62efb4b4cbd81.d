@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlb_ablation-f5f62efb4b4cbd81.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/debug/deps/libtlb_ablation-f5f62efb4b4cbd81.rmeta: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

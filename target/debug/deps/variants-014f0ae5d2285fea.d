@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-014f0ae5d2285fea.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/libvariants-014f0ae5d2285fea.rmeta: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

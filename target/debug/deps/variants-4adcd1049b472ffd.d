@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-4adcd1049b472ffd.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/libvariants-4adcd1049b472ffd.rmeta: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

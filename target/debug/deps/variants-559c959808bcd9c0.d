@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-559c959808bcd9c0.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/variants-559c959808bcd9c0: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

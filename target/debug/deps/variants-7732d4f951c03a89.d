@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-7732d4f951c03a89.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/variants-7732d4f951c03a89: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

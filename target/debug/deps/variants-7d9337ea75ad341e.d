@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-7d9337ea75ad341e.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/libvariants-7d9337ea75ad341e.rmeta: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-d60fcfadfa2746b0.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/libvariants-d60fcfadfa2746b0.rmeta: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variants-ef4e9ab167dc4df5.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/debug/deps/variants-ef4e9ab167dc4df5: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fence_hunting-1e243a3ef60e379a.d: examples/fence_hunting.rs
+
+/root/repo/target/debug/examples/fence_hunting-1e243a3ef60e379a: examples/fence_hunting.rs
+
+examples/fence_hunting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fence_hunting-3923dc23e8165553.d: examples/fence_hunting.rs
+
+/root/repo/target/debug/examples/libfence_hunting-3923dc23e8165553.rmeta: examples/fence_hunting.rs
+
+examples/fence_hunting.rs:

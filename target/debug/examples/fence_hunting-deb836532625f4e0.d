@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fence_hunting-deb836532625f4e0.d: examples/fence_hunting.rs
+
+/root/repo/target/debug/examples/fence_hunting-deb836532625f4e0: examples/fence_hunting.rs
+
+examples/fence_hunting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_tradeoff-0025916568f92e0a.d: examples/granularity_tradeoff.rs
+
+/root/repo/target/debug/examples/granularity_tradeoff-0025916568f92e0a: examples/granularity_tradeoff.rs
+
+examples/granularity_tradeoff.rs:

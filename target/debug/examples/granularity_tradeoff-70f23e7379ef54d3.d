@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_tradeoff-70f23e7379ef54d3.d: examples/granularity_tradeoff.rs
+
+/root/repo/target/debug/examples/granularity_tradeoff-70f23e7379ef54d3: examples/granularity_tradeoff.rs
+
+examples/granularity_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_tradeoff-db96528651608004.d: examples/granularity_tradeoff.rs
+
+/root/repo/target/debug/examples/libgranularity_tradeoff-db96528651608004.rmeta: examples/granularity_tradeoff.rs
+
+examples/granularity_tradeoff.rs:

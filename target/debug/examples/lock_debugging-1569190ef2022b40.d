@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_debugging-1569190ef2022b40.d: examples/lock_debugging.rs
+
+/root/repo/target/debug/examples/lock_debugging-1569190ef2022b40: examples/lock_debugging.rs
+
+examples/lock_debugging.rs:

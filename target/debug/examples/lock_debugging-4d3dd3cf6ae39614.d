@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_debugging-4d3dd3cf6ae39614.d: examples/lock_debugging.rs
+
+/root/repo/target/debug/examples/liblock_debugging-4d3dd3cf6ae39614.rmeta: examples/lock_debugging.rs
+
+examples/lock_debugging.rs:

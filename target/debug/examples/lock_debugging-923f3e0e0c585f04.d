@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_debugging-923f3e0e0c585f04.d: examples/lock_debugging.rs
+
+/root/repo/target/debug/examples/lock_debugging-923f3e0e0c585f04: examples/lock_debugging.rs
+
+examples/lock_debugging.rs:

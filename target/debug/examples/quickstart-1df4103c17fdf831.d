@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1df4103c17fdf831.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1df4103c17fdf831: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6144c5939a61d624.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6144c5939a61d624.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b77b2253cf5c8f73.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b77b2253cf5c8f73: examples/quickstart.rs
+
+examples/quickstart.rs:

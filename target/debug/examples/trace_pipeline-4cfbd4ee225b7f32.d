@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_pipeline-4cfbd4ee225b7f32.d: examples/trace_pipeline.rs
+
+/root/repo/target/debug/examples/libtrace_pipeline-4cfbd4ee225b7f32.rmeta: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_pipeline-81940969d09832d8.d: examples/trace_pipeline.rs
+
+/root/repo/target/debug/examples/trace_pipeline-81940969d09832d8: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:

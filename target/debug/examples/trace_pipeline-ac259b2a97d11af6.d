@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_pipeline-ac259b2a97d11af6.d: examples/trace_pipeline.rs
+
+/root/repo/target/debug/examples/trace_pipeline-ac259b2a97d11af6: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:

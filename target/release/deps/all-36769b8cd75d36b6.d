@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/all-36769b8cd75d36b6.d: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+/root/repo/target/release/deps/all-36769b8cd75d36b6: crates/bench/src/bin/all.rs crates/bench/src/bin/all_appendix.md
+
+crates/bench/src/bin/all.rs:
+crates/bench/src/bin/all_appendix.md:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bloom_stress-b50a899f8d541c18.d: crates/bench/src/bin/bloom_stress.rs
+
+/root/repo/target/release/deps/bloom_stress-b50a899f8d541c18: crates/bench/src/bin/bloom_stress.rs
+
+crates/bench/src/bin/bloom_stress.rs:

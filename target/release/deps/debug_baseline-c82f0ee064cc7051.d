@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_baseline-c82f0ee064cc7051.d: crates/bench/src/bin/debug_baseline.rs
+
+/root/repo/target/release/deps/debug_baseline-c82f0ee064cc7051: crates/bench/src/bin/debug_baseline.rs
+
+crates/bench/src/bin/debug_baseline.rs:

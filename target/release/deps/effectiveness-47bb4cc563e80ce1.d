@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/effectiveness-47bb4cc563e80ce1.d: crates/bench/src/bin/effectiveness.rs
+
+/root/repo/target/release/deps/effectiveness-47bb4cc563e80ce1: crates/bench/src/bin/effectiveness.rs
+
+crates/bench/src/bin/effectiveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f1b19df395b0337b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f1b19df395b0337b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-497f8cff8530426d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-497f8cff8530426d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

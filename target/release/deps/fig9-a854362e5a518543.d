@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-a854362e5a518543.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-a854362e5a518543: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

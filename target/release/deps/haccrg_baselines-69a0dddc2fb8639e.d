@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccrg_baselines-69a0dddc2fb8639e.d: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/release/deps/libhaccrg_baselines-69a0dddc2fb8639e.rlib: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+/root/repo/target/release/deps/libhaccrg_baselines-69a0dddc2fb8639e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grace.rs crates/baselines/src/instrument.rs crates/baselines/src/runner.rs crates/baselines/src/sw_haccrg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grace.rs:
+crates/baselines/src/instrument.rs:
+crates/baselines/src/runner.rs:
+crates/baselines/src/sw_haccrg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/haccrg_bench-1460fb7d8e235438.d: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libhaccrg_bench-1460fb7d8e235438.rlib: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libhaccrg_bench-1460fb7d8e235438.rmeta: crates/bench/src/lib.rs crates/bench/src/effectiveness.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/sweep.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effectiveness.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/haccrg_suite-27d0a61706aab87c.d: src/lib.rs
+
+/root/repo/target/release/deps/libhaccrg_suite-27d0a61706aab87c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhaccrg_suite-27d0a61706aab87c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/haccrg_trace-54e6717e03378557.d: crates/trace-tool/src/lib.rs
+
+/root/repo/target/release/deps/libhaccrg_trace-54e6717e03378557.rlib: crates/trace-tool/src/lib.rs
+
+/root/repo/target/release/deps/libhaccrg_trace-54e6717e03378557.rmeta: crates/trace-tool/src/lib.rs
+
+crates/trace-tool/src/lib.rs:

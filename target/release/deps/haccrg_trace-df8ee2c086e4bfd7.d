@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/haccrg_trace-df8ee2c086e4bfd7.d: crates/trace-tool/src/main.rs
+
+/root/repo/target/release/deps/haccrg_trace-df8ee2c086e4bfd7: crates/trace-tool/src/main.rs
+
+crates/trace-tool/src/main.rs:

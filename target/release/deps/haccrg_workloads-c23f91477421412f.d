@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/haccrg_workloads-c23f91477421412f.d: crates/workloads/src/lib.rs crates/workloads/src/fwalsh.rs crates/workloads/src/hash.rs crates/workloads/src/hist.rs crates/workloads/src/inject.rs crates/workloads/src/kmeans.rs crates/workloads/src/mcarlo.rs crates/workloads/src/offt.rs crates/workloads/src/psum.rs crates/workloads/src/reduce.rs crates/workloads/src/runner.rs crates/workloads/src/scan.rs crates/workloads/src/sortnw.rs crates/workloads/src/variants.rs
+
+/root/repo/target/release/deps/libhaccrg_workloads-c23f91477421412f.rlib: crates/workloads/src/lib.rs crates/workloads/src/fwalsh.rs crates/workloads/src/hash.rs crates/workloads/src/hist.rs crates/workloads/src/inject.rs crates/workloads/src/kmeans.rs crates/workloads/src/mcarlo.rs crates/workloads/src/offt.rs crates/workloads/src/psum.rs crates/workloads/src/reduce.rs crates/workloads/src/runner.rs crates/workloads/src/scan.rs crates/workloads/src/sortnw.rs crates/workloads/src/variants.rs
+
+/root/repo/target/release/deps/libhaccrg_workloads-c23f91477421412f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fwalsh.rs crates/workloads/src/hash.rs crates/workloads/src/hist.rs crates/workloads/src/inject.rs crates/workloads/src/kmeans.rs crates/workloads/src/mcarlo.rs crates/workloads/src/offt.rs crates/workloads/src/psum.rs crates/workloads/src/reduce.rs crates/workloads/src/runner.rs crates/workloads/src/scan.rs crates/workloads/src/sortnw.rs crates/workloads/src/variants.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fwalsh.rs:
+crates/workloads/src/hash.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/inject.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/mcarlo.rs:
+crates/workloads/src/offt.rs:
+crates/workloads/src/psum.rs:
+crates/workloads/src/reduce.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/scan.rs:
+crates/workloads/src/sortnw.rs:
+crates/workloads/src/variants.rs:

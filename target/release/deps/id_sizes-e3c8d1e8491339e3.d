@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/id_sizes-e3c8d1e8491339e3.d: crates/bench/src/bin/id_sizes.rs
+
+/root/repo/target/release/deps/id_sizes-e3c8d1e8491339e3: crates/bench/src/bin/id_sizes.rs
+
+crates/bench/src/bin/id_sizes.rs:

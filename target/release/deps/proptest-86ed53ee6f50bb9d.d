@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-86ed53ee6f50bb9d.d: devtools/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-86ed53ee6f50bb9d.rlib: devtools/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-86ed53ee6f50bb9d.rmeta: devtools/stubs/proptest/src/lib.rs
+
+devtools/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-604b49aef5bc7a52.d: devtools/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-604b49aef5bc7a52.rlib: devtools/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-604b49aef5bc7a52.rmeta: devtools/stubs/rand/src/lib.rs
+
+devtools/stubs/rand/src/lib.rs:

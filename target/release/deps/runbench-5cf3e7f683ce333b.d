@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runbench-5cf3e7f683ce333b.d: crates/bench/src/bin/runbench.rs
+
+/root/repo/target/release/deps/runbench-5cf3e7f683ce333b: crates/bench/src/bin/runbench.rs
+
+crates/bench/src/bin/runbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_ablation-0bec51c459c073fa.d: crates/bench/src/bin/sched_ablation.rs
+
+/root/repo/target/release/deps/sched_ablation-0bec51c459c073fa: crates/bench/src/bin/sched_ablation.rs
+
+crates/bench/src/bin/sched_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a97b5c376f38bd4c.d: devtools/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a97b5c376f38bd4c.rlib: devtools/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a97b5c376f38bd4c.rmeta: devtools/stubs/serde/src/lib.rs
+
+devtools/stubs/serde/src/lib.rs:

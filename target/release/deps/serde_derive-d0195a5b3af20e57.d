@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d0195a5b3af20e57.d: devtools/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d0195a5b3af20e57.so: devtools/stubs/serde_derive/src/lib.rs
+
+devtools/stubs/serde_derive/src/lib.rs:

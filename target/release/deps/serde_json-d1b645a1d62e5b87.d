@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d1b645a1d62e5b87.d: devtools/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d1b645a1d62e5b87.rlib: devtools/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d1b645a1d62e5b87.rmeta: devtools/stubs/serde_json/src/lib.rs
+
+devtools/stubs/serde_json/src/lib.rs:

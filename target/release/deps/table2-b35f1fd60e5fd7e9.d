@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b35f1fd60e5fd7e9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b35f1fd60e5fd7e9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b26cc50753eaf045.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b26cc50753eaf045: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c5a47dac4c015029.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c5a47dac4c015029: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tlb_ablation-99204a46f0cd3bce.d: crates/bench/src/bin/tlb_ablation.rs
+
+/root/repo/target/release/deps/tlb_ablation-99204a46f0cd3bce: crates/bench/src/bin/tlb_ablation.rs
+
+crates/bench/src/bin/tlb_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/variants-3f6e7858bc0dcc98.d: crates/bench/src/bin/variants.rs
+
+/root/repo/target/release/deps/variants-3f6e7858bc0dcc98: crates/bench/src/bin/variants.rs
+
+crates/bench/src/bin/variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/par_check-92c44117634ff66d.d: crates/gpu-sim/examples/par_check.rs
+
+/root/repo/target/release/examples/par_check-92c44117634ff66d: crates/gpu-sim/examples/par_check.rs
+
+crates/gpu-sim/examples/par_check.rs:
