@@ -1,0 +1,126 @@
+//! Criterion benchmarks for the demand-paged shadow-table fast path:
+//! launch-time setup cost (eager monolithic table vs. demand paging),
+//! barrier-reset cost (eager entry walk vs. epoch bump), and the
+//! steady-state warp check with reusable scratch buffers.
+//!
+//! `BENCH_shadow.json` at the repo root is produced by the companion
+//! `shadow_bench` binary (`cargo run --release -p haccrg-bench --bin
+//! shadow_bench`), which measures the same scenarios with a counting
+//! allocator attached.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use haccrg::prelude::*;
+use haccrg::shadow::FRESH;
+
+/// Tracked-region sizes for the launch-setup comparison, in MiB.
+const SETUP_MIB: [u32; 2] = [1, 8];
+
+fn launch_setup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_launch_setup");
+    g.sample_size(10);
+    for mib in SETUP_MIB {
+        let tracked = mib << 20;
+        let entries = Granularity::GLOBAL_DEFAULT.entries_for(tracked);
+
+        // The pre-paging behavior: one unpacked entry per tracked chunk,
+        // allocated and initialized eagerly at every kernel launch.
+        g.bench_function(format!("eager/{mib}MiB"), |b| {
+            b.iter(|| black_box(vec![FRESH; black_box(entries)]))
+        });
+
+        // The paged table: only the page-pointer vector is allocated;
+        // untouched pages read as FRESH.
+        g.bench_function(format!("paged/{mib}MiB"), |b| {
+            b.iter(|| {
+                black_box(GlobalRdu::new(
+                    0x1000,
+                    black_box(tracked),
+                    0x100_0000,
+                    Granularity::GLOBAL_DEFAULT,
+                    true,
+                    true,
+                    BloomConfig::PAPER_DEFAULT,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn barrier_reset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_barrier_reset");
+    const SHARED_BYTES: u32 = 48 * 1024;
+    let entries = Granularity::SHARED_DEFAULT.entries_for(SHARED_BYTES);
+
+    // Eager baseline: what a monolithic table does at every barrier —
+    // rewrite every entry in the block's range.
+    g.bench_function("eager_fill_48kb", |b| {
+        let mut v = vec![FRESH; entries];
+        b.iter(|| {
+            v.fill(black_box(FRESH));
+            black_box(v.len())
+        })
+    });
+
+    // Epoch path: a generation bump per fully-covered page. The table is
+    // warmed first so every page is materialized — the worst case for the
+    // bump loop.
+    g.bench_function("epoch_bump_48kb", |b| {
+        let mut rdu = SharedRdu::new(
+            0,
+            SHARED_BYTES,
+            16,
+            Granularity::SHARED_DEFAULT,
+            true,
+            BloomConfig::PAPER_DEFAULT,
+        );
+        let clocks = ClockFile::new(8, 48);
+        let mut log = RaceLog::default();
+        for i in 0..entries as u32 {
+            let who = ThreadCoord::new(0, 0, 0, 0);
+            let a = MemAccess::plain(i * Granularity::SHARED_DEFAULT.bytes(), 4, AccessKind::Write, who);
+            rdu.observe(&a, &clocks, &mut log);
+        }
+        b.iter(|| black_box(rdu.reset_block_range(0, SHARED_BYTES)))
+    });
+    g.finish();
+}
+
+fn steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_steady_state");
+    g.throughput(Throughput::Elements(32));
+
+    // One warp instruction's worth of detection work per iteration, with
+    // every buffer reused: after the first iteration nothing allocates.
+    g.bench_function("warp_check_32_lanes", |b| {
+        let clocks = ClockFile::new(64, 2048);
+        let mut rdu = GlobalRdu::new(
+            0x1000,
+            1 << 20,
+            0x100_0000,
+            Granularity::GLOBAL_DEFAULT,
+            true,
+            true,
+            BloomConfig::PAPER_DEFAULT,
+        );
+        let mut log = RaceLog::default();
+        let mut scratch = RaceScratch::default();
+        let lanes: Vec<MemAccess> = (0..32u32)
+            .map(|l| {
+                let who = ThreadCoord::new(l, 0, 0, 0);
+                MemAccess::plain(0x1000 + l * 4, 4, AccessKind::Write, who)
+            })
+            .collect();
+        b.iter(|| {
+            rdu.check_warp_stores(&lanes, &mut scratch, &mut log);
+            for a in &lanes {
+                black_box(rdu.observe(a, &clocks, &mut log));
+            }
+            black_box(log.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, launch_setup, barrier_reset, steady_state);
+criterion_main!(benches);

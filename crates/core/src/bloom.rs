@@ -38,7 +38,7 @@ impl BloomConfig {
 
     /// Width of each bin in bits.
     pub fn bin_width(self) -> u8 {
-        debug_assert!(self.bins > 0 && self.bits % self.bins == 0);
+        debug_assert!(self.bins > 0 && self.bits.is_multiple_of(self.bins));
         self.bits / self.bins
     }
 
@@ -50,7 +50,7 @@ impl BloomConfig {
         if !matches!(self.bins, 1 | 2 | 4) {
             return Err(format!("atomic ID bins must be 1/2/4, got {}", self.bins));
         }
-        if self.bits % self.bins != 0 {
+        if !self.bits.is_multiple_of(self.bins) {
             return Err("signature bits must divide evenly into bins".into());
         }
         if !self.bin_width().is_power_of_two() {

@@ -28,6 +28,16 @@ pub const GLOBAL_ENTRY_FULL_BITS: u32 = GLOBAL_ENTRY_FENCE_BITS + 16;
 /// system can fetch atomically.
 pub const GLOBAL_SHADOW_STRIDE_BYTES: u32 = 8;
 
+/// Stall cycles a bulk shadow invalidation costs: the banked shadow
+/// storage clears one row per bank per cycle (§IV-A), so a reset of
+/// `entries` entries over `banks` banks takes `ceil(entries / banks)`
+/// cycles. This is the *modeled* hardware charge; the functional shadow
+/// table invalidates lazily via generation counters and must keep quoting
+/// this arithmetic cost regardless of how little host work it does.
+pub fn banked_reset_cycles(entries: u64, banks: u32) -> u64 {
+    entries.div_ceil(u64::from(banks.max(1)))
+}
+
 /// Per-ID register widths (§VI-A2).
 pub const SYNC_ID_BITS: u32 = 8;
 /// Fence-ID register width (§VI-A2).

@@ -13,7 +13,8 @@
 //! granularity) while the request sits in the issue stage.
 
 use crate::access::{AccessKind, MemAccess, MemSpace, ThreadCoord};
-use crate::race::{RaceCategory, RaceKind, RaceRecord};
+use crate::race::{RaceCategory, RaceKind, RaceLog, RaceRecord};
+use crate::scratch::RaceScratch;
 
 /// Check the lane accesses of a single warp store instruction for
 /// overlapping writes by different lanes.
@@ -24,9 +25,35 @@ use crate::race::{RaceCategory, RaceKind, RaceRecord};
 /// raising one violation signal per conflict.
 pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> Vec<RaceRecord> {
     let mut races = Vec::new();
+    let mut reported = Vec::new();
+    check_intra_warp_waw_impl(lanes, base, space, &mut reported, |r| races.push(r));
+    races
+}
+
+/// Allocation-free variant: races go straight into `log`, the dedup set
+/// lives in `scratch`. Hot-path equivalent of [`check_intra_warp_waw`].
+pub fn check_intra_warp_waw_into(
+    lanes: &[MemAccess],
+    base: u32,
+    space: MemSpace,
+    scratch: &mut RaceScratch,
+    log: &mut RaceLog,
+) {
+    scratch.reported.clear();
+    check_intra_warp_waw_impl(lanes, base, space, &mut scratch.reported, |r| {
+        log.push(r);
+    });
+}
+
+fn check_intra_warp_waw_impl(
+    lanes: &[MemAccess],
+    base: u32,
+    space: MemSpace,
+    reported: &mut Vec<u32>,
+    mut emit: impl FnMut(RaceRecord),
+) {
     // Warps are ≤32 lanes: a quadratic scan is exactly what the hardware's
     // pairwise comparator array does, and is cheap here.
-    let mut reported: Vec<u32> = Vec::new();
     for (i, a) in lanes.iter().enumerate() {
         if a.kind != AccessKind::Write || a.addr < base {
             continue;
@@ -45,7 +72,7 @@ pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> 
                 continue;
             }
             reported.push(overlap);
-            races.push(RaceRecord {
+            emit(RaceRecord {
                 kind: RaceKind::Waw,
                 category: RaceCategory::IntraWarp,
                 space,
@@ -58,7 +85,6 @@ pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> 
             });
         }
     }
-    races
 }
 
 /// Convenience for building lane access lists in tests and the simulator.

@@ -64,7 +64,9 @@ pub mod locktable;
 pub mod packed;
 pub mod race;
 pub mod replay;
+pub mod scratch;
 pub mod shadow;
+pub mod shadow_table;
 pub mod shared_rdu;
 
 /// Convenient glob-import of the commonly used types.
@@ -77,7 +79,9 @@ pub mod prelude {
     pub use crate::granularity::Granularity;
     pub use crate::lockset::AtomicIdRegister;
     pub use crate::race::{RaceCategory, RaceKind, RaceLog, RaceRecord};
+    pub use crate::scratch::RaceScratch;
     pub use crate::shadow::{ShadowEntry, ShadowPolicy, ShadowState};
+    pub use crate::shadow_table::ShadowTable;
     pub use crate::shared_rdu::SharedRdu;
 }
 

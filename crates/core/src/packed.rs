@@ -96,7 +96,7 @@ mod tests {
         assert_eq!(layout::FENCE, 28);
         assert_eq!(layout::ATOMIC, 36);
         assert_eq!(layout::PROTECTED, 52);
-        assert!(PACKED_BITS <= 64);
+        const { assert!(PACKED_BITS <= 64) };
     }
 
     #[test]

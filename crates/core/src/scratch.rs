@@ -1,0 +1,35 @@
+//! Reusable scratch buffers for the detection hot path.
+//!
+//! Every warp check used to heap-allocate: a `Vec<RaceRecord>` out of
+//! `check_warp_stores`, a `Vec<u32>` for the intra-warp dedup set, and
+//! per-access snapshot/line vectors in the simulator's tracing hooks. At
+//! one warp instruction per SM per cycle that is thousands of allocations
+//! per simulated microsecond — pure host overhead the modeled hardware
+//! does not have. [`RaceScratch`] owns those buffers once; callers thread
+//! one instance through the pipeline and the steady state allocates
+//! nothing.
+
+use crate::shadow::ShadowState;
+
+/// Scratch buffers threaded through the race-check pipeline. All buffers
+/// are cleared by their users before reuse; capacity is retained, so after
+/// warm-up the pipeline is allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct RaceScratch {
+    /// Overlap addresses already reported by the intra-warp WAW check
+    /// (one report per conflicting address, like the comparator tree).
+    pub reported: Vec<u32>,
+    /// Shadow-state snapshots taken around an `observe` for tracing.
+    pub states: Vec<ShadowState>,
+    /// Shadow cache-line addresses collected for timing charges.
+    pub lines: Vec<u32>,
+}
+
+impl RaceScratch {
+    /// Drop all contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.reported.clear();
+        self.states.clear();
+        self.lines.clear();
+    }
+}

@@ -1,0 +1,314 @@
+//! Demand-paged, epoch-stamped shadow storage.
+//!
+//! The RDU shadow tables used to be monolithic `Vec<ShadowEntry>`s that
+//! were allocated and zeroed eagerly — one unpacked ~48-byte entry per
+//! tracked chunk, every launch. That is precisely the software
+//! shadow-memory upkeep the paper argues against (§VI, Fig. 7): the
+//! *modeled* hardware clears banked SRAM rows in parallel, but the
+//! *simulator* was paying O(tracked bytes) on the host for it.
+//!
+//! [`ShadowTable`] decouples the two:
+//!
+//! * **Demand paging** — entries live in fixed-size pages
+//!   ([`PAGE_ENTRIES`] each) materialized on first touch. Untouched pages
+//!   read as [`FRESH`], so launch-time cost is O(pages touched), not
+//!   O(tracked bytes).
+//! * **Epoch stamping** — each page carries a generation counter and each
+//!   entry the generation it was last written under. A bulk reset of a
+//!   fully-covered page is a counter bump; entries whose stamp mismatches
+//!   the page generation read as fresh and are lazily re-initialized on
+//!   the next write. Partially-covered boundary pages are walked.
+//!
+//! The *timing* charge for a reset (the banked-clear cycles of §IV-A) is
+//! unchanged — callers compute it arithmetically from the range size via
+//! [`crate::cost::banked_reset_cycles`]; only the host-side work is lazy.
+//! Observable behavior is bit-identical to the eager table: a stale-stamp
+//! entry is indistinguishable from one that was eagerly reset.
+
+use crate::shadow::{ShadowEntry, FRESH};
+
+/// Entries per shadow page. 128 × ~48 bytes ≈ 6 KiB per page keeps the
+/// page-pointer vector tiny (8 bytes per page) while amortizing the
+/// allocation over many chunks.
+pub const PAGE_ENTRIES: usize = 128;
+
+/// One materialized shadow page.
+#[derive(Clone, Debug)]
+struct ShadowPage {
+    /// Current epoch. An entry is live only while `stamps[i]` matches.
+    generation: u32,
+    /// Generation each entry was last initialized under.
+    stamps: [u32; PAGE_ENTRIES],
+    entries: [ShadowEntry; PAGE_ENTRIES],
+}
+
+impl Default for ShadowPage {
+    fn default() -> Self {
+        Self {
+            generation: 0,
+            stamps: [0; PAGE_ENTRIES],
+            entries: [FRESH; PAGE_ENTRIES],
+        }
+    }
+}
+
+impl ShadowPage {
+    /// Eagerly reset every entry and rewind the epoch. Used on generation
+    /// wraparound, where a plain bump could collide with an ancient stamp
+    /// and resurrect a stale entry.
+    fn hard_reset(&mut self) {
+        self.generation = 0;
+        self.stamps = [0; PAGE_ENTRIES];
+        self.entries = [FRESH; PAGE_ENTRIES];
+    }
+
+    /// Bump the epoch, invalidating every entry lazily.
+    fn bump(&mut self) {
+        if self.generation == u32::MAX {
+            self.hard_reset();
+        } else {
+            self.generation += 1;
+        }
+    }
+}
+
+/// Demand-paged table of [`ShadowEntry`]s with epoch-stamped invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowTable {
+    pages: Vec<Option<Box<ShadowPage>>>,
+    num_entries: usize,
+}
+
+impl ShadowTable {
+    /// A table of `num_entries` entries, all reading as [`FRESH`]. Only
+    /// the page-pointer vector is allocated up front.
+    pub fn new(num_entries: usize) -> Self {
+        Self {
+            pages: vec![None; num_entries.div_ceil(PAGE_ENTRIES)],
+            num_entries,
+        }
+    }
+
+    /// Number of addressable entries.
+    pub fn len(&self) -> usize {
+        self.num_entries
+    }
+
+    /// Whether the table tracks no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// Pages currently materialized (diagnostics/benchmarks).
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Read entry `idx` by value. Absent pages and stale-stamped entries
+    /// read as [`FRESH`].
+    pub fn get(&self, idx: usize) -> ShadowEntry {
+        debug_assert!(idx < self.num_entries, "shadow index out of range");
+        match &self.pages[idx / PAGE_ENTRIES] {
+            Some(p) if p.stamps[idx % PAGE_ENTRIES] == p.generation => {
+                p.entries[idx % PAGE_ENTRIES]
+            }
+            _ => FRESH,
+        }
+    }
+
+    /// Mutable access to entry `idx`, materializing its page and lazily
+    /// re-initializing the entry if its stamp is stale.
+    pub fn get_mut(&mut self, idx: usize) -> &mut ShadowEntry {
+        debug_assert!(idx < self.num_entries, "shadow index out of range");
+        let page = self.pages[idx / PAGE_ENTRIES].get_or_insert_with(Default::default);
+        let o = idx % PAGE_ENTRIES;
+        if page.stamps[o] != page.generation {
+            page.stamps[o] = page.generation;
+            page.entries[o] = FRESH;
+        }
+        &mut page.entries[o]
+    }
+
+    /// Invalidate entries in the half-open range `[first, last)`:
+    /// generation bump for fully-covered pages, an entry walk for partial
+    /// boundary pages, nothing at all for pages never materialized.
+    pub fn reset_range(&mut self, first: usize, last: usize) {
+        let first = first.min(self.num_entries);
+        let last = last.min(self.num_entries);
+        if first >= last {
+            return;
+        }
+        let first_page = first / PAGE_ENTRIES;
+        let last_page = (last - 1) / PAGE_ENTRIES;
+        for pi in first_page..=last_page {
+            let Some(page) = self.pages[pi].as_deref_mut() else {
+                continue;
+            };
+            let page_lo = pi * PAGE_ENTRIES;
+            let lo = first.max(page_lo) - page_lo;
+            let hi = last.min(page_lo + PAGE_ENTRIES) - page_lo;
+            if lo == 0 && hi == PAGE_ENTRIES {
+                page.bump();
+            } else {
+                for o in lo..hi {
+                    page.stamps[o] = page.generation;
+                    page.entries[o] = FRESH;
+                }
+            }
+        }
+    }
+
+    /// Invalidate every entry (kernel launch/termination). Always a pure
+    /// generation bump, even for a short tail page — indices past
+    /// `num_entries` are unreachable, so the whole-page reset is safe.
+    pub fn reset_all(&mut self) {
+        for page in self.pages.iter_mut().flatten() {
+            page.bump();
+        }
+    }
+
+    /// Test hook: overwrite the generation counter of the page holding
+    /// `idx` (materializing it) *without* restamping entries, so tests can
+    /// manufacture stale stamps and near-wraparound epochs directly.
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, idx: usize, generation: u32) {
+        let page = self.pages[idx / PAGE_ENTRIES].get_or_insert_with(Default::default);
+        page.generation = generation;
+    }
+
+    /// Test hook: the generation counter of the page holding `idx`
+    /// (`None` if the page was never materialized).
+    #[doc(hidden)]
+    pub fn generation_of(&self, idx: usize) -> Option<u32> {
+        self.pages[idx / PAGE_ENTRIES].as_deref().map(|p| p.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessKind, MemAccess, ThreadCoord};
+    use crate::bloom::BloomConfig;
+    use crate::clocks::ClockFile;
+    use crate::shadow::ShadowPolicy;
+
+    fn dirty(t: &mut ShadowTable, idx: usize) {
+        let c = ClockFile::new(4, 16);
+        let p = ShadowPolicy::shared(true, BloomConfig::PAPER_DEFAULT);
+        let a = MemAccess::plain(0, 4, AccessKind::Write, ThreadCoord::new(0, 0, 0, 0));
+        let r = t.get_mut(idx).observe(&a, &c, &p);
+        assert!(r.is_none());
+        assert!(!t.get(idx).is_fresh());
+    }
+
+    #[test]
+    fn untouched_entries_read_fresh_without_pages() {
+        let t = ShadowTable::new(1000);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.pages_allocated(), 0);
+        assert!(t.get(0).is_fresh());
+        assert!(t.get(999).is_fresh());
+    }
+
+    #[test]
+    fn first_touch_materializes_one_page() {
+        let mut t = ShadowTable::new(1000);
+        dirty(&mut t, 3);
+        assert_eq!(t.pages_allocated(), 1);
+        assert!(t.get(4).is_fresh(), "neighbours on the page stay fresh");
+        dirty(&mut t, PAGE_ENTRIES + 1);
+        assert_eq!(t.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn full_page_reset_is_a_generation_bump() {
+        let mut t = ShadowTable::new(4 * PAGE_ENTRIES);
+        dirty(&mut t, 0);
+        dirty(&mut t, PAGE_ENTRIES);
+        let g0 = t.generation_of(0).unwrap();
+        t.reset_range(0, PAGE_ENTRIES);
+        assert_eq!(t.generation_of(0), Some(g0 + 1));
+        assert!(t.get(0).is_fresh());
+        assert!(!t.get(PAGE_ENTRIES).is_fresh(), "second page untouched");
+    }
+
+    #[test]
+    fn partial_page_reset_walks_only_the_subrange() {
+        let mut t = ShadowTable::new(2 * PAGE_ENTRIES);
+        dirty(&mut t, 10);
+        dirty(&mut t, 20);
+        let g0 = t.generation_of(0).unwrap();
+        t.reset_range(15, 30);
+        assert_eq!(t.generation_of(0), Some(g0), "no bump for a partial page");
+        assert!(!t.get(10).is_fresh(), "outside the range: survives");
+        assert!(t.get(20).is_fresh(), "inside the range: cleared");
+    }
+
+    #[test]
+    fn reset_straddling_a_page_boundary() {
+        let mut t = ShadowTable::new(3 * PAGE_ENTRIES);
+        dirty(&mut t, PAGE_ENTRIES - 1);
+        dirty(&mut t, PAGE_ENTRIES);
+        dirty(&mut t, 2 * PAGE_ENTRIES - 1);
+        dirty(&mut t, 2 * PAGE_ENTRIES + 5);
+        // [last entry of page 0, all of page 1, first 6 of page 2).
+        t.reset_range(PAGE_ENTRIES - 1, 2 * PAGE_ENTRIES + 6);
+        assert!(t.get(PAGE_ENTRIES - 1).is_fresh());
+        assert!(t.get(PAGE_ENTRIES).is_fresh());
+        assert!(t.get(2 * PAGE_ENTRIES - 1).is_fresh());
+        assert!(t.get(2 * PAGE_ENTRIES + 5).is_fresh());
+    }
+
+    #[test]
+    fn reset_of_absent_pages_allocates_nothing() {
+        let mut t = ShadowTable::new(64 * PAGE_ENTRIES);
+        t.reset_range(0, 64 * PAGE_ENTRIES);
+        t.reset_all();
+        assert_eq!(t.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn stale_stamped_entry_reads_fresh_and_reinitializes_on_write() {
+        let mut t = ShadowTable::new(PAGE_ENTRIES);
+        dirty(&mut t, 7);
+        t.reset_range(0, PAGE_ENTRIES);
+        assert!(t.get(7).is_fresh(), "stale stamp reads fresh");
+        // The lazy re-init on get_mut must hand back a genuinely fresh
+        // entry, not the stale pre-reset state.
+        assert!(t.get_mut(7).is_fresh());
+    }
+
+    #[test]
+    fn generation_wraparound_does_not_resurrect_stale_entries() {
+        let mut t = ShadowTable::new(PAGE_ENTRIES);
+        // Entry stamped under generation 0, then an epoch forced to the
+        // far future (as if u32::MAX resets happened since).
+        dirty(&mut t, 0);
+        t.force_generation(0, u32::MAX);
+        assert!(t.get(0).is_fresh(), "stamp 0 vs generation MAX: stale");
+        // The wrapping bump must NOT land the counter back on 0 with the
+        // old stamp still in place — that would resurrect the entry.
+        t.reset_range(0, PAGE_ENTRIES);
+        assert!(t.get(0).is_fresh(), "wraparound resurrected a stale entry");
+        assert_eq!(t.generation_of(0), Some(0), "hard reset rewinds the epoch");
+        assert!(t.get_mut(0).is_fresh());
+    }
+
+    #[test]
+    fn reset_all_covers_a_short_tail_page() {
+        let mut t = ShadowTable::new(PAGE_ENTRIES + 10);
+        dirty(&mut t, PAGE_ENTRIES + 3);
+        t.reset_all();
+        assert!(t.get(PAGE_ENTRIES + 3).is_fresh());
+    }
+
+    #[test]
+    fn out_of_table_reset_ranges_are_clamped() {
+        let mut t = ShadowTable::new(100);
+        dirty(&mut t, 99);
+        t.reset_range(50, 100_000);
+        assert!(t.get(99).is_fresh());
+        t.reset_range(500, 600); // entirely past the end: no-op
+        t.reset_range(60, 10); // inverted: no-op
+    }
+}

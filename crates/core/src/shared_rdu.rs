@@ -12,10 +12,13 @@ use serde::{Deserialize, Serialize};
 use crate::access::{MemAccess, MemSpace};
 use crate::bloom::BloomConfig;
 use crate::clocks::ClockFile;
+use crate::cost;
 use crate::granularity::Granularity;
-use crate::intra_warp::check_intra_warp_waw;
-use crate::race::{RaceLog, RaceRecord};
-use crate::shadow::{ShadowEntry, ShadowPolicy, FRESH};
+use crate::intra_warp::check_intra_warp_waw_into;
+use crate::race::RaceLog;
+use crate::scratch::RaceScratch;
+use crate::shadow::{ShadowEntry, ShadowPolicy};
+use crate::shadow_table::ShadowTable;
 
 /// Counters the evaluation harness reads off each shared RDU.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -40,7 +43,7 @@ pub struct SharedRdu {
     sm: u32,
     gran: Granularity,
     banks: u32,
-    entries: Vec<ShadowEntry>,
+    table: ShadowTable,
     policy: ShadowPolicy,
     pub stats: SharedRduStats,
 }
@@ -61,7 +64,7 @@ impl SharedRdu {
             sm,
             gran,
             banks: banks.max(1),
-            entries: vec![FRESH; gran.entries_for(shared_bytes)],
+            table: ShadowTable::new(gran.entries_for(shared_bytes)),
             policy: ShadowPolicy::shared(warp_filter, bloom),
             stats: SharedRduStats::default(),
         }
@@ -79,7 +82,7 @@ impl SharedRdu {
 
     /// Number of shadow entries.
     pub fn num_entries(&self) -> usize {
-        self.entries.len()
+        self.table.len()
     }
 
     /// Check one lane access. `addr` in the access is a byte offset into
@@ -88,10 +91,10 @@ impl SharedRdu {
         debug_assert_eq!(a.who.sm, self.sm, "access routed to the wrong SM's RDU");
         self.stats.checks += 1;
         let (lo, hi) = self.gran.index_range(0, a.addr, a.size);
-        for idx in lo..=hi.min(self.entries.len().saturating_sub(1)) {
+        for idx in lo..=hi.min(self.table.len().saturating_sub(1)) {
             let mut chunk_access = *a;
             chunk_access.addr = (idx as u32) << self.gran.shift();
-            if let Some(r) = self.entries[idx].observe(&chunk_access, clocks, &self.policy) {
+            if let Some(r) = self.table.get_mut(idx).observe(&chunk_access, clocks, &self.policy) {
                 log.push(r);
             }
         }
@@ -99,9 +102,15 @@ impl SharedRdu {
 
     /// Pre-issue intra-warp WAW check over one warp instruction's lanes
     /// (exact byte overlap — same-warp chunk conflation never reports).
-    pub fn check_warp_stores(&mut self, lanes: &[MemAccess]) -> Vec<RaceRecord> {
+    /// Races go into `log`; `scratch` supplies the reusable dedup buffer.
+    pub fn check_warp_stores(
+        &mut self,
+        lanes: &[MemAccess],
+        scratch: &mut RaceScratch,
+        log: &mut RaceLog,
+    ) {
         self.stats.intra_warp_checks += 1;
-        check_intra_warp_waw(lanes, 0, MemSpace::Shared)
+        check_intra_warp_waw_into(lanes, 0, MemSpace::Shared, scratch, log);
     }
 
     /// A block resident on this SM reached a barrier: invalidate the shadow
@@ -110,28 +119,27 @@ impl SharedRdu {
     /// banked shadow storage clears one row per bank per cycle).
     pub fn reset_block_range(&mut self, lo: u32, hi: u32) -> u64 {
         let first = self.gran.index(0, lo);
-        let last = self.gran.entries_for(hi).min(self.entries.len());
+        let last = self.gran.entries_for(hi).min(self.table.len());
         let count = last.saturating_sub(first);
-        for e in &mut self.entries[first..last] {
-            e.reset();
-        }
+        // Functionally a lazy epoch bump (O(pages)); the charged cycles
+        // keep modeling the banked hardware clear over the full range.
+        self.table.reset_range(first, last);
         self.stats.resets += 1;
         self.stats.reset_entries += count as u64;
-        let cycles = (count as u64).div_ceil(u64::from(self.banks));
+        let cycles = cost::banked_reset_cycles(count as u64, self.banks);
         self.stats.reset_cycles += cycles;
         cycles
     }
 
     /// Invalidate everything (kernel launch/termination).
     pub fn reset_all(&mut self) {
-        for e in &mut self.entries {
-            e.reset();
-        }
+        self.table.reset_all();
     }
 
-    /// Inspect a shadow entry (tests/debugging).
-    pub fn entry(&self, idx: usize) -> &ShadowEntry {
-        &self.entries[idx]
+    /// Inspect a shadow entry (tests/debugging). Untouched and
+    /// epoch-invalidated entries read as fresh.
+    pub fn entry(&self, idx: usize) -> ShadowEntry {
+        self.table.get(idx)
     }
 
     /// Inclusive range of shadow-entry indices an access touches, clamped
@@ -139,11 +147,11 @@ impl SharedRdu {
     /// the access lands entirely past the table (observability hooks use
     /// this to snapshot states around an `observe`).
     pub fn chunk_range(&self, addr: u32, size: u8) -> Option<(usize, usize)> {
-        if self.entries.is_empty() {
+        if self.table.is_empty() {
             return None;
         }
         let (lo, hi) = self.gran.index_range(0, addr, size);
-        let hi = hi.min(self.entries.len() - 1);
+        let hi = hi.min(self.table.len() - 1);
         (lo <= hi).then_some((lo, hi))
     }
 
@@ -268,18 +276,22 @@ mod tests {
     #[test]
     fn intra_warp_waw_reported_via_rdu() {
         let mut r = rdu();
+        let mut scratch = RaceScratch::default();
+        let mut log = RaceLog::default();
         // Same 16-byte chunk, different words: NOT a race (§VI-A1).
         let benign = vec![
             crate::intra_warp::lane_store(0, 4, 0, 0, 9),
             crate::intra_warp::lane_store(4, 4, 1, 0, 9),
         ];
-        assert_eq!(r.check_warp_stores(&benign).len(), 0);
+        r.check_warp_stores(&benign, &mut scratch, &mut log);
+        assert_eq!(log.total(), 0);
         // Same word from two lanes: a true intra-warp WAW.
         let clash = vec![
             crate::intra_warp::lane_store(0, 4, 0, 0, 9),
             crate::intra_warp::lane_store(0, 4, 1, 0, 9),
         ];
-        assert_eq!(r.check_warp_stores(&clash).len(), 1);
+        r.check_warp_stores(&clash, &mut scratch, &mut log);
+        assert_eq!(log.total(), 1);
         assert_eq!(r.stats.intra_warp_checks, 2);
     }
 }

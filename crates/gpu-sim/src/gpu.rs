@@ -594,7 +594,10 @@ fn apply_cycle_output(
     tracer: &mut Tracer,
 ) {
     stats.accumulate(&out.stats);
-    for op in out.ops.drain(..) {
+    // Split borrows: `ops` drains while `batch_arena` is sliced and the
+    // detector scratch is lent to `apply_global_batch`.
+    let CycleOutput { ops, batch_arena, scratch, .. } = out;
+    for op in ops.drain(..) {
         match op {
             SmOp::MemWrite { addr, val, size } => mem.write(addr, val, size),
             SmOp::NoteGlobal { block } => {
@@ -625,9 +628,12 @@ fn apply_cycle_output(
                 }
             }
             SmOp::Emit { cycle, ev } => tracer.emit(cycle, ev),
-            SmOp::GlobalBatch { accesses, is_store, sink } => {
+            SmOp::GlobalBatch { range, is_store, sink } => {
                 if let Some(d) = det.as_mut() {
-                    apply_global_batch(sm, &accesses, is_store, sink, now, d, stats, tracer);
+                    let accesses = &batch_arena[range.0 as usize..range.1 as usize];
+                    apply_global_batch(
+                        sm, accesses, is_store, sink, now, d, stats, tracer, &mut scratch.race,
+                    );
                 }
             }
         }

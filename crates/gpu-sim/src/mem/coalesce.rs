@@ -17,15 +17,86 @@ pub struct LaneAddr {
     pub size: u8,
 }
 
+/// The set of warp lanes (≤32) served by one transaction, as a bitmask.
+/// Replaces the old per-transaction `Vec<u8>` so [`Transaction`] is `Copy`
+/// and transaction buffers can be reused without inner allocations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneMask(u32);
+
+impl LaneMask {
+    /// No lanes.
+    pub const EMPTY: LaneMask = LaneMask(0);
+
+    /// Mask containing exactly `lane`.
+    pub fn single(lane: u8) -> Self {
+        LaneMask(1 << u32::from(lane))
+    }
+
+    /// Add `lane` (idempotent).
+    pub fn insert(&mut self, lane: u8) {
+        self.0 |= 1 << u32::from(lane);
+    }
+
+    /// Whether `lane` is in the mask.
+    pub fn contains(self, lane: u8) -> bool {
+        self.0 & (1 << u32::from(lane)) != 0
+    }
+
+    /// Number of lanes in the mask.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no lanes are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lane indices in ascending order — the same order the old vector
+    /// accumulated them, since warps collect lanes 0..32.
+    pub fn iter(self) -> LaneMaskIter {
+        LaneMaskIter(self.0)
+    }
+
+    /// Raw bits (diagnostics).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl IntoIterator for LaneMask {
+    type Item = u8;
+    type IntoIter = LaneMaskIter;
+    fn into_iter(self) -> LaneMaskIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`LaneMask`].
+#[derive(Clone, Copy, Debug)]
+pub struct LaneMaskIter(u32);
+
+impl Iterator for LaneMaskIter {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lane = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(lane)
+    }
+}
+
 /// A coalesced transaction: a line and the lanes it serves.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct Transaction {
     pub line_addr: u32,
     /// Bytes actually touched within the line (drives network payload for
     /// stores; reads fetch the whole line).
     pub bytes: u32,
-    pub lanes: Vec<u8>,
+    pub lanes: LaneMask,
 }
 
 /// Coalesce lane accesses into line transactions, preserving the order in
@@ -33,8 +104,16 @@ pub struct Transaction {
 ///
 /// A lane whose access straddles a line boundary joins both transactions.
 pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
+    let mut out = Vec::with_capacity(4);
+    coalesce_into(lanes, line_bytes, &mut out);
+    out
+}
+
+/// Allocation-free [`coalesce`]: clears and refills `out`, retaining its
+/// capacity across warp instructions.
+pub fn coalesce_into(lanes: &[LaneAddr], line_bytes: u32, out: &mut Vec<Transaction>) {
+    out.clear();
     let mask = !(line_bytes - 1);
-    let mut out: Vec<Transaction> = Vec::with_capacity(4);
     for la in lanes {
         let first = la.addr & mask;
         let last = (la.addr + u32::from(la.size.max(1)) - 1) & mask;
@@ -42,15 +121,13 @@ pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
         loop {
             match out.iter_mut().find(|t| t.line_addr == line) {
                 Some(t) => {
-                    if *t.lanes.last().unwrap() != la.lane {
-                        t.lanes.push(la.lane);
-                    }
+                    t.lanes.insert(la.lane);
                     t.bytes += u32::from(la.size);
                 }
                 None => out.push(Transaction {
                     line_addr: line,
                     bytes: u32::from(la.size),
-                    lanes: vec![la.lane],
+                    lanes: LaneMask::single(la.lane),
                 }),
             }
             if line == last {
@@ -59,10 +136,9 @@ pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
             line += line_bytes;
         }
     }
-    for t in &mut out {
+    for t in out.iter_mut() {
         t.bytes = t.bytes.min(line_bytes);
     }
-    out
 }
 
 /// Shared-memory bank-conflict serialization: the number of cycles the
@@ -71,15 +147,25 @@ pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
 /// (§II-A: "If threads within a warp access different banks, all the
 /// accesses are served in parallel").
 pub fn bank_conflict_degree(lanes: &[LaneAddr], banks: u32) -> u32 {
-    let mut per_bank_words: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
-    for la in lanes {
+    // Allocation-free distinct-word count per bank: a warp is ≤32 lanes,
+    // so the quadratic first-occurrence scans stay trivially cheap.
+    let mut max = 1u32;
+    for (i, la) in lanes.iter().enumerate() {
         let word = la.addr / 4;
-        let bank = (word % banks) as usize;
-        if !per_bank_words[bank].contains(&word) {
-            per_bank_words[bank].push(word);
+        if lanes[..i].iter().any(|p| p.addr / 4 == word) {
+            continue; // not the first occurrence of this word
         }
+        let bank = word % banks;
+        let mut in_bank = 0u32;
+        for (j, lb) in lanes.iter().enumerate() {
+            let w = lb.addr / 4;
+            if w % banks == bank && !lanes[..j].iter().any(|p| p.addr / 4 == w) {
+                in_bank += 1;
+            }
+        }
+        max = max.max(in_bank);
     }
-    per_bank_words.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+    max
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use crate::device::DeviceMemory;
 use crate::exec::{eval_bin, eval_cmp, eval_un};
 use crate::isa::{Kernel, Op, Space, SpecialReg, Src};
 use crate::mem::cache::Cache;
-use crate::mem::coalesce::{bank_conflict_degree, coalesce, LaneAddr};
+use crate::mem::coalesce::{bank_conflict_degree, coalesce_into, LaneAddr, LaneMask, Transaction};
 use crate::mem::{LaneAtomic, MemReq, ReqKind};
 use crate::simt::SimtStack;
 use crate::stats::SimStats;
@@ -45,18 +45,46 @@ pub struct CycleOutput {
     pub stats: SimStats,
     /// Cross-SM side effects, in program order.
     pub ops: Vec<SmOp>,
+    /// Arena backing [`SmOp::GlobalBatch`] access runs this cycle; ops
+    /// store index ranges into it instead of owning per-op vectors.
+    pub batch_arena: Vec<MemAccess>,
+    /// Reusable hot-path buffers: capacity survives across cycles, so the
+    /// steady-state memory pipeline performs no heap allocations per warp.
+    pub scratch: SmScratch,
+}
+
+/// Per-SM scratch buffers for the issue/detection hot path. Users clear
+/// (or `std::mem::take` and restore) a buffer before use; nothing here
+/// carries state across instructions.
+#[derive(Default)]
+pub struct SmScratch {
+    /// Per-lane address collection of the current memory instruction.
+    pub lanes: Vec<LaneAddr>,
+    /// Coalesced transactions of the current memory instruction.
+    pub txs: Vec<Transaction>,
+    /// `MemAccess` descriptors handed to the RDUs.
+    pub accesses: Vec<MemAccess>,
+    /// Detector-side scratch (intra-warp dedup, state snapshots, lines).
+    pub race: RaceScratch,
 }
 
 impl CycleOutput {
     /// An empty output buffer.
     pub fn new(tracing: bool) -> Self {
-        Self { tracing, stats: SimStats::default(), ops: Vec::new() }
+        Self {
+            tracing,
+            stats: SimStats::default(),
+            ops: Vec::new(),
+            batch_arena: Vec::new(),
+            scratch: SmScratch::default(),
+        }
     }
 
     /// Reset for the next cycle, keeping allocations.
     pub fn clear(&mut self) {
         self.stats = SimStats::default();
         self.ops.clear();
+        self.batch_arena.clear();
     }
 
     fn emit(&mut self, cycle: u64, ev: SimEvent) {
@@ -108,8 +136,9 @@ pub enum SmOp {
     /// Global-RDU work for the lanes of one coalesced transaction; runs
     /// against live clocks/log in the apply phase.
     GlobalBatch {
-        /// Per-lane accesses, capture-ordered.
-        accesses: Vec<MemAccess>,
+        /// Capture-ordered per-lane accesses, as a half-open index range
+        /// into [`CycleOutput::batch_arena`].
+        range: (u32, u32),
         /// Whether to run the intra-warp store-store pre-check.
         is_store: bool,
         /// Where resulting shadow traffic attaches.
@@ -511,6 +540,7 @@ impl Sm {
 
     /// Count the L1 MSHR entries a global load would newly allocate and
     /// report whether the file cannot hold them.
+    #[allow(clippy::too_many_arguments)]
     fn mshr_short(
         &self,
         cta_slot: usize,
@@ -520,10 +550,12 @@ impl Sm {
         addr_reg: crate::isa::Reg,
         imm: u32,
         size: u8,
+        scratch: &mut SmScratch,
     ) -> bool {
         let nr = usize::from(ctx.kernel.num_regs);
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
-        let mut lanes: Vec<LaneAddr> = Vec::with_capacity(32);
+        let SmScratch { lanes, txs, .. } = scratch;
+        lanes.clear();
         for l in 0..self.cfg.warp_size {
             if mask & (1 << l) == 0 {
                 continue;
@@ -532,7 +564,7 @@ impl Sm {
             let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
             lanes.push(LaneAddr { lane: l as u8, addr: a, size });
         }
-        let txs = coalesce(&lanes, self.cfg.l1.line_bytes);
+        coalesce_into(lanes, self.cfg.l1.line_bytes, txs);
         let needed = txs
             .iter()
             .filter(|tx| {
@@ -573,7 +605,7 @@ impl Sm {
         // enforced between instructions (and livelock is impossible).
         if let Op::Ld { space: Space::Global, addr, imm, size, .. } = instr.op {
             if !self.l1_mshr.is_empty()
-                && self.mshr_short(cta_slot, warp_in_block, mask, ctx, addr, imm, size)
+                && self.mshr_short(cta_slot, warp_in_block, mask, ctx, addr, imm, size, &mut out.scratch)
             {
                 out.stats.l1_mshr_full_stalls += 1;
                 self.warps[widx].as_mut().expect("warp live").resume_at = now + 1;
@@ -824,19 +856,12 @@ impl Sm {
         det: Option<DetView<'_>>,
         out: &mut CycleOutput,
     ) {
-        let (release, block_id, shared_base, shared_size, slots) = match self.ctas[cta_slot].as_ref() {
-            Some(c) if c.live_warps > 0 && c.barrier_waiting >= c.live_warps => (
-                true,
-                c.block_id,
-                c.shared_base,
-                c.shared_size,
-                c.warp_slots.clone(),
-            ),
+        let (block_id, shared_base, shared_size) = match self.ctas[cta_slot].as_ref() {
+            Some(c) if c.live_warps > 0 && c.barrier_waiting >= c.live_warps => {
+                (c.block_id, c.shared_base, c.shared_size)
+            }
             _ => return,
         };
-        if !release {
-            return;
-        }
 
         // Detector barrier work: bump the sync ID (§IV-B) — deferred to
         // the apply phase, since the clock file is shared — and invalidate
@@ -846,14 +871,17 @@ impl Sm {
         if let Some(v) = det {
             out.ops.push(SmOp::Barrier { block: block_id });
             if v.cfg.shared_enabled && shared_size > 0 {
-                let cycles = self
-                    .shared_rdu
-                    .as_mut()
-                    .expect("shared RDU installed")
-                    .reset_block_range(shared_base, shared_base + shared_size);
-                if v.hardware && !v.sw_shared_shadow {
-                    stall = cycles;
-                    out.stats.shadow_reset_stall_cycles += cycles;
+                if let Some(rdu) = self.shared_rdu.as_mut() {
+                    let cycles = rdu.reset_block_range(shared_base, shared_base + shared_size);
+                    if v.hardware && !v.sw_shared_shadow {
+                        stall = cycles;
+                        out.stats.shadow_reset_stall_cycles += cycles;
+                    }
+                } else {
+                    // Misconfigured launch: skip the invalidation instead
+                    // of panicking mid-sweep (see shared_detection).
+                    debug_assert!(false, "shared RDU missing on SM {}", self.id);
+                    out.stats.detector_skipped_checks += 1;
                 }
             }
         }
@@ -864,9 +892,11 @@ impl Sm {
         );
         let cta = self.ctas[cta_slot].as_mut().expect("cta live");
         cta.barrier_waiting = 0;
-        for slot in slots {
+        // Walk the warp table instead of cloning the CTA's slot list: a
+        // warp belongs to this barrier iff it parks on `cta_slot`.
+        for slot in 0..self.warps.len() {
             if let Some(w) = self.warps[slot].as_mut() {
-                if w.state == WarpState::AtBarrier {
+                if w.cta_slot == cta_slot && w.state == WarpState::AtBarrier {
                     w.state = WarpState::Ready;
                     w.resume_at = now + stall;
                 }
@@ -874,7 +904,7 @@ impl Sm {
         }
     }
 
-    fn maybe_retire_cta(&mut self, cta_slot: usize, det: Option<DetView<'_>>, _out: &mut CycleOutput) {
+    fn maybe_retire_cta(&mut self, cta_slot: usize, det: Option<DetView<'_>>, out: &mut CycleOutput) {
         let retire = matches!(&self.ctas[cta_slot], Some(c) if c.live_warps == 0);
         if !retire {
             return;
@@ -892,10 +922,12 @@ impl Sm {
         // shadow entries so the next block on this range starts fresh.
         if let Some(v) = det {
             if v.cfg.shared_enabled && cta.shared_size > 0 {
-                self.shared_rdu
-                    .as_mut()
-                    .expect("shared RDU installed")
-                    .reset_block_range(cta.shared_base, cta.shared_base + cta.shared_size);
+                if let Some(rdu) = self.shared_rdu.as_mut() {
+                    rdu.reset_block_range(cta.shared_base, cta.shared_base + cta.shared_size);
+                } else {
+                    debug_assert!(false, "shared RDU missing on SM {}", self.id);
+                    out.stats.detector_skipped_checks += 1;
+                }
             }
         }
     }
@@ -934,7 +966,10 @@ impl Sm {
         let lane_thread = |l: u32| (warp_in_block * warp_size + l) as usize;
 
         // Gather per-lane addresses and perform the functional access.
-        let mut lanes: Vec<LaneAddr> = Vec::with_capacity(32);
+        // The lane buffer is scratch taken from `out` (restored on every
+        // path out of this function), so no per-instruction allocation.
+        let mut lanes = std::mem::take(&mut out.scratch.lanes);
+        lanes.clear();
         {
             let cta = self.ctas[cta_slot].as_mut().expect("cta live");
             for l in 0..warp_size {
@@ -1007,6 +1042,7 @@ impl Sm {
                     cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx, det,
                     out,
                 );
+                out.scratch.lanes = lanes;
                 self.warps[widx].as_mut().expect("warp live").simt.advance();
             }
             Space::Global => {
@@ -1019,7 +1055,8 @@ impl Sm {
                 if det.is_some() {
                     out.ops.push(SmOp::NoteGlobal { block: block_id });
                 }
-                let txs = coalesce(&lanes, self.cfg.l1.line_bytes);
+                let mut txs = std::mem::take(&mut out.scratch.txs);
+                coalesce_into(&lanes, self.cfg.l1.line_bytes, &mut txs);
                 out.stats.global_transactions += txs.len() as u64;
                 if txs.len() > 1 {
                     self.issue_free_at += txs.len() as u64 - 1;
@@ -1059,7 +1096,8 @@ impl Sm {
                             // only capture the access descriptors.
                             let batch = self.global_batch(
                                 cta_slot, gwarp, block_id, warp_in_block, &lanes,
-                                tx.lanes.as_slice(), kind, line_tag, l1_fill, now, ctx, det,
+                                tx.lanes, kind, line_tag, l1_fill, now, ctx, det,
+                                &mut out.batch_arena,
                             );
                             if hit {
                                 pending += 1;
@@ -1067,9 +1105,9 @@ impl Sm {
                                     .push((now + u64::from(self.cfg.l1.hit_latency), widx, gwarp));
                                 // §IV-B: L1 read hits still notify the
                                 // global RDU via a detection-only packet.
-                                if let Some(accesses) = batch {
+                                if let Some(range) = batch {
                                     out.ops.push(SmOp::GlobalBatch {
-                                        accesses,
+                                        range,
                                         is_store: false,
                                         sink: ShadowSink::Probe {
                                             line_addr: tx.line_addr,
@@ -1083,9 +1121,9 @@ impl Sm {
                                 // Merged miss.
                                 pending += 1;
                                 e.1.push((widx, gwarp));
-                                if let Some(accesses) = batch {
+                                if let Some(range) = batch {
                                     out.ops.push(SmOp::GlobalBatch {
-                                        accesses,
+                                        range,
                                         is_store: false,
                                         sink: ShadowSink::Probe {
                                             line_addr: tx.line_addr,
@@ -1100,9 +1138,9 @@ impl Sm {
                                 self.l1_mshr.push((tx.line_addr, vec![(widx, gwarp)]));
                                 let r = self.fresh_req(tx.line_addr, self.cfg.l1.line_bytes, widx, gwarp, ReqKind::LoadData);
                                 self.out_req.push(r);
-                                if let Some(accesses) = batch {
+                                if let Some(range) = batch {
                                     out.ops.push(SmOp::GlobalBatch {
-                                        accesses,
+                                        range,
                                         is_store: false,
                                         sink: ShadowSink::Attach { req_idx: self.out_req.len() - 1 },
                                     });
@@ -1128,13 +1166,14 @@ impl Sm {
                             );
                             let batch = self.global_batch(
                                 cta_slot, gwarp, block_id, warp_in_block, &lanes,
-                                tx.lanes.as_slice(), kind, line_tag, None, now, ctx, det,
+                                tx.lanes, kind, line_tag, None, now, ctx, det,
+                                &mut out.batch_arena,
                             );
                             let r = self.fresh_req(tx.line_addr, tx.bytes, widx, gwarp, ReqKind::StoreData);
                             self.out_req.push(r);
-                            if let Some(accesses) = batch {
+                            if let Some(range) = batch {
                                 out.ops.push(SmOp::GlobalBatch {
-                                    accesses,
+                                    range,
                                     is_store: true,
                                     sink: ShadowSink::Attach { req_idx: self.out_req.len() - 1 },
                                 });
@@ -1146,7 +1185,7 @@ impl Sm {
                             let ops: Vec<LaneAtomic> = tx
                                 .lanes
                                 .iter()
-                                .map(|&l| {
+                                .map(|l| {
                                     let t = lane_thread(u32::from(l));
                                     let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
                                     let vs = match src {
@@ -1172,6 +1211,8 @@ impl Sm {
                         }
                     }
                 }
+                out.scratch.lanes = lanes;
+                out.scratch.txs = txs;
 
                 let sm_id = self.id;
                 let w = self.warps[widx].as_mut().expect("warp live");
@@ -1214,12 +1255,23 @@ impl Sm {
         if !v.cfg.shared_enabled {
             return;
         }
+        // A detector-enabled launch installs one RDU per SM before the
+        // first cycle; a missing one is a harness misconfiguration.
+        // Degrade to skipping detection (counted) instead of aborting the
+        // whole sweep.
+        if self.shared_rdu.is_none() {
+            debug_assert!(false, "shared RDU missing on SM {}", self.id);
+            out.stats.detector_skipped_checks += 1;
+            return;
+        }
         let sm_id = self.id;
         let warp_size = self.cfg.warp_size;
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
         let shared_base = cta.shared_base;
 
-        let accesses: Vec<MemAccess> = lanes
+        let mut accesses = std::mem::take(&mut out.scratch.accesses);
+        accesses.clear();
+        accesses.extend(lanes
             .iter()
             .map(|la| {
                 let t = warp_in_block * warp_size + u32::from(la.lane);
@@ -1249,29 +1301,30 @@ impl Sm {
                     l1_fill_cycle: 0,
                     cycle: now,
                 }
-            })
-            .collect();
+            }));
 
+        // `before`-state snapshots reuse the scratch buffer; the RaceLog
+        // itself only allocates when a race is actually recorded.
+        let mut states = std::mem::take(&mut out.scratch.race.states);
         let mut local = RaceLog::default();
         {
-            let rdu = self.shared_rdu.as_mut().expect("shared RDU installed");
+            let rdu = self.shared_rdu.as_mut().expect("checked above");
             if matches!(kind, MemOpKind::Store) {
-                for r in rdu.check_warp_stores(&accesses) {
-                    local.push(r);
-                }
+                rdu.check_warp_stores(&accesses, &mut out.scratch.race, &mut local);
             }
             for a in &accesses {
                 // When tracing, snapshot the touched chunks' Fig. 3 states so
                 // state-machine edges can be reported.
                 let watch = if out.tracing { rdu.chunk_range(a.addr, a.size) } else { None };
-                let before: Vec<ShadowState> = watch
-                    .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
-                    .unwrap_or_default();
+                states.clear();
+                if let Some((lo, hi)) = watch {
+                    states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
+                }
                 rdu.observe(a, v.clocks, &mut local);
                 if let Some((lo, hi)) = watch {
                     for (k, i) in (lo..=hi).enumerate() {
                         let to = rdu.entry(i).state();
-                        if to != before[k] {
+                        if to != states[k] {
                             let chunk_addr = rdu.chunk_addr(i);
                             out.emit(
                                 now,
@@ -1279,7 +1332,7 @@ impl Sm {
                                     space: MemSpace::Shared,
                                     sm: sm_id,
                                     chunk_addr,
-                                    from: before[k],
+                                    from: states[k],
                                     to,
                                 },
                             );
@@ -1288,6 +1341,7 @@ impl Sm {
                 }
             }
         }
+        out.scratch.race.states = states;
         // Race reports go through the coordinator, which knows whether a
         // record is fresh launch-wide (and emits RaceDetected events).
         if local.total() > 0 {
@@ -1298,7 +1352,8 @@ impl Sm {
         // L1; the RDU's fetches occupy the L1 port and may miss to L2.
         if v.sw_shared_shadow {
             let gran = v.cfg.shared_granularity;
-            let mut lines: Vec<u32> = Vec::new();
+            let mut lines = std::mem::take(&mut out.scratch.race.lines);
+            lines.clear();
             for a in &accesses {
                 // 2 bytes per 12-bit entry, rounded up.
                 let shadow_addr = ctx.shared_shadow_base
@@ -1309,7 +1364,7 @@ impl Sm {
                     lines.push(line);
                 }
             }
-            for line in lines {
+            for &line in &lines {
                 out.stats.shared_shadow_l1_accesses += 1;
                 self.issue_free_at += 1; // L1 port occupancy
                 if !self.l1.probe(line, false, now) {
@@ -1330,7 +1385,9 @@ impl Sm {
                     }
                 }
             }
+            out.scratch.race.lines = lines;
         }
+        out.scratch.accesses = accesses;
     }
 
     /// Capture the access descriptors for one global transaction's lanes
@@ -1346,14 +1403,15 @@ impl Sm {
         block_id: u32,
         warp_in_block: u32,
         lanes: &[LaneAddr],
-        tx_lanes: &[u8],
+        tx_lanes: LaneMask,
         kind: MemOpKind,
         line_tag: u32,
         l1_fill: Option<u64>,
         now: u64,
         ctx: &LaunchContext,
         det: Option<DetView<'_>>,
-    ) -> Option<Vec<MemAccess>> {
+        arena: &mut Vec<MemAccess>,
+    ) -> Option<(u32, u32)> {
         let v = det?;
         // The global RDU exists exactly when global detection is enabled.
         if !v.cfg.global_enabled {
@@ -1368,12 +1426,12 @@ impl Sm {
             MemOpKind::Atomic { .. } => AccessKind::Atomic,
         };
 
-        let mut accesses: Vec<MemAccess> = Vec::with_capacity(tx_lanes.len());
-        for la in lanes.iter().filter(|la| tx_lanes.contains(&la.lane)) {
+        let start = arena.len() as u32;
+        for la in lanes.iter().filter(|la| tx_lanes.contains(la.lane)) {
             let t = warp_in_block * warp_size + u32::from(la.lane);
             let who = ThreadCoord::new(block_id * ctx.block_dim + t, gwarp, block_id, self.id);
             let lk = &cta.locks[t as usize];
-            accesses.push(MemAccess {
+            arena.push(MemAccess {
                 addr: la.addr,
                 size: la.size,
                 kind: akind,
@@ -1388,7 +1446,7 @@ impl Sm {
                 cycle: now,
             });
         }
-        Some(accesses)
+        Some((start, arena.len() as u32))
     }
 }
 
@@ -1406,34 +1464,35 @@ pub(crate) fn apply_global_batch(
     det: &mut LaunchDet,
     stats: &mut SimStats,
     tracer: &mut Tracer,
+    scratch: &mut RaceScratch,
 ) {
     let Some(rdu) = det.global.as_mut() else { return };
     let races_before = det.log.records().len();
 
     if is_store {
-        for r in rdu.check_warp_stores(accesses) {
-            det.log.push(r);
-        }
+        rdu.check_warp_stores(accesses, scratch, &mut det.log);
     }
 
-    let mut shadow_lines: Vec<u32> = Vec::new();
+    let RaceScratch { states, lines: shadow_lines, .. } = scratch;
+    shadow_lines.clear();
     for a in accesses {
         let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
-        let before: Vec<ShadowState> = watch
-            .map(|(lo, hi)| (lo..=hi).map(|i| rdu.entry(i).state()).collect())
-            .unwrap_or_default();
+        states.clear();
+        if let Some((lo, hi)) = watch {
+            states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
+        }
         let traffic = rdu.observe(a, &det.clocks, &mut det.log);
         if let Some((lo, hi)) = watch {
             for (k, i) in (lo..=hi).enumerate() {
                 let to = rdu.entry(i).state();
-                if to != before[k] {
+                if to != states[k] {
                     tracer.emit(
                         now,
                         SimEvent::ShadowTransition {
                             space: MemSpace::Global,
                             sm: sm.id,
                             chunk_addr: rdu.chunk_addr(i),
-                            from: before[k],
+                            from: states[k],
                             to,
                         },
                     );

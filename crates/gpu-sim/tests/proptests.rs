@@ -27,7 +27,7 @@ proptest! {
         for la in &lanes {
             let line = la.addr & !127;
             prop_assert!(
-                txs.iter().any(|t| t.line_addr == line && t.lanes.contains(&la.lane)),
+                txs.iter().any(|t| t.line_addr == line && t.lanes.contains(la.lane)),
                 "lane {} lost", la.lane
             );
         }
