@@ -1,0 +1,25 @@
+//! Criterion benchmark for event-driven cycle skipping: whole-launch
+//! wall clock on the two fast-forward microkernels (memory-bound pointer
+//! chase, barrier-heavy storm), dense vs skipping. The `cycleskip_bench`
+//! bin produces the committed `BENCH_cycleskip.json` snapshot; this bench
+//! is for interactive regression hunting on the same kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haccrg_bench::cycleskip::{barrier_storm, pointer_chase, run_micro};
+
+fn launches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_skip");
+    g.sample_size(10);
+    for m in [pointer_chase(), barrier_storm()] {
+        g.bench_function(format!("{}_dense", m.name), |b| {
+            b.iter(|| black_box(run_micro(&m, false)))
+        });
+        g.bench_function(format!("{}_skip", m.name), |b| {
+            b.iter(|| black_box(run_micro(&m, true)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, launches);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use haccrg_bench::effectiveness::{campaign_table, real_races, run_campaign};
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     println!("{}", real_races(scale).render());
     let results = run_campaign(scale);
     println!("{}", campaign_table(&results).render());

@@ -4,6 +4,7 @@
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     let with_sw = !std::env::args().any(|a| a == "--no-software");
     println!("{}", haccrg_bench::figures::fig7(scale, with_sw).render());
 }

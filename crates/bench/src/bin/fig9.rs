@@ -4,5 +4,6 @@
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     println!("{}", haccrg_bench::figures::fig9(scale).render());
 }

@@ -21,6 +21,10 @@
 //! * `--parallel-sms`     — cycle SMs on worker threads (same stats,
 //!                           cycle counts, and races as serial execution;
 //!                           see DESIGN.md on the determinism contract)
+//! * `--no-cycle-skip`    — run the dense cycle loop instead of
+//!                           event-driven fast-forwarding (bit-identical
+//!                           results either way; see DESIGN.md,
+//!                           "Event-driven cycle skipping")
 //! * `--jobs N`           — sweep worker count for multi-run harnesses
 //!                           (accepted here for a uniform CLI)
 //! * `--list`             — list benchmarks and exit
@@ -30,7 +34,7 @@ use std::io::BufWriter;
 
 use gpu_sim::prelude::*;
 use gpu_sim::trace::metrics_json;
-use gpu_sim::trace::perfetto::write_chrome_trace;
+use gpu_sim::trace::perfetto::{write_chrome_trace, write_chrome_trace_with_counters};
 use gpu_sim::{log_error, log_info, log_warn};
 use haccrg::config::DetectorConfig;
 use haccrg_workloads::kmeans::KMeans;
@@ -59,12 +63,13 @@ fn main() {
             "usage: runbench --bench NAME [--detector off|shared|full] \
              [--scale paper|repro|tiny] [--clean] [--trace-out FILE] \
              [--sample-every N] [--metrics-out FILE] [--parallel-sms] \
-             [--jobs N] [--list]"
+             [--no-cycle-skip] [--jobs N] [--list]"
         );
         std::process::exit(2);
     };
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     let clean = args.iter().any(|a| a == "--clean");
     let parallel_sms = args.iter().any(|a| a == "--parallel-sms");
     let trace_out = get("--trace-out");
@@ -129,8 +134,21 @@ fn main() {
                 rec.total()
             );
         }
+        // With sampling on, fold the metrics series in as counter tracks.
+        let write = |w: BufWriter<File>| {
+            if sample_every > 0 {
+                write_chrome_trace_with_counters(
+                    w,
+                    &rec.events(),
+                    rec.dropped(),
+                    gpu.tracer.samples(),
+                )
+            } else {
+                write_chrome_trace(w, &rec.events(), rec.dropped())
+            }
+        };
         match File::create(path) {
-            Ok(f) => match write_chrome_trace(BufWriter::new(f), &rec.events(), rec.dropped()) {
+            Ok(f) => match write(BufWriter::new(f)) {
                 Ok(()) => log_info!("wrote {} trace events to {path}", rec.len()),
                 Err(e) => {
                     log_error!("cannot write {path}: {e}");
@@ -172,6 +190,12 @@ fn main() {
     println!(
         "detector  : {} shadow L2 accesses, {} probes, {} reset-stall cycles",
         s.shadow_l2_accesses, s.probe_packets, s.shadow_reset_stall_cycles
+    );
+    println!(
+        "fast-fwd  : {} cycles skipped in {} jumps, {} SM-idle cycles",
+        out.skip.cycles_skipped,
+        out.skip.skip_jumps,
+        out.skip.total_idle_cycles()
     );
     println!("max IDs   : sync {}, fence {}", out.max_sync_id, out.max_fence_id);
     println!("shadow mem: {} bytes packed over {} tracked", out.shadow_packed_bytes, out.tracked_bytes);

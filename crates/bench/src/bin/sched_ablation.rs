@@ -16,6 +16,7 @@ use haccrg_workloads::all_benchmarks;
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     let rows = parallel_map(all_benchmarks(), |b| {
         let mut result = vec![b.name().to_string()];
         let mut races = Vec::new();

@@ -4,6 +4,7 @@
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     println!("{}", haccrg_bench::tables::table1().render());
     println!("{}", haccrg_bench::tables::table2(scale).render());
 }

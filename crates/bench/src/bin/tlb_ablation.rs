@@ -5,5 +5,6 @@
 fn main() {
     let scale = haccrg_bench::scale_from_args();
     haccrg_bench::jobs_from_args();
+    haccrg_bench::cycle_skip_from_args();
     println!("{}", haccrg_bench::figures::tlb_ablation(scale, 64, 4, 16).render());
 }

@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cycleskip;
 pub mod effectiveness;
 pub mod figures;
 pub mod report;
@@ -58,6 +59,18 @@ pub fn jobs_from_args() -> usize {
         }
     }
     sweep::configured_jobs()
+}
+
+/// Parse the common `--no-cycle-skip` escape hatch: pins the process-wide
+/// [`haccrg_workloads::runner`] default so every simulation in this
+/// process runs the dense cycle loop instead of event-driven
+/// fast-forwarding. Results are bit-identical either way (see DESIGN.md,
+/// "Event-driven cycle skipping") — the flag exists for bisection and for
+/// measuring the dense baseline. Returns whether skipping remains on.
+pub fn cycle_skip_from_args() -> bool {
+    let on = !std::env::args().any(|a| a == "--no-cycle-skip");
+    haccrg_workloads::runner::set_cycle_skip(on);
+    on
 }
 
 /// Run one closure per item on a [`SweepRunner`] pool and collect results

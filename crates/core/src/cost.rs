@@ -34,6 +34,10 @@ pub const GLOBAL_SHADOW_STRIDE_BYTES: u32 = 8;
 /// cycles. This is the *modeled* hardware charge; the functional shadow
 /// table invalidates lazily via generation counters and must keep quoting
 /// this arithmetic cost regardless of how little host work it does.
+/// Because the charge is arithmetic, the simulator serves it as a warp
+/// `resume_at` stall rather than per-cycle work — which also makes the
+/// whole window visible to the event-driven fast-forward layer's
+/// `Sm::wake_hint` and therefore skippable in one jump.
 pub fn banked_reset_cycles(entries: u64, banks: u32) -> u64 {
     entries.div_ceil(u64::from(banks.max(1)))
 }

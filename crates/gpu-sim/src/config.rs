@@ -125,6 +125,22 @@ pub struct GpuConfig {
     /// determinism suite uses to exercise the parallel path everywhere.
     #[serde(default)]
     pub sm_workers: u32,
+    /// Event-driven fast forwarding: gate quiescent components out of
+    /// active cycles and jump the global clock over windows where no
+    /// component can make progress (see DESIGN.md, "Event-driven cycle
+    /// skipping"). Results are bit-identical either way — cycle counts,
+    /// stats, race logs and trace streams never depend on this flag —
+    /// so it exists purely as an escape hatch for bisecting the
+    /// fast-forward machinery against the dense loop.
+    #[serde(default = "default_cycle_skip")]
+    pub cycle_skip: bool,
+}
+
+// Referenced from the `Deserialize` expansion only (the offline stub
+// derive expands to nothing, so rustc can't see the use).
+#[allow(dead_code)]
+fn default_cycle_skip() -> bool {
+    true
 }
 
 impl GpuConfig {
@@ -171,6 +187,7 @@ impl GpuConfig {
             watchdog_cycles: 300_000_000,
             parallel_sms: false,
             sm_workers: 0,
+            cycle_skip: true,
         }
     }
 
@@ -249,6 +266,14 @@ impl Default for GpuConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cycle_skip_is_on_in_every_stock_config() {
+        assert!(GpuConfig::quadro_fx5800().cycle_skip);
+        assert!(GpuConfig::test_small().cycle_skip);
+        assert!(GpuConfig::default().cycle_skip);
+        assert!(default_cycle_skip());
+    }
 
     #[test]
     fn fx5800_matches_table1() {

@@ -34,6 +34,11 @@ struct Job {
     /// Global index of the first SM in this chunk, used to reassemble
     /// results in SM-id order.
     base: usize,
+    /// Whether quiescent SMs (`now < wake_hint`) may skip their compute
+    /// call this cycle (the `GpuConfig::cycle_skip` fast path). Gating is
+    /// decided per SM from SM-local state, so results stay independent of
+    /// the worker count.
+    gate: bool,
     mem: Arc<DeviceMemory>,
     det: Option<(Arc<ClockFile>, DetStatics)>,
     sms: Vec<Sm>,
@@ -70,11 +75,19 @@ impl CyclePool {
             let done = done_tx.clone();
             scope.spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    let Job { now, base, mem, det, mut sms, mut outs } = job;
+                    let Job { now, base, gate, mem, det, mut sms, mut outs } = job;
                     for (sm, out) in sms.iter_mut().zip(outs.iter_mut()) {
+                        // Must clear even when gated: the apply phase
+                        // replays whatever the buffer holds.
                         out.clear();
-                        let view = det.as_ref().map(|(clocks, st)| st.view(clocks));
-                        sm.cycle_compute(now, ctx, &mem, view, out);
+                        let idle = now < sm.wake_hint;
+                        if idle {
+                            sm.idle_cycles += 1;
+                        }
+                        if !(gate && idle) {
+                            let view = det.as_ref().map(|(clocks, st)| st.view(clocks));
+                            sm.cycle_compute(now, ctx, &mem, view, out);
+                        }
                     }
                     // Release the snapshots before signalling completion:
                     // the coordinator's `Arc::get_mut` in the apply phase
@@ -97,6 +110,7 @@ impl CyclePool {
     pub(crate) fn run_cycle(
         &self,
         now: u64,
+        gate: bool,
         mem: &Arc<DeviceMemory>,
         det: Option<(&Arc<ClockFile>, DetStatics)>,
         sms: &mut Vec<Sm>,
@@ -117,6 +131,7 @@ impl CyclePool {
             let job = Job {
                 now,
                 base: start,
+                gate,
                 mem: Arc::clone(mem),
                 det: det.map(|(clocks, st)| (Arc::clone(clocks), st)),
                 sms: rest_sms,

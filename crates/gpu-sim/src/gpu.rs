@@ -21,7 +21,7 @@ use crate::mem::icnt::{self, Link};
 use crate::mem::slice::MemSlice;
 use crate::mem::MemReq;
 use crate::sm::{apply_global_batch, CycleOutput, LaunchContext, Sm, SmOp};
-use crate::stats::{CacheStats, DramStats, SimStats};
+use crate::stats::{CacheStats, DramStats, SimStats, SkipStats};
 use crate::trace::{LaunchSampler, ReqTag, SimEvent, Tracer};
 
 /// Launch failure modes.
@@ -65,6 +65,12 @@ pub struct LaunchResult {
     pub shadow_packed_bytes: u64,
     /// Tracked global footprint at launch.
     pub tracked_bytes: u32,
+    /// Fast-forward accounting (cycles skipped, jumps, per-SM idle time).
+    /// Never part of the bit-identity contract: `stats`, `races` and the
+    /// trace streams are equal across dense and skipping runs, while
+    /// `skip.cycles_skipped`/`skip_jumps` are zero in dense mode by
+    /// definition (`skip.sm_idle_cycles` is mode-independent).
+    pub skip: SkipStats,
 }
 
 /// How the detector should run for subsequent launches.
@@ -269,6 +275,7 @@ impl Gpu {
             slice_ingress: (0..self.cfg.num_mem_slices).map(|_| Link::new(0)).collect(),
             slice_egress: (0..self.cfg.num_mem_slices).map(|_| Link::new(lat)).collect(),
             sampler,
+            skip: SkipStats::default(),
         };
 
         // Level-2 parallelism: run the same cycle loop with the compute
@@ -289,11 +296,24 @@ impl Gpu {
             self.run_cycles(&ctx, &mut st, None)
         };
 
-        let LoopState { mem, det, stats, sms, slices, sm_egress, sm_ingress, slice_ingress, slice_egress, mut sampler, .. } =
-            st;
+        let LoopState {
+            mem,
+            det,
+            stats,
+            sms,
+            slices,
+            sm_egress,
+            sm_ingress,
+            slice_ingress,
+            slice_egress,
+            mut sampler,
+            mut skip,
+            ..
+        } = st;
         // Restore device memory even on error so the GPU stays usable.
         self.mem = Arc::try_unwrap(mem).ok().expect("memory snapshot outstanding after launch");
         let now = outcome?;
+        skip.sm_idle_cycles = sms.iter().map(|s| s.idle_cycles).collect();
 
         // Aggregate statistics (the same function the sampler snapshots
         // through, so per-interval deltas telescope to this aggregate).
@@ -315,6 +335,7 @@ impl Gpu {
                     &sms,
                     &slices,
                     [&sm_egress, &sm_ingress, &slice_ingress, &slice_egress],
+                    &skip,
                 );
                 self.tracer.push_sample(sample);
             }
@@ -339,6 +360,7 @@ impl Gpu {
             max_fence_id: max_fence,
             shadow_packed_bytes: shadow.packed_bytes,
             tracked_bytes,
+            skip,
         })
     }
 
@@ -356,6 +378,7 @@ impl Gpu {
         let grid = ctx.grid;
         let tracing = self.tracer.on();
         let flit = self.cfg.icnt.flit_bytes;
+        let cycle_skip = self.cfg.cycle_skip;
 
         let mut next_block = 0u32;
         let mut dispatch_rr = 0usize;
@@ -388,16 +411,26 @@ impl Gpu {
 
             // Compute phase: every SM advances one core cycle against the
             // pre-cycle memory / clock snapshot, buffering its effects.
+            // Quiescent SMs (`now < wake_hint`) are counted idle in every
+            // mode, and additionally gated out of the compute call when
+            // fast-forwarding is on — a gated call would be a provable
+            // no-op (see `Sm::wake_hint`), so results are unchanged.
             match pool {
                 Some(p) => {
                     let det = st.det.as_ref().map(|d| (&d.clocks, d.statics()));
-                    p.run_cycle(now, &st.mem, det, &mut st.sms, &mut st.outs);
+                    p.run_cycle(now, cycle_skip, &st.mem, det, &mut st.sms, &mut st.outs);
                 }
                 None => {
                     for (sm, out) in st.sms.iter_mut().zip(st.outs.iter_mut()) {
                         out.clear();
-                        let view = st.det.as_ref().map(LaunchDet::view);
-                        sm.cycle_compute(now, ctx, &st.mem, view, out);
+                        let idle = now < sm.wake_hint;
+                        if idle {
+                            sm.idle_cycles += 1;
+                        }
+                        if !(cycle_skip && idle) {
+                            let view = st.det.as_ref().map(LaunchDet::view);
+                            sm.cycle_compute(now, ctx, &st.mem, view, out);
+                        }
                     }
                 }
             }
@@ -466,6 +499,13 @@ impl Gpu {
                 let mem = Arc::get_mut(&mut st.mem)
                     .expect("memory snapshot outstanding during slice phase");
                 for (s, slice) in st.slices.iter_mut().enumerate() {
+                    // Gated slice cycles only settle the port-arbiter
+                    // fairness bit (no responses, no trace events, no
+                    // DRAM work — see `MemSlice::wake_hint`).
+                    if cycle_skip && now < slice.wake_hint {
+                        slice.settle_arbiter();
+                        continue;
+                    }
                     for resp in slice.cycle(now, mem) {
                         let flits = resp.response_flits(flit);
                         st.slice_egress[s].push(now, flits, resp);
@@ -520,20 +560,14 @@ impl Gpu {
                         &st.sms,
                         &st.slices,
                         [&st.sm_egress, &st.sm_ingress, &st.slice_ingress, &st.slice_egress],
+                        &st.skip,
                     );
                     self.tracer.push_sample(sample);
                 }
             }
 
             // Completion: all blocks dispatched and retired, all queues dry.
-            if next_block >= grid
-                && st.sms.iter().all(|s| !s.busy())
-                && st.sm_egress.iter().all(Link::is_empty)
-                && st.sm_ingress.iter().all(Link::is_empty)
-                && st.slice_ingress.iter().all(Link::is_empty)
-                && st.slice_egress.iter().all(Link::is_empty)
-                && st.slices.iter().all(MemSlice::idle)
-            {
+            if next_block >= grid && quiescent(st) {
                 break;
             }
             if now > self.cfg.watchdog_cycles {
@@ -544,21 +578,76 @@ impl Gpu {
             // interconnect links must be checked too: a response still in
             // flight can wake an SM and free capacity, so in-flight traffic
             // is progress even when every SM and slice is momentarily idle.
-            if next_block < grid
-                && st.sms.iter().all(|s| !s.busy())
-                && st.sm_egress.iter().all(Link::is_empty)
-                && st.sm_ingress.iter().all(Link::is_empty)
-                && st.slice_ingress.iter().all(Link::is_empty)
-                && st.slice_egress.iter().all(Link::is_empty)
-                && st.slices.iter().all(MemSlice::idle)
-            {
+            if next_block < grid && quiescent(st) {
                 return Err(SimError::BadLaunch(format!(
                     "block {next_block} can never be placed (exceeds SM resources)"
                 )));
             }
+
+            // Fast-forward: if no component can make progress before some
+            // future cycle T, land on T-1 and process it densely — every
+            // skipped cycle is a provable no-op for all components, and the
+            // landing cycle lets the unmodified tail code above (sampler
+            // cut, completion, watchdog, no-progress) fire exactly where
+            // the dense loop would. Jumps are capped at the next sampler
+            // boundary and the watchdog horizon so neither is overshot.
+            // `dispatch_needed` blocks jumping: dispatch runs at the top
+            // of the next cycle regardless of component wake hints.
+            if cycle_skip && !dispatch_needed {
+                let mut target = next_event_cycle(st);
+                if let Some(sp) = st.sampler.as_ref() {
+                    target = target.min(sp.last_cycle().saturating_add(sp.every()));
+                }
+                target = target.min(self.cfg.watchdog_cycles.saturating_add(1));
+                if target != u64::MAX && now + 1 < target {
+                    let jump = target - 1 - now;
+                    st.skip.cycles_skipped += jump;
+                    st.skip.skip_jumps += 1;
+                    for sm in &mut st.sms {
+                        sm.idle_cycles += jump;
+                    }
+                    now = target - 1;
+                }
+            }
         }
         Ok(now)
     }
+}
+
+/// True when nothing in the launch holds live work: no SM busy, no packet
+/// on any interconnect link, no slice with queued or in-flight memory
+/// traffic. Shared by the completion check, the no-progress guard and the
+/// fast-forward eligibility test.
+fn quiescent(st: &LoopState) -> bool {
+    st.sms.iter().all(|s| !s.busy())
+        && st.sm_egress.iter().all(Link::is_empty)
+        && st.sm_ingress.iter().all(Link::is_empty)
+        && st.slice_ingress.iter().all(Link::is_empty)
+        && st.slice_egress.iter().all(Link::is_empty)
+        && st.slices.iter().all(MemSlice::idle)
+}
+
+/// Earliest future cycle at which any component can make progress: the
+/// minimum over every SM's wake hint, every link's head-of-queue arrival
+/// time, and every slice's wake hint. `u64::MAX` means fully quiescent
+/// (the tail checks above have already handled completion / no-progress,
+/// so a MAX here can only mean the loop is about to exit).
+fn next_event_cycle(st: &LoopState) -> u64 {
+    let mut t = u64::MAX;
+    for sm in &st.sms {
+        t = t.min(sm.wake_hint);
+    }
+    for arr in [&st.sm_egress, &st.sm_ingress, &st.slice_ingress, &st.slice_egress] {
+        for l in arr.iter() {
+            if let Some(at) = l.next_arrival() {
+                t = t.min(at);
+            }
+        }
+    }
+    for sl in &st.slices {
+        t = t.min(sl.wake_hint);
+    }
+    t
 }
 
 /// Everything the cycle loop owns for one launch, grouped so the loop body
@@ -578,6 +667,9 @@ struct LoopState {
     slice_ingress: Vec<Link<MemReq>>,
     slice_egress: Vec<Link<MemReq>>,
     sampler: Option<LaunchSampler>,
+    /// Fast-forward accounting, kept out of [`SimStats`] so dense and
+    /// skipping runs still compare equal on the simulated counters.
+    skip: SkipStats,
 }
 
 /// Serial apply phase for one SM's buffered cycle output: fold its stat
@@ -672,6 +764,7 @@ fn aggregate_stats(
 
 /// Cut one metrics sample: per-unit counter snapshots plus the
 /// interconnect-occupancy gauge, handed to the sampler for delta-ing.
+#[allow(clippy::too_many_arguments)]
 fn cut_sample(
     sp: &mut LaunchSampler,
     now: u64,
@@ -679,10 +772,12 @@ fn cut_sample(
     sms: &[Sm],
     slices: &[MemSlice],
     links: [&[Link<MemReq>]; 4],
+    skip: &SkipStats,
 ) -> crate::trace::MetricsSample {
     let sm_l1: Vec<CacheStats> = sms.iter().map(|s| s.l1.stats).collect();
     let l2: Vec<CacheStats> = slices.iter().map(|s| s.l2.stats).collect();
     let dram: Vec<DramStats> = slices.iter().map(|s| s.dram.stats).collect();
     let gauge: u64 = links.iter().map(|arr| icnt::in_flight(arr)).sum();
-    sp.snap(now, agg, &sm_l1, &l2, &dram, gauge)
+    let idle: Vec<u64> = sms.iter().map(|s| s.idle_cycles).collect();
+    sp.snap(now, agg, &sm_l1, &l2, &dram, gauge, (skip.cycles_skipped, skip.skip_jumps), &idle)
 }

@@ -84,6 +84,25 @@ impl Dram {
         !self.queue.is_empty() || !self.in_flight.is_empty()
     }
 
+    /// Earliest future cycle (> `now`) at which [`Self::cycle`] can do
+    /// anything: the soonest in-flight completion, or the soonest cycle a
+    /// queued request's bank frees up so the scheduler could pick it.
+    /// `None` when the channel is fully idle. The scheduler issues at
+    /// most one request per cycle, so a request whose bank is already
+    /// free is an event at `now + 1` — the caller re-evaluates after
+    /// every active cycle, which covers same-cycle contention.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut t = u64::MAX;
+        for &(at, _) in &self.in_flight {
+            t = t.min(at);
+        }
+        for r in &self.queue {
+            let bank = &self.banks[self.bank_of(r.line_addr)];
+            t = t.min(bank.busy_until.max(now + 1));
+        }
+        (t != u64::MAX).then_some(t)
+    }
+
     /// Advance one cycle: maybe schedule one request (FR-FCFS) and return
     /// the requests whose data completed this cycle.
     pub fn cycle(&mut self, now: u64) -> Vec<DramReq> {

@@ -48,6 +48,16 @@ impl<T> Link<T> {
         }
     }
 
+    /// Arrival cycle of the head packet, if any — the link's next-event
+    /// time for the fast-forward aggregator. Arrival times are
+    /// nondecreasing along the queue (serialization starts at
+    /// `max(busy_until, now)`), so the head bounds every later delivery,
+    /// and the cycle loop fully drains ready heads each cycle, so after a
+    /// cycle at `now` the head (if any) arrives strictly after `now`.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.front().map(|(t, _)| *t)
+    }
+
     /// Whether any packet is in flight.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()

@@ -55,6 +55,14 @@ pub struct MemSlice {
     /// Events recorded this cycle, drained by the GPU after
     /// [`Self::cycle`]. Empty whenever `trace_on` is false.
     pub trace_buf: Vec<SimEvent>,
+    /// Earliest future cycle [`Self::cycle`] can make progress, as of the
+    /// last time the slice was cycled; `0` (never in the future) whenever
+    /// the hint may be stale — new input invalidates it. While
+    /// `now < wake_hint` a cycle call could only flip the port-arbiter
+    /// fairness bit, which [`Self::settle_arbiter`] replicates, so the
+    /// GPU may gate the slice out of such cycles with bit-identical
+    /// results.
+    pub(crate) wake_hint: u64,
 }
 
 impl MemSlice {
@@ -75,6 +83,7 @@ impl MemSlice {
             shadow_l2_accesses: 0,
             trace_on: false,
             trace_buf: Vec::new(),
+            wake_hint: 0,
         }
     }
 
@@ -86,6 +95,8 @@ impl MemSlice {
     /// A request arrived from the interconnect.
     pub fn push_input(&mut self, req: MemReq) {
         self.input.push_back(req);
+        // New work invalidates the quiescence hint.
+        self.wake_hint = 0;
     }
 
     /// Whether all queues are drained (kernel completion check).
@@ -185,7 +196,61 @@ impl MemSlice {
             }
         }
         out.sort_by_key(|r| r.id);
+        self.wake_hint = self.next_event(now);
         out
+    }
+
+    /// Earliest future cycle at which [`Self::cycle`] could do real work,
+    /// evaluated right after a cycle at `now` (so every event is
+    /// `> now`); `u64::MAX` when the slice is drained. "Real work" means
+    /// anything beyond flipping the arbiter fairness bit: releasing a
+    /// matured response, DRAM scheduling or completion, retrying a
+    /// writeback, or serving a head request through the L2 port.
+    fn next_event(&self, now: u64) -> u64 {
+        let mut t = u64::MAX;
+        for &(at, _) in &self.ready {
+            t = t.min(at);
+        }
+        if let Some(d) = self.dram.next_event(now) {
+            t = t.min(d);
+        }
+        if !self.writeback_queue.is_empty() && self.dram.can_accept() {
+            t = t.min(now + 1);
+        }
+        if self.head_can_progress(self.input.front().map(|r| r.line_addr))
+            || self.head_can_progress(self.shadow_queue.front().copied())
+        {
+            t = t.min(now + 1);
+        }
+        t
+    }
+
+    /// Whether a head request for `line` would get through the L2 port:
+    /// the exact inverse of the head-blockage checks in
+    /// [`Self::process_data`] / [`Self::process_shadow`] (hit, merged
+    /// into an outstanding fill, or free MSHR + DRAM queue space).
+    fn head_can_progress(&self, line: Option<u32>) -> bool {
+        let Some(line) = line else { return false };
+        self.l2.contains(line)
+            || self.mshr.iter().any(|(l, _, _, _)| *l == line)
+            || (self.dram.can_accept() && self.mshr.len() < self.cfg.l2.mshrs as usize)
+    }
+
+    /// Stand-in for [`Self::cycle`] on a gated (quiescent) cycle. A fully
+    /// blocked cycle's only state change is the data/shadow port-arbiter
+    /// fairness bit, which settles to a fixed point after one blocked
+    /// cycle: an empty input queue always hands the port to data next
+    /// (the arbiter tried shadow first and fell through), and a blocked
+    /// data head with nothing in the shadow queue parks the bit on
+    /// shadow-last. With both queues non-empty and blocked the bit is
+    /// already stable. Applying this rule once per gated cycle is
+    /// therefore bit-identical to running the dense arbiter.
+    pub(crate) fn settle_arbiter(&mut self) {
+        if self.input.is_empty() {
+            self.serve_shadow_next = true;
+        } else if self.shadow_queue.is_empty() {
+            self.serve_shadow_next = false;
+        }
     }
 
     /// Process one data request. Returns whether the L2 port was used.

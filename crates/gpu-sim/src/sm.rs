@@ -260,6 +260,17 @@ pub struct Sm {
     /// Set when a CTA retires — tells the dispatcher capacity freed up.
     pub freed_capacity: bool,
     next_req_id: u64,
+    /// Earliest future cycle [`Self::cycle_compute`] can make progress —
+    /// a pure function of SM state, recomputed after every compute call
+    /// and reset to `0` (never in the future) whenever external input
+    /// (a memory response, a placed block) may have created work. While
+    /// `now < wake_hint` a compute call is a provable no-op, so the GPU
+    /// may gate the SM out of such cycles with bit-identical results.
+    pub(crate) wake_hint: u64,
+    /// Cycles this SM spent quiescent (`now < wake_hint`), whether the
+    /// cycle was actually gated/jumped or densely polled — identical in
+    /// both modes by construction.
+    pub idle_cycles: u64,
 }
 
 impl Sm {
@@ -281,6 +292,8 @@ impl Sm {
             regs_resident: 0,
             freed_capacity: false,
             next_req_id: u64::from(id) << 40,
+            wake_hint: 0,
+            idle_cycles: 0,
         }
     }
 
@@ -358,6 +371,8 @@ impl Sm {
         });
         self.threads_resident += threads;
         self.regs_resident += threads * u32::from(ctx.kernel.num_regs);
+        // New warps can issue immediately: invalidate the quiescence hint.
+        self.wake_hint = 0;
     }
 
     /// Install this SM's shared RDU for the coming launch.
@@ -368,7 +383,46 @@ impl Sm {
     /// One core cycle, compute phase: retire matured L1 hits, then try
     /// to issue. Reads `mem` and the detector clocks as snapshots;
     /// cross-SM side effects land in `out` for the serial apply phase.
+    /// Refreshes [`Self::wake_hint`] afterwards so the fast-forward layer
+    /// knows the next cycle this SM can act.
     pub fn cycle_compute(
+        &mut self,
+        now: u64,
+        ctx: &LaunchContext,
+        mem: &DeviceMemory,
+        det: Option<DetView<'_>>,
+        out: &mut CycleOutput,
+    ) {
+        self.cycle_compute_inner(now, ctx, mem, det, out);
+        self.wake_hint = self.next_wake();
+    }
+
+    /// Earliest cycle this SM can make progress on its own: the soonest
+    /// maturing L1-hit load, or — if any warp is schedulable — the cycle
+    /// the issue stage frees up and the soonest-ready warp may issue.
+    /// `u64::MAX` when every resident warp waits on external input
+    /// (memory responses invalidate the hint on arrival). Absolute
+    /// cycle times only, so the hint stays valid while the SM idles.
+    fn next_wake(&self) -> u64 {
+        let mut t = u64::MAX;
+        for &(at, _, _) in &self.local_ready {
+            t = t.min(at);
+        }
+        if self.threads_resident > 0 {
+            let mut min_resume = u64::MAX;
+            for w in self.warps.iter().flatten() {
+                if w.state == WarpState::Ready {
+                    min_resume = min_resume.min(w.resume_at);
+                }
+            }
+            if min_resume != u64::MAX {
+                t = t.min(self.issue_free_at.max(min_resume));
+            }
+        }
+        t
+    }
+
+    fn cycle_compute_inner(
         &mut self,
         now: u64,
         ctx: &LaunchContext,
@@ -448,6 +502,9 @@ impl Sm {
         stats: &mut SimStats,
         tracer: &mut Tracer,
     ) {
+        // External input: the quiescence hint is stale until the next
+        // compute call recomputes it.
+        self.wake_hint = 0;
         match &resp.kind {
             ReqKind::LoadData => {
                 let ev = self.l1.fill(resp.line_addr, false, now);

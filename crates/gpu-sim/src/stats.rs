@@ -86,6 +86,45 @@ impl DramStats {
     }
 }
 
+/// Fast-forward accounting for one launch (or an accumulation of
+/// launches): how much of the simulated time the event-driven layer
+/// skipped, and how idle each SM was. Deliberately kept *outside*
+/// [`SimStats`]: skipping changes how the simulator spends wall-clock,
+/// never what it computes, so the bit-identity contract (`SimStats`
+/// equality across serial/parallel and dense/skip runs) must not see
+/// these counters. `sm_idle_cycles` *is* mode-independent — an SM is
+/// counted idle whenever `now` is before its wake hint, whether the
+/// cycle was gated, jumped, or densely polled.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipStats {
+    /// Cycles the global clock jumped over without polling any component.
+    pub cycles_skipped: u64,
+    /// Number of fast-forward jumps taken.
+    pub skip_jumps: u64,
+    /// Per-SM cycles spent quiescent (no issue possible, nothing
+    /// maturing locally).
+    pub sm_idle_cycles: Vec<u64>,
+}
+
+impl SkipStats {
+    /// Total idle cycles across all SMs.
+    pub fn total_idle_cycles(&self) -> u64 {
+        self.sm_idle_cycles.iter().sum()
+    }
+
+    /// Accumulate another launch's skip accounting (multi-kernel runs).
+    pub fn accumulate(&mut self, o: &SkipStats) {
+        self.cycles_skipped += o.cycles_skipped;
+        self.skip_jumps += o.skip_jumps;
+        if self.sm_idle_cycles.len() < o.sm_idle_cycles.len() {
+            self.sm_idle_cycles.resize(o.sm_idle_cycles.len(), 0);
+        }
+        for (a, b) in self.sm_idle_cycles.iter_mut().zip(&o.sm_idle_cycles) {
+            *a += *b;
+        }
+    }
+}
+
 /// Full launch statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(missing_docs)]

@@ -32,6 +32,15 @@ pub struct MetricsSample {
     /// Interconnect packets in flight at the sample instant (gauge, not
     /// a delta).
     pub icnt_in_flight: u64,
+    /// Cycles fast-forwarded inside the interval (delta). Zero in dense
+    /// mode — the only sample field allowed to differ between dense and
+    /// skipping runs (along with `skip_jumps`).
+    pub cycles_skipped: u64,
+    /// Fast-forward jumps taken inside the interval (delta).
+    pub skip_jumps: u64,
+    /// Per-SM quiescent cycles inside the interval (delta); identical in
+    /// dense and skipping modes.
+    pub per_sm_idle_cycles: Vec<u64>,
 }
 
 /// Serialize a time series of samples as pretty-printed JSON.
@@ -50,6 +59,8 @@ pub(crate) struct LaunchSampler {
     prev_sm_l1: Vec<CacheStats>,
     prev_l2: Vec<CacheStats>,
     prev_dram: Vec<DramStats>,
+    prev_skip: (u64, u64),
+    prev_idle: Vec<u64>,
 }
 
 impl LaunchSampler {
@@ -62,12 +73,21 @@ impl LaunchSampler {
             prev_sm_l1: vec![CacheStats::default(); num_sms],
             prev_l2: vec![CacheStats::default(); num_slices],
             prev_dram: vec![DramStats::default(); num_slices],
+            prev_skip: (0, 0),
+            prev_idle: vec![0; num_sms],
         }
     }
 
     /// Whether a sample is due at cycle `now`.
     pub(crate) fn due(&self, now: u64) -> bool {
         now >= self.last_cycle + self.every
+    }
+
+    /// The sampling interval — `last_cycle() + every()` is the next
+    /// sample boundary, which caps fast-forward jumps so every interval
+    /// is cut at exactly the cycle the dense loop would cut it.
+    pub(crate) fn every(&self) -> u64 {
+        self.every
     }
 
     /// Start of the interval currently accumulating (the cycle the last
@@ -78,6 +98,7 @@ impl LaunchSampler {
 
     /// Cut a sample at `now` from instantaneous aggregate/per-unit
     /// snapshots, advancing the interval start.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn snap(
         &mut self,
         now: u64,
@@ -86,6 +107,8 @@ impl LaunchSampler {
         l2: &[CacheStats],
         dram: &[DramStats],
         icnt_in_flight: u64,
+        skip: (u64, u64),
+        idle: &[u64],
     ) -> MetricsSample {
         let sample = MetricsSample {
             launch: self.launch,
@@ -96,11 +119,21 @@ impl LaunchSampler {
             per_slice_l2: l2.iter().zip(&self.prev_l2).map(|(c, p)| c.delta(p)).collect(),
             per_slice_dram: dram.iter().zip(&self.prev_dram).map(|(c, p)| c.delta(p)).collect(),
             icnt_in_flight,
+            cycles_skipped: skip.0.saturating_sub(self.prev_skip.0),
+            skip_jumps: skip.1.saturating_sub(self.prev_skip.1),
+            per_sm_idle_cycles: idle
+                .iter()
+                .zip(&self.prev_idle)
+                .map(|(c, p)| c.saturating_sub(*p))
+                .collect(),
         };
         self.prev = agg.clone();
         self.prev_sm_l1.copy_from_slice(sm_l1);
         self.prev_l2.copy_from_slice(l2);
         self.prev_dram.copy_from_slice(dram);
+        self.prev_skip = skip;
+        self.prev_idle.clear();
+        self.prev_idle.extend_from_slice(idle);
         self.last_cycle = now;
         sample
     }
@@ -120,9 +153,9 @@ mod tests {
         let l1 = [CacheStats::default(); 2];
         let l2 = [CacheStats::default(); 2];
         let dr = [DramStats::default(); 2];
-        let a = s.snap(10, &agg(10, 4), &l1, &l2, &dr, 0);
-        let b = s.snap(20, &agg(20, 9), &l1, &l2, &dr, 0);
-        let fin = s.snap(25, &agg(25, 11), &l1, &l2, &dr, 0);
+        let a = s.snap(10, &agg(10, 4), &l1, &l2, &dr, 0, (0, 0), &[0; 2]);
+        let b = s.snap(20, &agg(20, 9), &l1, &l2, &dr, 0, (3, 1), &[2, 2]);
+        let fin = s.snap(25, &agg(25, 11), &l1, &l2, &dr, 0, (5, 2), &[4, 3]);
         let mut sum = SimStats::default();
         for smp in [&a, &b, &fin] {
             sum.accumulate(&smp.delta);
@@ -132,6 +165,10 @@ mod tests {
         assert_eq!(b.start_cycle, 10);
         assert_eq!(b.delta.warp_instructions, 5);
         assert_eq!(fin.end_cycle, 25);
+        assert_eq!(b.cycles_skipped, 3);
+        assert_eq!(b.skip_jumps, 1);
+        assert_eq!(fin.cycles_skipped, 2);
+        assert_eq!(fin.per_sm_idle_cycles, vec![2, 1]);
     }
 
     #[test]
@@ -148,12 +185,12 @@ mod tests {
             CacheStats { accesses: 5, hits: 5, ..Default::default() },
             CacheStats { accesses: 1, ..Default::default() },
         ];
-        let _ = s.snap(1, &agg(1, 0), &l1a, &[CacheStats::default()], &[DramStats::default()], 0);
+        let _ = s.snap(1, &agg(1, 0), &l1a, &[CacheStats::default()], &[DramStats::default()], 0, (0, 0), &[0; 2]);
         let l1b = [
             CacheStats { accesses: 9, hits: 8, ..Default::default() },
             CacheStats { accesses: 1, ..Default::default() },
         ];
-        let smp = s.snap(2, &agg(2, 0), &l1b, &[CacheStats::default()], &[DramStats::default()], 3);
+        let smp = s.snap(2, &agg(2, 0), &l1b, &[CacheStats::default()], &[DramStats::default()], 3, (0, 0), &[0; 2]);
         assert_eq!(smp.per_sm_l1[0].accesses, 4);
         assert_eq!(smp.per_sm_l1[0].hits, 3);
         assert_eq!(smp.per_sm_l1[1].accesses, 0);
@@ -163,7 +200,7 @@ mod tests {
     #[test]
     fn metrics_json_is_parseable() {
         let mut s = LaunchSampler::new(1, 2, 1, 1);
-        let smp = s.snap(5, &agg(5, 3), &[CacheStats::default()], &[CacheStats::default()], &[DramStats::default()], 0);
+        let smp = s.snap(5, &agg(5, 3), &[CacheStats::default()], &[CacheStats::default()], &[DramStats::default()], 0, (0, 0), &[0; 1]);
         let text = metrics_json(&[smp]);
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(v[0]["launch"], 2);

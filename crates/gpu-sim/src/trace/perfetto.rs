@@ -12,6 +12,7 @@ use std::io::{self, Write};
 use serde_json::{json, Map, Value};
 
 use crate::trace::event::SimEvent;
+use crate::trace::MetricsSample;
 
 /// Build the Chrome `trace-event` JSON document for a recorded event
 /// stream. `dropped` (from [`RingRecorder::dropped`]) is recorded under
@@ -19,6 +20,11 @@ use crate::trace::event::SimEvent;
 ///
 /// [`RingRecorder::dropped`]: crate::trace::RingRecorder::dropped
 pub fn chrome_trace(events: &[(u64, SimEvent)], dropped: u64) -> Value {
+    document(instant_events(events), dropped)
+}
+
+/// The instant-event (`ph: "i"`) rows for a recorded event stream.
+fn instant_events(events: &[(u64, SimEvent)]) -> Vec<Value> {
     let mut trace_events = Vec::with_capacity(events.len());
     for (cycle, ev) in events {
         let (pid, tid) = ev.track();
@@ -39,6 +45,11 @@ pub fn chrome_trace(events: &[(u64, SimEvent)], dropped: u64) -> Value {
             "args": args,
         }));
     }
+    trace_events
+}
+
+/// Wrap finished `traceEvents` rows in the document envelope.
+fn document(trace_events: Vec<Value>, dropped: u64) -> Value {
     json!({
         "traceEvents": trace_events,
         "displayTimeUnit": "ns",
@@ -50,6 +61,42 @@ pub fn chrome_trace(events: &[(u64, SimEvent)], dropped: u64) -> Value {
     })
 }
 
+/// Build the trace document with counter tracks (`ph: "C"`) folded in
+/// from a cycle-sampled metrics series: instructions and fast-forward
+/// activity per interval plus the interconnect-occupancy gauge, stamped
+/// at each interval's end cycle on the kernel-scope track (pid 0).
+/// Perfetto renders each as a step chart under the event timeline.
+pub fn chrome_trace_with_counters(
+    events: &[(u64, SimEvent)],
+    dropped: u64,
+    samples: &[MetricsSample],
+) -> Value {
+    let mut tes = instant_events(events);
+    for s in samples {
+        let idle: u64 = s.per_sm_idle_cycles.iter().sum();
+        let counters = [
+            ("warp_instructions", s.delta.warp_instructions),
+            ("cycles_skipped", s.cycles_skipped),
+            ("skip_jumps", s.skip_jumps),
+            ("sm_idle_cycles", idle),
+            ("icnt_in_flight", s.icnt_in_flight),
+        ];
+        for (name, value) in counters {
+            let mut args = Map::new();
+            args.insert(name.to_string(), json!(value));
+            tes.push(json!({
+                "name": name,
+                "ph": "C",
+                "ts": s.end_cycle,
+                "pid": 0,
+                "tid": 0,
+                "args": Value::Object(args),
+            }));
+        }
+    }
+    document(tes, dropped)
+}
+
 /// Serialize the Chrome trace for an event stream into `w`.
 pub fn write_chrome_trace<W: Write>(
     mut w: W,
@@ -57,6 +104,18 @@ pub fn write_chrome_trace<W: Write>(
     dropped: u64,
 ) -> io::Result<()> {
     let doc = chrome_trace(events, dropped);
+    serde_json::to_writer(&mut w, &doc)?;
+    w.flush()
+}
+
+/// Serialize the Chrome trace with metric counter tracks into `w`.
+pub fn write_chrome_trace_with_counters<W: Write>(
+    mut w: W,
+    events: &[(u64, SimEvent)],
+    dropped: u64,
+    samples: &[MetricsSample],
+) -> io::Result<()> {
+    let doc = chrome_trace_with_counters(events, dropped, samples);
     serde_json::to_writer(&mut w, &doc)?;
     w.flush()
 }
@@ -82,6 +141,41 @@ mod tests {
         assert_eq!(tes[1]["args"]["pc"], 7);
         assert!(tes[1]["args"].get("type").is_none(), "tag folded into name");
         assert_eq!(doc["otherData"]["dropped_events"], 0);
+    }
+
+    #[test]
+    fn counter_tracks_follow_the_sample_series() {
+        use crate::stats::SimStats;
+        let mk = |end_cycle: u64, skipped: u64, jumps: u64| MetricsSample {
+            launch: 0,
+            start_cycle: 0,
+            end_cycle,
+            delta: SimStats { warp_instructions: 7, ..Default::default() },
+            per_sm_l1: vec![],
+            per_slice_l2: vec![],
+            per_slice_dram: vec![],
+            icnt_in_flight: 2,
+            cycles_skipped: skipped,
+            skip_jumps: jumps,
+            per_sm_idle_cycles: vec![3, 4],
+        };
+        let samples = [mk(100, 40, 1), mk(200, 0, 0)];
+        let doc = chrome_trace_with_counters(&[], 0, &samples);
+        let tes = doc["traceEvents"].as_array().unwrap();
+        // 5 counters per sample, no instant events.
+        assert_eq!(tes.len(), 10);
+        assert!(tes.iter().all(|e| e["ph"] == "C" && e["pid"] == 0));
+        let skipped: Vec<&Value> =
+            tes.iter().filter(|e| e["name"] == "cycles_skipped").collect();
+        assert_eq!(skipped.len(), 2);
+        assert_eq!(skipped[0]["ts"], 100);
+        assert_eq!(skipped[0]["args"]["cycles_skipped"], 40);
+        assert_eq!(skipped[1]["args"]["cycles_skipped"], 0);
+        let idle: Vec<&Value> =
+            tes.iter().filter(|e| e["name"] == "sm_idle_cycles").collect();
+        assert_eq!(idle[0]["args"]["sm_idle_cycles"], 7);
+        assert!(tes.iter().any(|e| e["name"] == "warp_instructions"
+            && e["args"]["warp_instructions"] == 7));
     }
 
     #[test]
