@@ -40,7 +40,10 @@ fn simulate_scan(c: &mut Criterion) {
 /// Guard for the tracing layer's zero-cost-when-disabled contract: the
 /// `disabled` and `no_detection` timings above must stay within noise of
 /// each other (< 2%), and `null_sink` bounds the cost of event
-/// construction when a sink is installed.
+/// construction when a sink is installed. The host-side phase profiler
+/// rides the same contract: `disabled` runs with its scopes compiled in
+/// but off (one relaxed atomic load each), and `prof_enabled` bounds the
+/// cost of live attribution.
 fn tracing_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracing_overhead_scan_tiny");
     g.sample_size(20);
@@ -53,6 +56,19 @@ fn tracing_overhead(c: &mut Criterion) {
             let inst = bench.prepare(&mut gpu, cfg.scale);
             black_box(run_instance(&mut gpu, &inst).unwrap().stats.cycles)
         })
+    });
+    g.bench_function("prof_enabled", |b| {
+        gpu_sim::prof::reset();
+        gpu_sim::prof::set_enabled(true);
+        b.iter(|| {
+            let cfg = RunConfig::detecting(Scale::Tiny);
+            let mut gpu = Gpu::new(cfg.gpu);
+            gpu.set_detector(cfg.detector);
+            let bench = Scan::single_block();
+            let inst = bench.prepare(&mut gpu, cfg.scale);
+            black_box(run_instance(&mut gpu, &inst).unwrap().stats.cycles)
+        });
+        gpu_sim::prof::set_enabled(false);
     });
     g.bench_function("null_sink", |b| {
         b.iter(|| {

@@ -3,6 +3,7 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin bloom_stress [--pairs N]`
 
 fn main() {
+    let setup = haccrg_bench::RunSetup::from_args();
     let args: Vec<String> = std::env::args().collect();
     let pairs = args
         .iter()
@@ -11,4 +12,5 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
     println!("{}", haccrg_bench::figures::bloom_stress(pairs).render());
+    setup.write_manifest("bloom_stress", &[]);
 }

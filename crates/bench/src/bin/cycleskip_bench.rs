@@ -74,8 +74,12 @@ fn measure_micro(m: &Micro) -> MicroRow {
 }
 
 fn main() {
+    let setup = haccrg_bench::RunSetup::from_args();
     let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_cycleskip.json".into());
+        std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_cycleskip.json".into());
 
     let micros: Vec<MicroRow> =
         [pointer_chase(), barrier_storm()].iter().map(measure_micro).collect();
@@ -166,6 +170,9 @@ fn main() {
         r#"{{
   "benchmark": "cycle_skip",
   "produced_by": "cargo run --release -p haccrg-bench --bin cycleskip_bench",
+  "environment": {env},
+  "jobs": {jobs},
+  "cycle_skip": {cycle_skip},
   "micro_iters": {MICRO_ITERS},
   "microkernels": [
 {rows}  ],
@@ -174,6 +181,9 @@ fn main() {
   "best_micro_speedup": {best:.2}
 }}
 "#,
+        env = haccrg_bench::Environment::capture().to_json(),
+        jobs = haccrg_bench::sweep::configured_jobs(),
+        cycle_skip = runner::cycle_skip_enabled(),
     );
     std::fs::write(&out_path, report).expect("write report");
     println!("wrote {out_path}");
@@ -198,4 +208,5 @@ fn main() {
         );
     }
     assert!(best >= 2.0, "best microkernel speedup {best:.2}x is below the 2x target");
+    setup.write_manifest("cycleskip_bench", &[&out_path]);
 }

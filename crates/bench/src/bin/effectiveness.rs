@@ -4,13 +4,13 @@
 use haccrg_bench::effectiveness::{campaign_table, real_races, run_campaign};
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     println!("{}", real_races(scale).render());
     let results = run_campaign(scale);
     println!("{}", campaign_table(&results).render());
     for r in results.iter().filter(|r| !r.detected) {
         println!("MISSED: {}", r.label);
     }
+    setup.write_suite_manifest("effectiveness", &[]);
 }

@@ -2,9 +2,9 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin fig7 [--scale …] [--no-software]`
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     let with_sw = !std::env::args().any(|a| a == "--no-software");
     println!("{}", haccrg_bench::figures::fig7(scale, with_sw).render());
+    setup.write_suite_manifest("fig7", &[]);
 }

@@ -2,8 +2,8 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin fig8 [--scale …]`
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     println!("{}", haccrg_bench::figures::fig8(scale).render());
+    setup.write_suite_manifest("fig8", &[]);
 }

@@ -27,10 +27,18 @@
 //!                           "Event-driven cycle skipping")
 //! * `--jobs N`           — sweep worker count for multi-run harnesses
 //!                           (accepted here for a uniform CLI)
+//! * `--profile`          — enable the host-side phase profiler and print
+//!                           the attributed wall-time tree after the run
+//! * `--profile-out FILE` — also write the profile report as JSON
+//!                           (implies `--profile`)
+//! * `--manifest-out FILE`— write a structured run manifest (workload /
+//!                           config hashes, toolchain, stats digest)
+//! * `--races-out FILE`   — write deduplicated race groups as JSON
 //! * `--list`             — list benchmarks and exit
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::time::Instant;
 
 use gpu_sim::prelude::*;
 use gpu_sim::trace::metrics_json;
@@ -67,13 +75,22 @@ fn main() {
         );
         std::process::exit(2);
     };
+    let t0 = Instant::now();
     let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let jobs = haccrg_bench::jobs_from_args();
+    let cycle_skip = haccrg_bench::cycle_skip_from_args();
+    let manifest_out = haccrg_bench::manifest_out_from_args();
     let clean = args.iter().any(|a| a == "--clean");
     let parallel_sms = args.iter().any(|a| a == "--parallel-sms");
     let trace_out = get("--trace-out");
     let metrics_out = get("--metrics-out");
+    let races_out = get("--races-out");
+    let profile_out = get("--profile-out");
+    let profile = args.iter().any(|a| a == "--profile") || profile_out.is_some();
+    if profile {
+        gpu_sim::prof::reset();
+        gpu_sim::prof::set_enabled(true);
+    }
     let sample_every: u64 = match get("--sample-every") {
         Some(v) => v.parse().unwrap_or_else(|_| {
             log_error!("--sample-every: {v:?} is not a cycle count");
@@ -205,5 +222,50 @@ fn main() {
     }
     if out.races.distinct() > 20 {
         println!("  … and {} more", out.races.distinct() - 20);
+    }
+    // Race analytics: fold the per-address records into static groups —
+    // one line per racing instruction pair, however many addresses hit.
+    let groups = out.races.groups();
+    if !groups.is_empty() {
+        println!("groups    : {} static racing pair(s)", groups.len());
+        for g in &groups {
+            println!("  {g}");
+        }
+    }
+    if let Some(path) = &races_out {
+        if let Err(e) = std::fs::write(path, haccrg_bench::report::race_groups_json(&groups)) {
+            log_error!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        log_info!("wrote {} race groups to {path}", groups.len());
+    }
+
+    if profile {
+        let rep = gpu_sim::prof::report();
+        println!();
+        print!("{}", rep.render());
+        if let Some(path) = &profile_out {
+            if let Err(e) = std::fs::write(path, rep.to_json()) {
+                log_error!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            log_info!("wrote profile to {path}");
+        }
+    }
+
+    if let Some(path) = manifest_out {
+        let mut m = haccrg_bench::RunManifest::new("runbench");
+        m.scale = haccrg_bench::scale_name(scale).into();
+        m.jobs = jobs;
+        m.sm_workers = gpu.cfg.sm_workers;
+        m.cycle_skip = cycle_skip;
+        m.workloads.push(haccrg_bench::WorkloadRef::of(&inst));
+        m.config_hash = haccrg_bench::manifest::config_hash(&gpu.cfg);
+        m.stats_digest = haccrg_bench::manifest::stats_digest(&out.stats, &out.races);
+        m.wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+        for p in [&trace_out, &metrics_out, &races_out, &profile_out].into_iter().flatten() {
+            m.artifacts.push(p.clone());
+        }
+        m.write(&path);
     }
 }

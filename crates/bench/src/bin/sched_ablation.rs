@@ -8,16 +8,15 @@
 use gpu_sim::config::SchedPolicy;
 use gpu_sim::prelude::GpuConfig;
 use haccrg::config::DetectorConfig;
-use haccrg_bench::parallel_map;
+use haccrg_bench::parallel_map_benches;
 use haccrg_bench::report::Table;
 use haccrg_workloads::runner::{run, RunConfig};
 use haccrg_workloads::all_benchmarks;
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let mut result = vec![b.name().to_string()];
         let mut races = Vec::new();
         for policy in [SchedPolicy::RoundRobin, SchedPolicy::GreedyThenOldest] {
@@ -56,4 +55,5 @@ fn main() {
         t.row(r);
     }
     println!("{}", t.render());
+    setup.write_suite_manifest("sched_ablation", &[]);
 }

@@ -82,7 +82,11 @@ fn time_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_shadow.json".into());
+    let setup = haccrg_bench::RunSetup::from_args();
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_shadow.json".into());
     let tracked = TRACKED_MIB << 20;
     let entries = Granularity::GLOBAL_DEFAULT.entries_for(tracked);
 
@@ -151,6 +155,9 @@ fn main() {
         r#"{{
   "benchmark": "shadow_fastpath",
   "produced_by": "cargo run --release -p haccrg-bench --bin shadow_bench",
+  "environment": {env},
+  "jobs": {jobs},
+  "cycle_skip": {cycle_skip},
   "config": {{
     "tracked_mib": {TRACKED_MIB},
     "global_entries": {entries},
@@ -184,6 +191,9 @@ fn main() {
   }}
 }}
 "#,
+        env = haccrg_bench::Environment::capture().to_json(),
+        jobs = haccrg_bench::sweep::configured_jobs(),
+        cycle_skip = haccrg_workloads::runner::cycle_skip_enabled(),
         gran = Granularity::GLOBAL_DEFAULT.bytes(),
         reset_speedup = eager_reset_ns / epoch_reset_ns,
         pages = rdu.pages_allocated(),
@@ -201,4 +211,5 @@ fn main() {
     println!("steady state: {steady_ns:.0} ns/warp, {steady_allocs} allocations");
     assert!(setup_speedup >= 2.0, "launch-setup speedup below the 2x target");
     assert_eq!(steady_allocs, 0, "steady-state warp checks must not allocate");
+    setup.write_manifest("shadow_bench", &[&out_path]);
 }

@@ -2,9 +2,9 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin table3 [--scale …]`
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     println!("{}", haccrg_bench::tables::table3(scale, true).render());
     println!("{}", haccrg_bench::tables::table3(scale, false).render());
+    setup.write_suite_manifest("table3", &[]);
 }

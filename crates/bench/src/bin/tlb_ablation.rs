@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin tlb_ablation [--scale …]`
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     println!("{}", haccrg_bench::figures::tlb_ablation(scale, 64, 4, 16).render());
+    setup.write_suite_manifest("tlb_ablation", &[]);
 }

@@ -5,8 +5,8 @@
 //! Usage: `cargo run --release -p haccrg-bench --bin variants [--scale …]`
 
 fn main() {
-    let scale = haccrg_bench::scale_from_args();
-    haccrg_bench::jobs_from_args();
-    haccrg_bench::cycle_skip_from_args();
+    let setup = haccrg_bench::RunSetup::from_args();
+    let scale = setup.scale;
     println!("{}", haccrg_bench::tables::variants_table(scale).render());
+    setup.write_suite_manifest("variants", &[]);
 }

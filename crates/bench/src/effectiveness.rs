@@ -17,7 +17,7 @@ use haccrg_workloads::{benchmark_by_name, Benchmark, Scale};
 use gpu_sim::prelude::Gpu;
 
 use crate::report::Table;
-use crate::{parallel_map, SweepRunner};
+use crate::{parallel_map_benches, SweepRunner};
 
 /// The four §VI-A injection categories.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -259,7 +259,7 @@ pub fn real_races(scale: Scale) -> Table {
         "§VI-A — real races in the suite (documented: SCAN, KMEANS multi-block; OFFT address bug)",
         &["benchmark", "shared races", "global races", "categories", "expected?"],
     );
-    let rows = parallel_map(haccrg_workloads::all_benchmarks(), |b| {
+    let rows = parallel_map_benches(haccrg_workloads::all_benchmarks(), |b| {
         let out = run(b.as_ref(), &RunConfig::detecting(scale)).expect("run");
         let shared = out.races.count_space(MemSpace::Shared);
         let global = out.races.count_space(MemSpace::Global);

@@ -8,14 +8,14 @@ use haccrg_workloads::{all_benchmarks, benchmark_by_name, Scale};
 
 use gpu_sim::prelude::GpuConfig;
 
-use crate::parallel_map;
+use crate::parallel_map_benches;
 use crate::report::{geomean, pct, ratio, Table};
 
 /// Fig. 7 — execution time normalized to the unmodified GPU, for shared-
 /// only detection and combined shared+global detection, plus the §VI-B
 /// software comparison (HAccRG-SW and GRace-add on SCAN, HIST, KMEANS).
 pub fn fig7(scale: Scale, with_software: bool) -> Table {
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let base = run(b.as_ref(), &RunConfig::base(scale)).expect("base run");
         let shared =
             run(b.as_ref(), &RunConfig::with_detector(scale, DetectorConfig::shared_only())).expect("shared run");
@@ -63,7 +63,7 @@ pub fn fig7(scale: Scale, with_software: bool) -> Table {
 /// Fig. 8 — combined detection with the shared shadow entries in hardware
 /// vs spilled to global memory (cached in L1), normalized to baseline.
 pub fn fig8(scale: Scale) -> Table {
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let base = run(b.as_ref(), &RunConfig::base(scale)).expect("base");
         let hw = run(b.as_ref(), &RunConfig::detecting(scale)).expect("hw");
         let mut cfg = DetectorConfig::paper_default();
@@ -99,7 +99,7 @@ pub fn fig8(scale: Scale) -> Table {
 /// shared-only detection, and with combined detection.
 pub fn fig9(scale: Scale) -> Table {
     let slices = GpuConfig::quadro_fx5800().num_mem_slices;
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let base = run(b.as_ref(), &RunConfig::base(scale)).expect("base");
         let shared =
             run(b.as_ref(), &RunConfig::with_detector(scale, DetectorConfig::shared_only())).expect("shared");
@@ -131,7 +131,7 @@ pub fn tlb_ablation(scale: Scale, main_entries: usize, ways: usize, shadow_entri
     use haccrg_workloads::runner::run_instance;
     use gpu_sim::prelude::Gpu;
 
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let mut gpu = Gpu::with_detector(GpuConfig::quadro_fx5800(), DetectorConfig::paper_default());
         gpu.record_trace(true);
         let inst = b.prepare(&mut gpu, scale);

@@ -116,6 +116,60 @@ pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("serializable")
 }
 
+/// Race analytics: render deduplicated [`RaceGroup`]s (one static racing
+/// pair per row, however many dynamic records it produced) as an aligned
+/// table — the per-family view of a run's race log.
+pub fn race_group_table(title: impl Into<String>, groups: &[haccrg::prelude::RaceGroup]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["category", "kind", "space", "prev_pc", "pc", "records", "addrs", "addr range", "cycles"],
+    );
+    for g in groups {
+        t.row(vec![
+            g.category.to_string(),
+            g.kind.to_string(),
+            format!("{:?}", g.space),
+            format!("{:#x}", g.prev_pc),
+            format!("{:#x}", g.pc),
+            g.records.to_string(),
+            g.distinct_addrs.to_string(),
+            if g.addr_lo == g.addr_hi {
+                format!("{:#x}", g.addr_lo)
+            } else {
+                format!("{:#x}..{:#x}", g.addr_lo, g.addr_hi)
+            },
+            format!("{}..{}", g.first.cycle, g.last.cycle),
+        ]);
+    }
+    t
+}
+
+/// Hand-rolled JSON array of race groups for `--races-out` (stable field
+/// order; meaningful under the offline serde stubs).
+pub fn race_groups_json(groups: &[haccrg::prelude::RaceGroup]) -> String {
+    let mut out = String::from("[\n");
+    for (i, g) in groups.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"category\": \"{}\", \"kind\": \"{}\", \"space\": \"{:?}\", \"prev_pc\": {}, \"pc\": {}, \"records\": {}, \"distinct_addrs\": {}, \"addr_lo\": {}, \"addr_hi\": {}, \"first_cycle\": {}, \"last_cycle\": {}}}{}",
+            g.category,
+            g.kind,
+            g.space,
+            g.prev_pc,
+            g.pc,
+            g.records,
+            g.distinct_addrs,
+            g.addr_lo,
+            g.addr_hi,
+            g.first.cycle,
+            g.last.cycle,
+            if i + 1 < groups.len() { "," } else { "" },
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

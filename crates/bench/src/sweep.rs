@@ -18,8 +18,13 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use gpu_sim::trace::heartbeat;
+
+use crate::progress::SweepProgress;
 
 /// Why a sweep slot has no result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,7 +75,30 @@ impl SweepRunner {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        self.run_with_progress(None, items, f)
+    }
+
+    /// [`Self::run`], reporting each job's lifecycle and heartbeat to
+    /// `progress` (built per-sweep via [`crate::progress::for_sweep`]).
+    /// Workers attach the job's heartbeat to the simulator thread-local
+    /// before running it, so a reporter thread — spawned here when
+    /// progress is on — can stream live throughput without touching the
+    /// job itself. `None` is exactly the plain `run` path.
+    pub fn run_with_progress<T, R, F>(
+        &self,
+        progress: Option<Arc<SweepProgress>>,
+        items: Vec<T>,
+        f: F,
+    ) -> Vec<Result<R, JobError>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
         let total = items.len();
+        if let Some(p) = &progress {
+            assert_eq!(p.jobs(), total, "progress tracker sized for a different sweep");
+        }
         // Items parked in per-slot mutexes so workers can claim them by
         // index (each slot is locked exactly once, uncontended).
         let slots: Vec<Mutex<Option<T>>> =
@@ -78,31 +106,62 @@ impl SweepRunner {
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(total).max(1);
         let (tx, rx) = mpsc::channel::<(usize, Result<R, JobError>)>();
+        let all_done = AtomicBool::new(false);
 
         let mut out: Vec<Option<Result<R, JobError>>> = (0..total).map(|_| None).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let (next, slots, f) = (&next, &slots, &f);
+                let progress = progress.clone();
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = slots.get(i) else { break };
                     let item =
                         slot.lock().expect("slot lock").take().expect("slot claimed once");
+                    if let Some(p) = &progress {
+                        p.job_started(i);
+                        heartbeat::attach(Some(p.heartbeat(i)));
+                    }
                     let r = catch_unwind(AssertUnwindSafe(|| f(item)))
                         .map_err(|p| JobError::Panicked(panic_message(p.as_ref())));
+                    if let Some(p) = &progress {
+                        heartbeat::attach(None);
+                        p.job_finished(i, r.as_ref().err().map(|e| e.to_string()));
+                    }
                     if tx.send((i, r)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
+            if let Some(p) = &progress {
+                // Reporter: periodic progress events until the receive
+                // loop below has filed every result. Sleeps in short
+                // steps so sweep end isn't delayed by a full interval.
+                let (p, all_done) = (Arc::clone(p), &all_done);
+                scope.spawn(move || {
+                    let mut prev = vec![(0u64, 0u64); p.jobs()];
+                    let mut last = Instant::now();
+                    while !all_done.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() >= p.interval() {
+                            p.tick(&mut prev, last.elapsed());
+                            last = Instant::now();
+                        }
+                    }
+                });
+            }
             // Receive in completion order, file by index: the output is
             // ordered by construction, not by scheduling.
             for (i, r) in rx {
                 out[i] = Some(r);
             }
+            all_done.store(true, Ordering::Release);
         });
+        if let Some(p) = &progress {
+            p.finish();
+        }
         out.into_iter().map(|r| r.expect("every slot reported")).collect()
     }
 }

@@ -6,7 +6,7 @@ use haccrg::granularity::Granularity;
 use haccrg_workloads::runner::{run, RunConfig};
 use haccrg_workloads::{all_benchmarks, Scale};
 
-use crate::parallel_map;
+use crate::parallel_map_benches;
 use crate::report::{bytes, pct, Table};
 
 /// Table I: the simulated GPU configuration.
@@ -43,7 +43,7 @@ pub fn table1() -> Table {
 
 /// Table II: benchmark inputs and instruction mix.
 pub fn table2(scale: Scale) -> Table {
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let out = run(b.as_ref(), &RunConfig::base(scale)).expect("run");
         let verified = match (&out.verified, out.expect_races) {
             (Ok(()), _) => "ok".to_string(),
@@ -73,7 +73,7 @@ pub fn table2(scale: Scale) -> Table {
 /// finest-granularity count subtracted (false positives only).
 pub fn table3(scale: Scale, shared_space: bool) -> Table {
     let sweep = Granularity::table3_sweep();
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let counts: Vec<usize> = sweep
             .iter()
             .map(|&g| {
@@ -113,7 +113,7 @@ pub fn table3(scale: Scale, shared_space: bool) -> Table {
 
 /// Table IV: global shadow-memory overhead at 4-byte granularity.
 pub fn table4(scale: Scale) -> Table {
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let out = run(b.as_ref(), &RunConfig::detecting(scale)).expect("run");
         vec![
             b.name().to_string(),
@@ -136,7 +136,7 @@ pub fn table4(scale: Scale) -> Table {
 /// observes a max sync ID of 5, for REDUCE, and similarly small fence
 /// counts — 8-bit counters have enormous headroom).
 pub fn id_sizing(scale: Scale) -> Table {
-    let rows = parallel_map(all_benchmarks(), |b| {
+    let rows = parallel_map_benches(all_benchmarks(), |b| {
         let out = run(b.as_ref(), &RunConfig::detecting(scale)).expect("run");
         vec![
             b.name().to_string(),

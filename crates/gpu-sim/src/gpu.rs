@@ -20,9 +20,10 @@ use crate::isa::Kernel;
 use crate::mem::icnt::{self, Link};
 use crate::mem::slice::MemSlice;
 use crate::mem::MemReq;
+use crate::prof::{self, Counter, Phase};
 use crate::sm::{apply_global_batch, CycleOutput, LaunchContext, Sm, SmOp};
 use crate::stats::{CacheStats, DramStats, SimStats, SkipStats};
-use crate::trace::{LaunchSampler, ReqTag, SimEvent, Tracer};
+use crate::trace::{heartbeat, LaunchSampler, ReqTag, SimEvent, Tracer};
 
 /// Launch failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +150,8 @@ impl Gpu {
         block_dim: u32,
         params: &[u32],
     ) -> Result<LaunchResult, SimError> {
+        let _prof_launch = prof::scope(Phase::Launch);
+        let prof_setup = prof::scope(Phase::Setup);
         kernel.validate().map_err(SimError::InvalidKernel)?;
         if block_dim == 0 || grid == 0 {
             return Err(SimError::BadLaunch("empty launch".into()));
@@ -287,6 +290,7 @@ impl Gpu {
             n => n as usize,
         }
         .min(self.cfg.num_sms as usize);
+        drop(prof_setup);
         let outcome = if self.cfg.parallel_sms && workers > 1 {
             std::thread::scope(|scope| {
                 let pool = CyclePool::start(scope, &ctx, workers);
@@ -310,6 +314,7 @@ impl Gpu {
             mut skip,
             ..
         } = st;
+        let _prof_finish = prof::scope(Phase::Finish);
         // Restore device memory even on error so the GPU stays usable.
         self.mem = Arc::try_unwrap(mem).ok().expect("memory snapshot outstanding after launch");
         let now = outcome?;
@@ -380,6 +385,13 @@ impl Gpu {
         let flit = self.cfg.icnt.flit_bytes;
         let cycle_skip = self.cfg.cycle_skip;
 
+        // Sweep-level liveness: when the driving thread attached a
+        // heartbeat, publish coarse progress counters every few thousand
+        // simulated cycles (one branch per cycle otherwise).
+        let hb = heartbeat::current();
+        let hb_base = hb.as_ref().map(|h| h.launch_started());
+        let mut next_beat = heartbeat::BEAT_INTERVAL;
+
         let mut next_block = 0u32;
         let mut dispatch_rr = 0usize;
         let mut now = 0u64;
@@ -390,6 +402,7 @@ impl Gpu {
         loop {
             // Block dispatcher: round-robin over SMs with capacity.
             if dispatch_needed {
+                let _prof = prof::scope(Phase::Dispatch);
                 dispatch_needed = false;
                 while next_block < grid {
                     let mut placed = false;
@@ -415,6 +428,7 @@ impl Gpu {
             // mode, and additionally gated out of the compute call when
             // fast-forwarding is on — a gated call would be a provable
             // no-op (see `Sm::wake_hint`), so results are unchanged.
+            let prof_compute = prof::scope(Phase::SmCompute);
             match pool {
                 Some(p) => {
                     let det = st.det.as_ref().map(|d| (&d.clocks, d.statics()));
@@ -434,12 +448,14 @@ impl Gpu {
                     }
                 }
             }
+            drop(prof_compute);
 
             // Apply phase: merge buffered effects in SM-id order. This is
             // the only place device memory, the clock file, the global RDU
             // and the race log are mutated during a core cycle, so the
             // parallel compute phase cannot perturb results.
             {
+                let _prof = prof::scope(Phase::Apply);
                 let mem = Arc::get_mut(&mut st.mem)
                     .expect("memory snapshot outstanding during apply phase");
                 for i in 0..st.sms.len() {
@@ -460,6 +476,7 @@ impl Gpu {
             }
 
             // SM → network.
+            let prof_icnt = prof::scope(Phase::Icnt);
             for (i, sm) in st.sms.iter_mut().enumerate() {
                 for req in sm.out_req.drain(..) {
                     if let Some(tr) = self.trace.as_mut() {
@@ -493,9 +510,11 @@ impl Gpu {
                     st.slices[s].push_input(req);
                 }
             }
+            drop(prof_icnt);
 
             // Memory slices.
             {
+                let _prof = prof::scope(Phase::SliceCycle);
                 let mem = Arc::get_mut(&mut st.mem)
                     .expect("memory snapshot outstanding during slice phase");
                 for (s, slice) in st.slices.iter_mut().enumerate() {
@@ -503,6 +522,7 @@ impl Gpu {
                     // fairness bit (no responses, no trace events, no
                     // DRAM work — see `MemSlice::wake_hint`).
                     if cycle_skip && now < slice.wake_hint {
+                        let _prof = prof::scope(Phase::ArbiterSettle);
                         slice.settle_arbiter();
                         continue;
                     }
@@ -519,6 +539,7 @@ impl Gpu {
             }
 
             // Network → SMs.
+            let prof_resp = prof::scope(Phase::Respond);
             for link in &mut st.slice_egress {
                 while let Some(resp) = link.pop_ready(now) {
                     st.sm_ingress[resp.sm as usize].push(now, 1, resp);
@@ -540,12 +561,21 @@ impl Gpu {
                     st.sms[i].handle_response(resp, now, ctx, &mut st.det, &mut st.stats, &mut self.tracer);
                 }
             }
+            drop(prof_resp);
 
             now += 1;
+            prof::count(Counter::DenseCycles, 1);
+            if let (Some(h), Some(base)) = (hb.as_ref(), hb_base) {
+                if now >= next_beat {
+                    h.beat(base, now, st.stats.warp_instructions, shadow_checks(&st.stats));
+                    next_beat = now + heartbeat::BEAT_INTERVAL;
+                }
+            }
 
             // Cycle-sampled metrics: cut a delta snapshot every N cycles.
             if let Some(sp) = st.sampler.as_mut() {
                 if sp.due(now) {
+                    let _prof = prof::scope(Phase::Sampler);
                     let agg = aggregate_stats(
                         &st.stats,
                         now,
@@ -567,6 +597,10 @@ impl Gpu {
             }
 
             // Completion: all blocks dispatched and retired, all queues dry.
+            // Everything from here to the end of the iteration is loop
+            // bookkeeping (completion / guards / fast-forward), profiled
+            // as skip-logic overhead.
+            let _prof_skip = prof::scope(Phase::SkipLogic);
             if next_block >= grid && quiescent(st) {
                 break;
             }
@@ -601,6 +635,7 @@ impl Gpu {
                 target = target.min(self.cfg.watchdog_cycles.saturating_add(1));
                 if target != u64::MAX && now + 1 < target {
                     let jump = target - 1 - now;
+                    prof::count(Counter::SkippedCycles, jump);
                     st.skip.cycles_skipped += jump;
                     st.skip.skip_jumps += 1;
                     for sm in &mut st.sms {
@@ -610,8 +645,20 @@ impl Gpu {
                 }
             }
         }
+        // Final beat so the reporter sees the completed totals even for
+        // launches shorter than one beat interval.
+        if let (Some(h), Some(base)) = (hb.as_ref(), hb_base) {
+            h.beat(base, now, st.stats.warp_instructions, shadow_checks(&st.stats));
+        }
         Ok(now)
     }
+}
+
+/// Shadow-check work visible in the loop-carried stats: shared-RDU L1
+/// lookups plus global-RDU L2 accesses plus L1-hit detection probes.
+/// Heartbeat telemetry only — never part of result comparisons.
+fn shadow_checks(s: &SimStats) -> u64 {
+    s.shared_shadow_l1_accesses + s.shadow_l2_accesses + s.probe_packets
 }
 
 /// True when nothing in the launch holds live work: no SM busy, no packet

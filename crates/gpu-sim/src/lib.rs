@@ -25,6 +25,9 @@
 //!   bounded ring recorder, cycle-sampled per-SM/per-slice metrics, and
 //!   a Chrome/Perfetto trace exporter — [`trace`]. Zero-cost when
 //!   disabled (the default).
+//! * a host-side phase profiler attributing the simulator's own
+//!   wall-clock time to component phases — [`prof`]. Also zero-cost
+//!   when disabled.
 //!
 //! Simulations are fully deterministic.
 //!
@@ -66,6 +69,7 @@ pub mod exec;
 pub mod gpu;
 pub mod isa;
 pub mod mem;
+pub mod prof;
 pub mod simt;
 pub mod sm;
 pub mod stats;

@@ -156,6 +156,7 @@ impl MemSlice {
         }
 
         // DRAM progress.
+        let prof_dram = crate::prof::scope(crate::prof::Phase::Dram);
         let completions = self.dram.cycle(now);
         for c in completions {
             if self.trace_on {
@@ -184,6 +185,7 @@ impl MemSlice {
                 }
             }
         }
+        drop(prof_dram);
 
         // Release responses whose time has come.
         let mut out = Vec::new();

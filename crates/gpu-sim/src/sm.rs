@@ -32,6 +32,7 @@ use crate::isa::{Kernel, Op, Space, SpecialReg, Src};
 use crate::mem::cache::Cache;
 use crate::mem::coalesce::{bank_conflict_degree, coalesce_into, LaneAddr, LaneMask, Transaction};
 use crate::mem::{LaneAtomic, MemReq, ReqKind};
+use crate::prof::{self, Counter, Phase};
 use crate::simt::SimtStack;
 use crate::stats::SimStats;
 use crate::trace::{SimEvent, StallReason, Tracer};
@@ -642,6 +643,7 @@ impl Sm {
         det: Option<DetView<'_>>,
         out: &mut CycleOutput,
     ) {
+        let _prof = prof::scope(Phase::FetchExecute);
         let warp_size = self.cfg.warp_size;
         let nr = usize::from(ctx.kernel.num_regs);
 
@@ -1095,10 +1097,14 @@ impl Sm {
                 let conflicts = bank_conflict_degree(&lanes, self.cfg.shared_banks);
                 self.issue_free_at += u64::from(conflicts - 1);
                 out.stats.bank_conflict_cycles += u64::from(conflicts - 1);
-                self.shared_detection(
-                    cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx, det,
-                    out,
-                );
+                {
+                    let _prof = prof::scope(Phase::ShadowShared);
+                    prof::count(Counter::SharedChecks, lanes.len() as u64);
+                    self.shared_detection(
+                        cta_slot, gwarp, block_id, warp_in_block, &lanes, kind, line_tag, now, ctx,
+                        det, out,
+                    );
+                }
                 out.scratch.lanes = lanes;
                 self.warps[widx].as_mut().expect("warp live").simt.advance();
             }
@@ -1113,7 +1119,10 @@ impl Sm {
                     out.ops.push(SmOp::NoteGlobal { block: block_id });
                 }
                 let mut txs = std::mem::take(&mut out.scratch.txs);
-                coalesce_into(&lanes, self.cfg.l1.line_bytes, &mut txs);
+                {
+                    let _prof = prof::scope(Phase::Coalesce);
+                    coalesce_into(&lanes, self.cfg.l1.line_bytes, &mut txs);
+                }
                 out.stats.global_transactions += txs.len() as u64;
                 if txs.len() > 1 {
                     self.issue_free_at += txs.len() as u64 - 1;
@@ -1130,6 +1139,7 @@ impl Sm {
                 );
 
                 let mut pending = 0u32;
+                let prof_l1 = prof::scope(Phase::L1Access);
                 for tx in &txs {
                     match kind {
                         MemOpKind::Load { .. } => {
@@ -1268,6 +1278,7 @@ impl Sm {
                         }
                     }
                 }
+                drop(prof_l1);
                 out.scratch.lanes = lanes;
                 out.scratch.txs = txs;
 
@@ -1524,6 +1535,8 @@ pub(crate) fn apply_global_batch(
     scratch: &mut RaceScratch,
 ) {
     let Some(rdu) = det.global.as_mut() else { return };
+    let _prof = prof::scope(Phase::ShadowGlobal);
+    prof::count(Counter::GlobalChecks, accesses.len() as u64);
     let races_before = det.log.records().len();
 
     if is_store {

@@ -1,0 +1,128 @@
+//! Per-job liveness heartbeats.
+//!
+//! A sweep worker attaches an [`Arc<Heartbeat>`] to its thread before
+//! running a job; the cycle loop then publishes coarse progress counters
+//! (simulated cycles, warp instructions, shadow checks) every
+//! [`BEAT_INTERVAL`] simulated cycles. A progress reporter on another
+//! thread snapshots the counters to compute throughput and, crucially,
+//! watches the beat counter: a job whose beats stop advancing is wedged
+//! in a way the per-launch watchdog has not yet caught — visible stall
+//! telemetry instead of a silent hang.
+//!
+//! Everything is relaxed atomics: the readers only need freshness, not
+//! ordering, and the writer side must stay off the launch's hot path
+//! (one branch per cycle when no heartbeat is attached).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Publish a beat every this many simulated cycles.
+pub const BEAT_INTERVAL: u64 = 4096;
+
+/// Shared progress counters for one sweep job (all launches of one
+/// (workload, config) pair).
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    cycles: AtomicU64,
+    instructions: AtomicU64,
+    checks: AtomicU64,
+    launches: AtomicU64,
+    beats: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Heartbeat`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeartbeatSnapshot {
+    /// Simulated cycles completed across all launches so far.
+    pub cycles: u64,
+    /// Warp instructions executed.
+    pub instructions: u64,
+    /// Shadow-memory checks performed (shared L1 + global L2 + probes).
+    pub checks: u64,
+    /// Kernel launches started.
+    pub launches: u64,
+    /// Beats published; a stalled job stops advancing this.
+    pub beats: u64,
+}
+
+impl Heartbeat {
+    /// A zeroed heartbeat.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy the current counters.
+    pub fn snapshot(&self) -> HeartbeatSnapshot {
+        HeartbeatSnapshot {
+            cycles: self.cycles.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            checks: self.checks.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            beats: self.beats.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Note a new launch and return the accumulated (cycles,
+    /// instructions, checks) base the launch's own deltas add onto.
+    pub fn launch_started(&self) -> (u64, u64, u64) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        (
+            self.cycles.load(Ordering::Relaxed),
+            self.instructions.load(Ordering::Relaxed),
+            self.checks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Publish one beat: absolute counters = launch base + in-launch
+    /// deltas. Stores (not adds) so beats are idempotent per cycle.
+    pub fn beat(&self, base: (u64, u64, u64), cycles: u64, instructions: u64, checks: u64) {
+        self.cycles.store(base.0 + cycles, Ordering::Relaxed);
+        self.instructions.store(base.1 + instructions, Ordering::Relaxed);
+        self.checks.store(base.2 + checks, Ordering::Relaxed);
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Heartbeat>>> = const { RefCell::new(None) };
+}
+
+/// Attach (or detach, with `None`) a heartbeat to this thread. Launches
+/// run on this thread publish into it until detached.
+pub fn attach(hb: Option<Arc<Heartbeat>>) {
+    CURRENT.with(|c| *c.borrow_mut() = hb);
+}
+
+/// The heartbeat attached to this thread, if any.
+pub fn current() -> Option<Arc<Heartbeat>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_accumulate_across_launches_and_attach_is_thread_local() {
+        let hb = Arc::new(Heartbeat::new());
+        attach(Some(Arc::clone(&hb)));
+        let got = current().expect("attached");
+        let base = got.launch_started();
+        got.beat(base, 100, 40, 7);
+        got.beat(base, 250, 90, 12); // idempotent stores, not adds
+        let base2 = got.launch_started();
+        assert_eq!(base2, (250, 90, 12));
+        got.beat(base2, 50, 10, 3);
+        let s = hb.snapshot();
+        assert_eq!(s.cycles, 300);
+        assert_eq!(s.instructions, 100);
+        assert_eq!(s.checks, 15);
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.beats, 3);
+        attach(None);
+        assert!(current().is_none());
+        // Another thread sees no attachment.
+        std::thread::spawn(|| assert!(current().is_none())).join().unwrap();
+    }
+}

@@ -24,12 +24,14 @@
 //! guard).
 
 pub mod event;
+pub mod heartbeat;
 pub mod logger;
 pub mod metrics;
 pub mod perfetto;
 pub mod sink;
 
 pub use event::{ReqTag, SimEvent, StallReason};
+pub use heartbeat::{Heartbeat, HeartbeatSnapshot};
 pub use logger::Level;
 pub use metrics::{metrics_json, MetricsSample};
 pub use sink::{EventSink, NullSink, RingRecorder};

@@ -4,9 +4,16 @@
 //! carry full provenance.
 
 use gpu_sim::prelude::*;
-use gpu_sim::trace::perfetto::write_chrome_trace;
+use gpu_sim::trace::perfetto::{write_chrome_trace, write_chrome_trace_with_counters};
 use haccrg::config::DetectorConfig;
 use haccrg::prelude::RaceCategory;
+
+/// The offline build stubs `serde_json` (no real serializer), which the
+/// Perfetto exporter needs. Tests that serialize bail out there and run
+/// for real in CI.
+fn serde_is_stubbed() -> bool {
+    serde_json::to_value(0u32).is_err()
+}
 
 /// out[i] = in[i] * 3 + 1
 fn saxpyish_kernel() -> Kernel {
@@ -150,6 +157,117 @@ fn recorder_captures_the_event_lifecycle() {
     // KernelEnd is stamped with the final cycle.
     let end_cycle = events.iter().find(|(_, e)| matches!(e, SimEvent::KernelEnd { .. })).unwrap().0;
     assert!(events.iter().all(|(c, _)| *c <= end_cycle));
+}
+
+/// The metrics sampler must close the books on a launch even when its
+/// final window is shorter than the sampling interval: the last sample
+/// covers exactly `[last_boundary, final_cycle)` and the deltas still
+/// telescope to the launch aggregate. Regression test for the
+/// final-partial-window flush in `Gpu::launch`.
+#[test]
+fn final_partial_window_sample_is_emitted_exactly() {
+    // Learn the (deterministic) launch length first, unsampled.
+    let total = run_saxpyish(|_| {}).cycles;
+    assert!(total > 2, "kernel too short to split");
+
+    // An interval of `total - 1` forces one full window and a one-cycle
+    // partial remainder.
+    let interval = total - 1;
+    let mut gpu = Gpu::with_detector(GpuConfig::test_small(), DetectorConfig::paper_default());
+    gpu.tracer.set_sample_every(interval);
+    let n = 1024u32;
+    let inp = gpu.alloc(n * 4);
+    let outp = gpu.alloc(n * 4);
+    gpu.mem.copy_from_host_u32(inp, &(0..n).collect::<Vec<_>>());
+    let stats = gpu.launch(&saxpyish_kernel(), n / 64, 64, &[inp, outp]).unwrap().stats;
+    assert_eq!(stats.cycles, total, "sampling perturbed the simulation");
+
+    let samples = gpu.tracer.samples();
+    assert_eq!(samples.len(), 2, "expected one full window plus the partial flush");
+    assert_eq!(samples[0].start_cycle, 0);
+    assert_eq!(samples[0].end_cycle, interval);
+    assert_eq!(samples[1].start_cycle, interval);
+    assert_eq!(samples[1].end_cycle, total, "partial window must end at the final cycle");
+    assert_eq!(
+        samples[1].end_cycle - samples[1].start_cycle,
+        1,
+        "partial window has exactly the remainder width"
+    );
+    let mut sum = SimStats::default();
+    for s in samples {
+        sum.accumulate(&s.delta);
+    }
+    assert_eq!(sum, stats, "partial-window deltas do not telescope");
+}
+
+/// Run the saxpyish kernel with a recorder + sampler under one engine
+/// configuration and export the counter-augmented Chrome trace.
+fn counter_trace_for(cycle_skip: bool, parallel: bool) -> Vec<u8> {
+    let mut cfg = GpuConfig::test_small();
+    cfg.cycle_skip = cycle_skip;
+    if parallel {
+        cfg.parallel_sms = true;
+        cfg.sm_workers = 3;
+    }
+    let mut gpu = Gpu::with_detector(cfg, DetectorConfig::paper_default());
+    let rec = RingRecorder::shared(1 << 18);
+    gpu.tracer.install(Box::new(rec.clone()));
+    gpu.tracer.set_sample_every(50);
+    let n = 1024u32;
+    let inp = gpu.alloc(n * 4);
+    let outp = gpu.alloc(n * 4);
+    gpu.mem.copy_from_host_u32(inp, &(0..n).collect::<Vec<_>>());
+    gpu.launch(&saxpyish_kernel(), n / 64, 64, &[inp, outp]).unwrap();
+    let rec = rec.borrow();
+    let mut buf = Vec::new();
+    write_chrome_trace_with_counters(&mut buf, &rec.events(), rec.dropped(), gpu.tracer.samples())
+        .unwrap();
+    buf
+}
+
+/// The counter-augmented export must be well-formed JSON whose
+/// timestamps are monotonic per track — instant events per `(pid, tid)`
+/// lane, counter events per `(pid, name)` series — under every engine:
+/// serial dense, serial skipping, parallel skipping.
+#[test]
+fn counter_trace_is_well_formed_with_monotonic_tracks_in_every_engine() {
+    if serde_is_stubbed() {
+        return;
+    }
+    for (mode, cycle_skip, parallel) in
+        [("serial", false, false), ("skip", true, false), ("parallel", true, true)]
+    {
+        let buf = counter_trace_for(cycle_skip, parallel);
+        let doc: serde_json::Value = serde_json::from_slice(&buf)
+            .unwrap_or_else(|e| panic!("{mode}: invalid JSON: {e}"));
+        let tes = doc["traceEvents"].as_array().expect("traceEvents array");
+        let mut counters = 0usize;
+        let mut last_ts: std::collections::HashMap<(bool, u64, u64, String), u64> =
+            std::collections::HashMap::new();
+        for e in tes {
+            let ph = e["ph"].as_str().expect("ph string");
+            assert!(ph == "i" || ph == "C", "{mode}: unexpected phase {ph:?}");
+            let ts = e["ts"].as_u64().expect("u64 ts");
+            let pid = e["pid"].as_u64().expect("u64 pid");
+            let tid = e["tid"].as_u64().expect("u64 tid");
+            assert!(e["name"].is_string() && e.get("args").is_some(), "{mode}: bare event");
+            // Counter series are keyed by name; instant lanes by tid.
+            let key = if ph == "C" {
+                counters += 1;
+                (true, pid, 0, e["name"].as_str().unwrap().to_string())
+            } else {
+                (false, pid, tid, String::new())
+            };
+            if let Some(prev) = last_ts.insert(key.clone(), ts) {
+                assert!(
+                    prev <= ts,
+                    "{mode}: track {key:?} went backwards ({prev} -> {ts})"
+                );
+            }
+        }
+        assert!(counters >= 5, "{mode}: counter tracks missing from the export");
+        assert_eq!(doc["otherData"]["dropped_events"], 0, "{mode}: ring overflowed");
+    }
 }
 
 #[test]

@@ -9,7 +9,13 @@
 //! * `--shared-gran N` / `--global-gran N` — tracking granularities
 //! * `--bloom BITSxBINS` — atomic-ID shape (e.g. `16x2`, the default)
 //! * `--no-warp-filter` — treat warp re-grouping as enabled
+//! * `--quiet` — suppress the per-record listing (counters + grouped
+//!   summary only; the exit status still reports detection)
 //! * `-h` / `--help` — print usage
+//!
+//! Diagnostics go through the `HACCRG_LOG` leveled logger (levels
+//! `off|error|warn|info|debug`, default `info`), so scripted pipelines
+//! can silence them with `HACCRG_LOG=off` without losing the exit code.
 //!
 //! Unknown options are rejected with the usage message (exit status 2);
 //! exit status 1 means the trace contained races.
@@ -17,9 +23,10 @@
 use std::fs::File;
 use std::io::{self, BufReader};
 
+use gpu_sim::log_error;
 use haccrg::config::DetectorConfig;
 use haccrg::granularity::Granularity;
-use haccrg_trace::{analyze, report};
+use haccrg_trace::{analyze, report_with};
 
 const USAGE: &str = "\
 usage: haccrg-trace [FILE|-] [options]
@@ -34,7 +41,13 @@ options:
                       (power of two in [1,4096]; default 4)
   --bloom BITSxBINS   atomic-ID Bloom-filter shape (default 16x2)
   --no-warp-filter    treat warp re-grouping as enabled
+  --quiet             suppress the per-record race listing; keep the
+                      counters and the grouped static-pair summary
   -h, --help          print this message and exit
+
+environment:
+  HACCRG_LOG          diagnostic verbosity (off|error|warn|info|debug;
+                      default info)
 
 exit status: 0 = no races, 1 = races detected, 2 = usage/input error";
 
@@ -44,6 +57,7 @@ exit status: 0 = no races, 1 = races detected, 2 = usage/input error";
 struct Options {
     cfg: DetectorConfig,
     path: Option<String>,
+    quiet: bool,
 }
 
 /// Parse `args` (without the program name). `Ok(None)` means help was
@@ -51,6 +65,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut cfg = DetectorConfig::paper_default();
     let mut path: Option<String> = None;
+    let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -82,6 +97,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 cfg.warp_regrouping = true;
                 i += 1;
             }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
             "-" => {
                 if path.replace("-".into()).is_some() {
                     return Err("more than one input path given".into());
@@ -97,7 +116,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
         }
     }
-    Ok(Some(Options { cfg, path }))
+    Ok(Some(Options { cfg, path, quiet }))
 }
 
 fn main() {
@@ -109,7 +128,8 @@ fn main() {
             return;
         }
         Err(e) => {
-            eprintln!("haccrg-trace: {e}\n{USAGE}");
+            log_error!("haccrg-trace: {e}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -119,7 +139,7 @@ fn main() {
         Some(p) => match File::open(p) {
             Ok(f) => analyze(BufReader::new(f), &opts.cfg),
             Err(e) => {
-                eprintln!("cannot open {p}: {e}");
+                log_error!("cannot open {p}: {e}");
                 std::process::exit(2);
             }
         },
@@ -127,13 +147,13 @@ fn main() {
 
     match result {
         Ok(a) => {
-            print!("{}", report(&a));
+            print!("{}", report_with(&a, opts.quiet));
             if a.replayer.races().any() {
                 std::process::exit(1);
             }
         }
         Err(e) => {
-            eprintln!("trace error: {e}");
+            log_error!("trace error: {e}");
             std::process::exit(2);
         }
     }
@@ -203,5 +223,13 @@ mod tests {
     fn stdin_dash_is_accepted() {
         let o = parse_args(&argv(&["-"])).unwrap().expect("not help");
         assert_eq!(o.path.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn quiet_flag_parses_and_defaults_off() {
+        assert!(!parse_args(&[]).unwrap().expect("not help").quiet);
+        let o = parse_args(&argv(&["k.trace", "--quiet"])).unwrap().expect("not help");
+        assert!(o.quiet);
+        assert_eq!(o.path.as_deref(), Some("k.trace"));
     }
 }
