@@ -84,5 +84,33 @@ fn tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, simulate_scan, tracing_overhead);
+/// Guard for the witness-capture opt-in contract: `capture_off` is the
+/// stock detecting run (capture defaults off — the ring is never
+/// consulted), so it must stay within noise of `shared_and_global`
+/// above; `capture_on` bounds the cost of per-access ring recording
+/// when timelines are requested.
+fn witness_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("witness_overhead_scan_tiny");
+    g.sample_size(20);
+    g.bench_function("capture_off", |b| {
+        b.iter(|| {
+            black_box(run(&Scan::single_block(), &RunConfig::detecting(Scale::Tiny)).unwrap().stats.cycles)
+        })
+    });
+    g.bench_function("capture_on", |b| {
+        let mut det = DetectorConfig::paper_default();
+        det.witness_capture = true;
+        b.iter(|| {
+            black_box(
+                run(&Scan::single_block(), &RunConfig::with_detector(Scale::Tiny, det.clone()))
+                    .unwrap()
+                    .stats
+                    .cycles,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulate_scan, tracing_overhead, witness_overhead);
 criterion_main!(benches);

@@ -1,16 +1,72 @@
 //! Regenerate the §VI-A2 atomic-ID (Bloom signature) stress test over one
-//! million random lock pairs.
-//! Usage: `cargo run --release -p haccrg-bench --bin bloom_stress [--pairs N]`
+//! million random lock pairs, writing the measured-vs-analytical miss
+//! rates to `BENCH_bloom.json`.
+//! Usage: `cargo run --release -p haccrg-bench --bin bloom_stress
+//! [OUT.json] [--pairs N]`
+//!
+//! The binary asserts the acceptance floor as it writes the file: every
+//! measured miss rate within one percentage point of
+//! `BloomConfig::expected_miss_rate()` for its (bits, bins) shape. The
+//! lock-pair stream is a fixed xorshift sequence, so `measured_miss_rate`
+//! fields are bit-stable across hosts — diff the JSON after a change.
+
+use gpu_sim::{log_error, log_info};
+use haccrg_bench::figures::bloom_stress_rows;
 
 fn main() {
     let setup = haccrg_bench::RunSetup::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let pairs = args
+    let pairs: u64 = args
         .iter()
         .position(|a| a == "--pairs")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
+    let out_path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_bloom.json".into());
+
     println!("{}", haccrg_bench::figures::bloom_stress(pairs).render());
-    setup.write_manifest("bloom_stress", &[]);
+
+    let rows = bloom_stress_rows(pairs);
+    let mut configs = String::new();
+    for (i, (cfg, measured)) in rows.iter().enumerate() {
+        let expected = cfg.expected_miss_rate();
+        assert!(
+            (measured - expected).abs() < 0.01,
+            "{}x{}: measured {measured:.4} vs analytical {expected:.4}",
+            cfg.bits,
+            cfg.bins
+        );
+        configs.push_str(&format!(
+            "    {{\"bits\": {}, \"bins\": {}, \"measured_miss_rate\": {measured:.6}, \"expected_miss_rate\": {expected:.6}}}{}\n",
+            cfg.bits,
+            cfg.bins,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let env = haccrg_bench::Environment::capture().to_json();
+    let jobs = haccrg_bench::sweep::configured_jobs();
+    let cycle_skip = haccrg_workloads::runner::cycle_skip_enabled();
+    let report = format!(
+        r#"{{
+  "benchmark": "bloom_stress",
+  "produced_by": "cargo run --release -p haccrg-bench --bin bloom_stress",
+  "environment": {env},
+  "jobs": {jobs},
+  "cycle_skip": {cycle_skip},
+  "pairs": {pairs},
+  "configs": [
+{configs}  ]
+}}
+"#
+    );
+    if let Err(e) = std::fs::write(&out_path, report) {
+        log_error!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    log_info!("wrote {} signature shapes to {out_path}", rows.len());
+    setup.write_manifest("bloom_stress", &[&out_path]);
 }

@@ -1,16 +1,38 @@
 //! Regenerate §VI-A: real races + the 41-fault injection campaign.
-//! Usage: `cargo run --release -p haccrg-bench --bin effectiveness [--scale …] [--jobs N]`
+//! Usage: `cargo run --release -p haccrg-bench --bin effectiveness
+//! [--scale …] [--jobs N] [--fidelity-out FILE]`
+//!
+//! `--fidelity-out FILE` additionally writes the miss-forensics report:
+//! the campaign audited against its own injection plan (each miss
+//! attributed to a detector loss channel via the health counters) plus
+//! the Bloom-aliasing probe sweep — see [`haccrg_bench::fidelity`].
 
 use haccrg_bench::effectiveness::{campaign_table, real_races, run_campaign};
+use haccrg_bench::fidelity::fidelity_report;
 
 fn main() {
     let setup = haccrg_bench::RunSetup::from_args();
     let scale = setup.scale;
+    let args: Vec<String> = std::env::args().collect();
+    let fidelity_out = args
+        .iter()
+        .position(|a| a == "--fidelity-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     println!("{}", real_races(scale).render());
     let results = run_campaign(scale);
     println!("{}", campaign_table(&results).render());
     for r in results.iter().filter(|r| !r.detected) {
         println!("MISSED: {}", r.label);
     }
-    setup.write_suite_manifest("effectiveness", &[]);
+    if let Some(path) = &fidelity_out {
+        let report = fidelity_report(&results, scale);
+        std::fs::write(path, report).unwrap_or_else(|e| {
+            gpu_sim::log_error!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        gpu_sim::log_info!("wrote fidelity report to {path}");
+    }
+    let artifacts: Vec<&str> = fidelity_out.as_deref().into_iter().collect();
+    setup.write_suite_manifest("effectiveness", &artifacts);
 }

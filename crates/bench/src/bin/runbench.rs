@@ -208,6 +208,23 @@ fn main() {
         "detector  : {} shadow L2 accesses, {} probes, {} reset-stall cycles",
         s.shadow_l2_accesses, s.probe_packets, s.shadow_reset_stall_cycles
     );
+    let h = &s.health;
+    println!(
+        "health    : bloom {} aliased / {} suppressed, {} id-collisions, {} shadow pages",
+        h.bloom_insert_aliased, h.bloom_suppressed_conflicts, h.id_truncation_collisions,
+        h.shadow_pages_allocated
+    );
+    if s.detector_skipped_checks > 0 || h.log_dropped > 0 {
+        println!(
+            "LOSS      : {} checks skipped, {} race records dropped — detection is incomplete",
+            s.detector_skipped_checks, h.log_dropped
+        );
+        log_warn!(
+            "detector lost coverage: {} skipped checks, {} dropped race records",
+            s.detector_skipped_checks,
+            h.log_dropped
+        );
+    }
     println!(
         "fast-fwd  : {} cycles skipped in {} jumps, {} SM-idle cycles",
         out.skip.cycles_skipped,
@@ -233,7 +250,14 @@ fn main() {
         }
     }
     if let Some(path) = &races_out {
-        if let Err(e) = std::fs::write(path, haccrg_bench::report::race_groups_json(&groups)) {
+        let doc = haccrg_bench::report::races_json(
+            &groups,
+            out.races.distinct(),
+            out.races.total(),
+            s.health.log_dropped,
+            s.detector_skipped_checks,
+        );
+        if let Err(e) = std::fs::write(path, doc) {
             log_error!("cannot write {path}: {e}");
             std::process::exit(1);
         }

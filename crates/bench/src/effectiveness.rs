@@ -5,7 +5,8 @@
 //! must detect.
 
 use haccrg::access::MemSpace;
-use haccrg::prelude::RaceCategory;
+use haccrg::config::DetectorConfig;
+use haccrg::prelude::{DetectorHealth, RaceCategory};
 use haccrg_workloads::hash::{hash_of, Hash};
 use haccrg_workloads::inject::{apply, Injection};
 use haccrg_workloads::kmeans::KMeans;
@@ -29,7 +30,8 @@ pub enum InjKind {
 }
 
 impl InjKind {
-    fn label(self) -> &'static str {
+    /// Human-readable category name (tables, fidelity JSON).
+    pub fn label(self) -> &'static str {
         match self {
             InjKind::Barrier => "barrier removal",
             InjKind::CrossBlock => "cross-block access",
@@ -172,12 +174,29 @@ pub struct InjectionResult {
     /// The fresh race records the injection produced (full provenance:
     /// cycle, SM, warp, and both access PCs), for reporting.
     pub fresh: Vec<haccrg::prelude::RaceRecord>,
+    /// Detector-fidelity health counters of the *injected* run — the
+    /// evidence the miss auditor ([`crate::fidelity`]) attributes an
+    /// undetected plant with.
+    pub health: DetectorHealth,
+    /// Lockset checks the injected run skipped outright (per-SM RDU
+    /// budget exhaustion), a loss channel recorded outside the health
+    /// block.
+    pub skipped_checks: u64,
 }
 
-/// Execute one plan: run clean, run injected, compare.
+/// Execute one plan under the paper-default detector: run clean, run
+/// injected, compare.
 pub fn run_plan(p: &Plan, scale: Scale) -> InjectionResult {
-    let clean = run(p.bench.as_ref(), &RunConfig::detecting(scale)).expect("clean run");
-    let cfg = RunConfig::detecting(scale);
+    run_plan_with(p, scale, DetectorConfig::paper_default())
+}
+
+/// Execute one plan under an explicit detector configuration — the miss
+/// auditor sweeps the same plant across Bloom widths and exact-lockset
+/// semantics to separate "the detector cannot see it" from "this
+/// signature configuration aliased it away".
+pub fn run_plan_with(p: &Plan, scale: Scale, det: DetectorConfig) -> InjectionResult {
+    let clean = run(p.bench.as_ref(), &RunConfig::with_detector(scale, det)).expect("clean run");
+    let cfg = RunConfig::with_detector(scale, det);
     let mut gpu = Gpu::new(cfg.gpu);
     gpu.set_detector(cfg.detector);
     let mut inst = p.bench.prepare(&mut gpu, scale);
@@ -203,6 +222,8 @@ pub fn run_plan(p: &Plan, scale: Scale) -> InjectionResult {
         new_distinct: fresh.len(),
         categories,
         fresh: fresh.into_iter().copied().collect(),
+        health: injected.stats.health,
+        skipped_checks: injected.stats.detector_skipped_checks,
     }
 }
 
@@ -228,6 +249,8 @@ pub fn run_campaign(scale: Scale) -> Vec<InjectionResult> {
                 new_distinct: 0,
                 categories: Vec::new(),
                 fresh: Vec::new(),
+                health: DetectorHealth::default(),
+                skipped_checks: 0,
             },
         })
         .collect()

@@ -180,24 +180,32 @@ pub fn tlb_ablation(scale: Scale, main_entries: usize, ways: usize, shadow_entri
     t
 }
 
+/// The signature shapes the §VI-A2 stress sweeps: 8/16/32 bits crossed
+/// with 2/4 bins (the paper default is 16×2).
+pub const BLOOM_STRESS_CONFIGS: [BloomConfig; 6] = [
+    BloomConfig { bits: 8, bins: 2 },
+    BloomConfig { bits: 8, bins: 4 },
+    BloomConfig { bits: 16, bins: 2 },
+    BloomConfig { bits: 16, bins: 4 },
+    BloomConfig { bits: 32, bins: 2 },
+    BloomConfig { bits: 32, bins: 4 },
+];
+
+/// Measured miss rate per stress config: `(config, measured)`. The
+/// analytical companion is `config.expected_miss_rate()`.
+pub fn bloom_stress_rows(pairs: u64) -> Vec<(BloomConfig, f64)> {
+    BLOOM_STRESS_CONFIGS.iter().map(|&cfg| (cfg, measure_miss_rate(cfg, pairs))).collect()
+}
+
 /// §VI-A2 — the atomic-ID (Bloom signature) stress test: over a million
 /// random distinct lock pairs, the fraction whose signatures collide (a
 /// collision makes HAccRG *miss* that race).
 pub fn bloom_stress(pairs: u64) -> Table {
-    let configs = [
-        BloomConfig { bits: 8, bins: 2 },
-        BloomConfig { bits: 8, bins: 4 },
-        BloomConfig { bits: 16, bins: 2 },
-        BloomConfig { bits: 16, bins: 4 },
-        BloomConfig { bits: 32, bins: 2 },
-        BloomConfig { bits: 32, bins: 4 },
-    ];
     let mut t = Table::new(
         "§VI-A2 — atomic-ID accuracy stress (missed races over random lock pairs)",
         &["signature", "bins", "measured miss", "analytical"],
     );
-    for cfg in configs {
-        let missed = measure_miss_rate(cfg, pairs);
+    for (cfg, missed) in bloom_stress_rows(pairs) {
         t.row(vec![
             format!("{}-bit", cfg.bits),
             cfg.bins.to_string(),

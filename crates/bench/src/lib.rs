@@ -21,6 +21,7 @@
 
 pub mod cycleskip;
 pub mod effectiveness;
+pub mod fidelity;
 pub mod figures;
 pub mod manifest;
 pub mod progress;

@@ -170,9 +170,47 @@ pub fn race_groups_json(groups: &[haccrg::prelude::RaceGroup]) -> String {
     out
 }
 
+/// Schema version of the [`races_json`] document.
+pub const RACES_SCHEMA: u32 = 1;
+
+/// The `--races-out` document: the grouped races plus the detector loss
+/// counters a consumer needs before trusting "N races" at face value — a
+/// nonzero `log_dropped` or `detector_skipped_checks` means the run may
+/// have seen more conflicts than it recorded (see
+/// [`haccrg::prelude::DetectorHealth`]).
+pub fn races_json(
+    groups: &[haccrg::prelude::RaceGroup],
+    distinct: usize,
+    dynamic: u64,
+    log_dropped: u64,
+    skipped_checks: u64,
+) -> String {
+    format!(
+        "{{\n\
+         \"schema\": {RACES_SCHEMA},\n\
+         \"distinct\": {distinct},\n\
+         \"dynamic\": {dynamic},\n\
+         \"log_dropped\": {log_dropped},\n\
+         \"detector_skipped_checks\": {skipped_checks},\n\
+         \"groups\": {}}}\n",
+        race_groups_json(groups)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn races_json_wraps_groups_with_loss_counters() {
+        let j = races_json(&[], 0, 0, 3, 7);
+        assert!(j.contains("\"schema\": 1"), "{j}");
+        assert!(j.contains("\"log_dropped\": 3"), "{j}");
+        assert!(j.contains("\"detector_skipped_checks\": 7"), "{j}");
+        assert!(j.contains("\"groups\": ["), "{j}");
+        let opens = j.matches('{').count();
+        assert_eq!(opens, j.matches('}').count(), "{j}");
+    }
 
     #[test]
     fn table_renders_aligned() {

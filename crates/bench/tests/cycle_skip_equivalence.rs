@@ -2,8 +2,8 @@
 //! bit-identical to the dense loop. Every bundled workload is run three
 //! ways — serial dense, serial skipping, parallel skipping — and every
 //! observable output is compared: final statistics (including cycle
-//! counts), race logs (records, static groups, totals, dedup counts),
-//! sync/fence ID
+//! counts and the detector health counters), race logs (records, static
+//! groups, witness timelines, totals, dedup counts), sync/fence ID
 //! high-water marks, live device-memory contents, the full traced event
 //! stream, and the cycle-sampled metrics series (modulo the two
 //! skip-accounting counters, which are the only fields allowed to
@@ -13,7 +13,7 @@ use gpu_sim::detector::DetectorMode;
 use gpu_sim::device::HEAP_BASE;
 use gpu_sim::prelude::*;
 use haccrg::config::DetectorConfig;
-use haccrg::prelude::{RaceGroup, RaceRecord};
+use haccrg::prelude::{RaceGroup, RaceRecord, WitnessEvent};
 use haccrg_workloads::runner::run_instance;
 use haccrg_workloads::{all_benchmarks, Benchmark, Scale};
 
@@ -22,6 +22,8 @@ struct Observed {
     stats: SimStats,
     race_records: Vec<RaceRecord>,
     race_groups: Vec<RaceGroup>,
+    /// Per-record witness timelines (index-aligned with `race_records`).
+    witnesses: Vec<Vec<WitnessEvent>>,
     races_total: u64,
     max_sync_id: u8,
     max_fence_id: u8,
@@ -41,10 +43,11 @@ fn observe(bench: &dyn Benchmark, detect: bool, cycle_skip: bool, parallel: bool
     }
     let mut gpu = Gpu::new(cfg);
     if detect {
-        gpu.set_detector(Some(DetectorSetup {
-            cfg: DetectorConfig::paper_default(),
-            mode: DetectorMode::Hardware,
-        }));
+        // Witness capture on: the timelines (and the health counters in
+        // SimStats) are observables too, and must be engine-independent.
+        let mut det = DetectorConfig::paper_default();
+        det.witness_capture = true;
+        gpu.set_detector(Some(DetectorSetup { cfg: det, mode: DetectorMode::Hardware }));
     }
     let rec = RingRecorder::shared(1 << 20);
     gpu.tracer.install(Box::new(rec.clone()));
@@ -57,6 +60,7 @@ fn observe(bench: &dyn Benchmark, detect: bool, cycle_skip: bool, parallel: bool
         stats: out.stats,
         race_records: out.races.records().to_vec(),
         race_groups: out.races.groups(),
+        witnesses: out.races.witnesses().to_vec(),
         races_total: out.races.total(),
         max_sync_id: out.max_sync_id,
         max_fence_id: out.max_fence_id,
@@ -80,6 +84,11 @@ fn assert_equivalent(name: &str, mode: &str, dense: &Observed, skip: &Observed) 
     assert_eq!(dense.stats, skip.stats, "{name}/{mode}: SimStats diverged");
     assert_eq!(dense.race_records, skip.race_records, "{name}/{mode}: race records diverged");
     assert_eq!(dense.race_groups, skip.race_groups, "{name}/{mode}: race groups diverged");
+    assert_eq!(dense.witnesses, skip.witnesses, "{name}/{mode}: witness timelines diverged");
+    assert_eq!(
+        dense.stats.health, skip.stats.health,
+        "{name}/{mode}: detector health counters diverged"
+    );
     assert_eq!(dense.races_total, skip.races_total, "{name}/{mode}: race totals diverged");
     assert_eq!(dense.max_sync_id, skip.max_sync_id, "{name}/{mode}: sync IDs diverged");
     assert_eq!(dense.max_fence_id, skip.max_fence_id, "{name}/{mode}: fence IDs diverged");

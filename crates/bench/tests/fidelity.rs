@@ -1,0 +1,58 @@
+//! The issue's acceptance scenario for miss forensics: a race planted by
+//! [`haccrg_bench::fidelity::aliasing_probes`] is *missed* under an
+//! 8-bit/2-bin Bloom signature and attributed to `bloom_aliasing` in the
+//! `--fidelity-out` JSON, while the identical plant under exact lockset
+//! semantics (and under the paper-default 16-bit signature) is detected.
+
+use haccrg::config::DetectorConfig;
+use haccrg_bench::fidelity::{
+    aliasing_probes, audit_under, exact_lockset, fidelity_json, narrow_bloom, MissCause, Section,
+};
+use haccrg_workloads::Scale;
+
+#[test]
+fn aliased_miss_is_attributed_and_exact_semantics_detect_it() {
+    let narrow = audit_under(&aliasing_probes(Scale::Tiny), Scale::Tiny, narrow_bloom());
+    assert_eq!(narrow.len(), 2, "two planted aliasing probes");
+    for a in &narrow {
+        assert!(!a.detected, "{}: must be missed under the 8-bit/2-bin Bloom", a.label);
+        assert_eq!(
+            a.cause,
+            Some(MissCause::BloomAliasing),
+            "{}: health evidence {:?} skipped={}",
+            a.label,
+            a.health,
+            a.skipped_checks
+        );
+        assert!(a.health.bloom_suppressed_conflicts > 0);
+    }
+
+    let exact = audit_under(&aliasing_probes(Scale::Tiny), Scale::Tiny, exact_lockset());
+    for a in &exact {
+        assert!(a.detected, "{}: exact lockset semantics must detect the plant", a.label);
+        assert_eq!(a.cause, None);
+    }
+
+    // The JSON report carries the attribution the way downstream tooling
+    // (and the CI schema check) consumes it.
+    let j = fidelity_json(
+        Scale::Tiny,
+        &[
+            Section { name: "narrow".into(), detector: narrow_bloom(), audits: narrow },
+            Section { name: "exact".into(), detector: exact_lockset(), audits: exact },
+        ],
+    );
+    assert!(j.contains("\"cause\": \"bloom_aliasing\""), "{j}");
+    assert!(j.contains("\"missed\": 2"), "{j}");
+    assert!(j.contains("\"missed\": 0"), "{j}");
+    assert!(j.contains("\"exact_lockset\": true"), "{j}");
+}
+
+#[test]
+fn paper_default_signature_separates_the_probe_locks() {
+    let audits =
+        audit_under(&aliasing_probes(Scale::Tiny), Scale::Tiny, DetectorConfig::paper_default());
+    for a in &audits {
+        assert!(a.detected, "{}: 16-bit/2-bin gives the locks distinct indices", a.label);
+    }
+}

@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bloom::BloomSig;
+use crate::locktable::LockTable;
 
 /// Identity of the accessing thread in the GPU thread hierarchy.
 ///
@@ -109,6 +110,12 @@ pub struct MemAccess {
     /// Bloom-filter signature of the locks currently held (§III-B);
     /// empty when the thread holds no locks.
     pub atomic_sig: BloomSig,
+    /// Exact set of held locks (§III-B's lookup-table alternative),
+    /// populated by producers that track it (simulator, replayer).
+    /// Empty-while-in-critical-section means the producer did not supply
+    /// exact information and only the Bloom signature can be trusted.
+    #[serde(default)]
+    pub locks: LockTable<4>,
     /// True when issued between critical-section markers.
     pub in_critical_section: bool,
     /// True when a global read was satisfied by the (non-coherent) L1 data
@@ -136,6 +143,7 @@ impl MemAccess {
             sync_id: 0,
             fence_id: 0,
             atomic_sig: BloomSig::EMPTY,
+            locks: LockTable::EMPTY,
             in_critical_section: false,
             l1_hit: false,
             l1_fill_cycle: 0,
@@ -160,6 +168,13 @@ impl MemAccess {
     pub fn locked(mut self, sig: BloomSig) -> Self {
         self.atomic_sig = sig;
         self.in_critical_section = true;
+        self
+    }
+
+    /// Builder-style setter attaching the exact lockset alongside the
+    /// Bloom signature (enables exact-mode checks and miss attribution).
+    pub fn with_locks(mut self, locks: LockTable<4>) -> Self {
+        self.locks = locks;
         self
     }
 

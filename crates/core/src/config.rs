@@ -39,6 +39,17 @@ pub struct DetectorConfig {
     pub shared_shadow: SharedShadowPlacement,
     /// Report cross-SM RAW races on stale L1 hits (§IV-B).
     pub l1_stale_check: bool,
+    /// Use the exact lookup-table lockset (§III-B's alternative) instead
+    /// of the Bloom signature wherever exact information is available.
+    /// No aliasing, hence no aliasing-induced misses; accesses lacking
+    /// exact lockset data fall back to the Bloom check.
+    #[serde(default)]
+    pub exact_lockset: bool,
+    /// Record a windowed access history in each RDU and attach bounded
+    /// witness timelines to detected races (fidelity introspection; off
+    /// in the paper's hardware, hence off by default).
+    #[serde(default)]
+    pub witness_capture: bool,
 }
 
 impl Default for DetectorConfig {
@@ -60,6 +71,8 @@ impl DetectorConfig {
             warp_regrouping: false,
             shared_shadow: SharedShadowPlacement::Hardware,
             l1_stale_check: true,
+            exact_lockset: false,
+            witness_capture: false,
         }
     }
 

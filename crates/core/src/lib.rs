@@ -58,6 +58,7 @@ pub mod config;
 pub mod cost;
 pub mod global_rdu;
 pub mod granularity;
+pub mod health;
 pub mod intra_warp;
 pub mod lockset;
 pub mod locktable;
@@ -77,7 +78,9 @@ pub mod prelude {
     pub use crate::config::{DetectorConfig, SharedShadowPlacement};
     pub use crate::global_rdu::{GlobalRdu, ShadowTraffic};
     pub use crate::granularity::Granularity;
+    pub use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_CAP};
     pub use crate::lockset::AtomicIdRegister;
+    pub use crate::locktable::LockTable;
     pub use crate::race::{group_races, RaceCategory, RaceGroup, RaceKind, RaceLog, RaceRecord};
     pub use crate::scratch::RaceScratch;
     pub use crate::shadow::{ShadowEntry, ShadowPolicy, ShadowState};

@@ -10,12 +10,18 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bloom::{BloomConfig, BloomSig};
+use crate::locktable::LockTable;
 
 /// One thread's lock-tracking register.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct AtomicIdRegister {
     sig: BloomSig,
     depth: u32,
+    /// Exact shadow of the held locks (§III-B's lookup-table alternative),
+    /// maintained alongside the signature so exact-lockset mode and the
+    /// insert-aliasing health counter both have ground truth.
+    #[serde(default)]
+    locks: LockTable<4>,
 }
 
 impl AtomicIdRegister {
@@ -23,6 +29,11 @@ impl AtomicIdRegister {
     /// critical section).
     pub fn signature(&self) -> BloomSig {
         self.sig
+    }
+
+    /// The exact set of held locks (capacity-bounded; saturates past 4).
+    pub fn locks(&self) -> &LockTable<4> {
+        &self.locks
     }
 
     /// Whether the thread is inside at least one critical section.
@@ -36,10 +47,17 @@ impl AtomicIdRegister {
     }
 
     /// The thread acquired `lock_addr` (marker inserted after the lock
-    /// acquire's atomic succeeds).
-    pub fn acquire(&mut self, lock_addr: u32, cfg: BloomConfig) {
+    /// acquire's atomic succeeds). Returns `true` when the insert
+    /// *aliased*: a lock not already held set no new signature bit, so
+    /// from here on the Bloom filter cannot distinguish it from the set
+    /// already represented (§VI-A2's miss channel, at the insert side).
+    pub fn acquire(&mut self, lock_addr: u32, cfg: BloomConfig) -> bool {
+        let before = self.sig;
+        let known = self.locks.contains(lock_addr) || self.locks.saturated();
         self.sig.insert(lock_addr, cfg);
+        self.locks.insert(lock_addr);
         self.depth += 1;
+        !known && self.sig == before && !before.is_empty()
     }
 
     /// The thread is about to release a lock (marker inserted before the
@@ -50,12 +68,14 @@ impl AtomicIdRegister {
         self.depth = self.depth.saturating_sub(1);
         if self.depth == 0 {
             self.sig.clear();
+            self.locks.clear();
         }
     }
 
     /// Force-clear (kernel exit with unbalanced markers).
     pub fn reset(&mut self) {
         self.sig.clear();
+        self.locks.clear();
         self.depth = 0;
     }
 }
@@ -98,6 +118,35 @@ mod tests {
         assert!(r.in_critical_section());
         r.release();
         assert!(r.signature().is_empty());
+    }
+
+    #[test]
+    fn acquire_reports_insert_aliasing() {
+        // 8-bit / 2-bin: bin width 4, so lock words 16 bytes apart map to
+        // the same bits in both bins.
+        let small = BloomConfig { bits: 8, bins: 2 };
+        let mut r = AtomicIdRegister::default();
+        assert!(!r.acquire(0x100, small), "first insert always sets bits");
+        assert!(r.acquire(0x110, small), "aliasing distinct lock is flagged");
+        assert!(!r.acquire(0x110, small), "re-acquiring a held lock is not aliasing");
+        assert_eq!(r.locks().len(), 2, "the exact table still sees both locks");
+        r.reset();
+        let mut r = AtomicIdRegister::default();
+        assert!(!r.acquire(0x100, CFG));
+        assert!(!r.acquire(0x110, CFG), "paper-default 16x2 separates them");
+    }
+
+    #[test]
+    fn exact_table_tracks_and_clears_with_the_signature() {
+        let mut r = AtomicIdRegister::default();
+        r.acquire(0x100, CFG);
+        r.acquire(0x204, CFG);
+        assert!(r.locks().contains(0x100));
+        assert!(r.locks().contains(0x204));
+        r.release();
+        assert!(r.locks().contains(0x100), "exact table mirrors wholesale-clear semantics");
+        r.release();
+        assert!(r.locks().is_empty());
     }
 
     #[test]

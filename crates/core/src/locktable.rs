@@ -7,13 +7,15 @@
 //! thread, with exact set semantics (no aliasing, hence no missed races)
 //! but bounded capacity and much larger storage per thread.
 
+use serde::{Deserialize, Serialize};
+
 /// Exact lockset held in a small content-addressable table.
 ///
 /// `CAP` is the hardware table depth. Real GPU kernels nest at most a few
 /// locks (§III-B cites [22, 28]); overflow falls back to *saturated*
 /// state, which conservatively intersects as "maybe common" so the
 /// detector never gains false positives from overflow.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LockTable<const CAP: usize = 4> {
     entries: [u32; CAP],
     len: u8,
@@ -28,6 +30,9 @@ impl<const CAP: usize> Default for LockTable<CAP> {
 }
 
 impl<const CAP: usize> LockTable<CAP> {
+    /// Empty table, usable in `const` contexts (shadow-entry `FRESH`).
+    pub const EMPTY: Self = Self { entries: [0; CAP], len: 0, saturated: false };
+
     /// Empty table.
     pub fn new() -> Self {
         Self::default()

@@ -13,6 +13,7 @@
 //! unpacked form carries full-width values, so packing is lossy exactly
 //! where the paper's hardware is.
 
+use crate::access::ThreadCoord;
 use crate::bloom::BloomSig;
 use crate::shadow::ShadowEntry;
 
@@ -77,10 +78,27 @@ pub fn unpack(w: u64, warp_size: u32) -> ShadowEntry {
         sync_id: field(w, SYNC, SYNC_BITS) as u8,
         fence_id: field(w, FENCE, FENCE_BITS) as u8,
         atomic_sig: BloomSig(field(w, ATOMIC, ATOMIC_BITS) as u32),
+        locks: crate::locktable::LockTable::EMPTY,
+        locks_known: false,
         protected: field(w, PROTECTED, 1) != 0,
         write_cycle: 0,
         pc: 0,
     }
+}
+
+/// Whether the §VI-C2 packed field widths would conflate the recorded
+/// accessor with `cur`: the truncated `(tid mod 1024, bid mod 8, sid mod
+/// 32)` triples match while the full-width identities differ. The unpacked
+/// simulator still distinguishes the two threads — this predicate reports
+/// how often packed hardware would not have, which is a fidelity-loss
+/// channel on grids larger than the field widths.
+pub fn id_truncation_collision(recorded: &ShadowEntry, cur: &ThreadCoord) -> bool {
+    let full_differ =
+        recorded.tid != cur.tid || recorded.block != cur.block || recorded.sm != cur.sm;
+    let truncated_match = recorded.tid & 0x3FF == cur.tid & 0x3FF
+        && recorded.block & 0x7 == cur.block & 0x7
+        && recorded.sm & 0x1F == cur.sm & 0x1F;
+    full_differ && truncated_match
 }
 
 #[cfg(test)]
@@ -97,6 +115,23 @@ mod tests {
         assert_eq!(layout::ATOMIC, 36);
         assert_eq!(layout::PROTECTED, 52);
         const { assert!(PACKED_BITS <= 64) };
+    }
+
+    #[test]
+    fn truncation_collision_requires_matching_truncated_triple() {
+        let mut e = FRESH;
+        e.tid = 5;
+        e.block = 2;
+        e.sm = 3;
+        // Identical thread: not a collision (same identity, no conflation).
+        assert!(!id_truncation_collision(&e, &ThreadCoord::new(5, 0, 2, 3)));
+        // tid differs by exactly 1024 with bid/sid equal: hardware would
+        // see the same packed triple.
+        assert!(id_truncation_collision(&e, &ThreadCoord::new(5 + 1024, 0, 2, 3)));
+        // bid wraps modulo 8.
+        assert!(id_truncation_collision(&e, &ThreadCoord::new(5, 0, 2 + 8, 3)));
+        // A genuinely distinguishable thread is not flagged.
+        assert!(!id_truncation_collision(&e, &ThreadCoord::new(6, 0, 2, 3)));
     }
 
     #[test]
@@ -130,6 +165,8 @@ mod tests {
                 sync_id,
                 fence_id,
                 atomic_sig: BloomSig(sig),
+                locks: crate::locktable::LockTable::EMPTY,
+                locks_known: false,
                 protected,
                 write_cycle: 0,
                 pc: 0,

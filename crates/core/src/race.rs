@@ -8,6 +8,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::access::{MemSpace, ThreadCoord};
+use crate::health::WitnessEvent;
 
 /// Hazard kind, named as in Fig. 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -148,10 +149,19 @@ impl fmt::Display for RaceRecord {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RaceLog {
     records: Vec<RaceRecord>,
+    /// Witness timeline per retained record (empty unless witness
+    /// capture was enabled at detection time); kept index-aligned with
+    /// `records`.
+    #[serde(default)]
+    witnesses: Vec<Vec<WitnessEvent>>,
     #[serde(skip)]
     seen: HashSet<(MemSpace, u32, RaceKind, RaceCategory, u32)>,
     distinct: usize,
     total: u64,
+    /// New distinct races whose records could not be retained because
+    /// the log was at capacity. Silent before; now counted and surfaced.
+    #[serde(default)]
+    dropped: u64,
     capacity: usize,
 }
 
@@ -167,15 +177,24 @@ impl RaceLog {
     pub fn new(capacity: usize) -> Self {
         Self {
             records: Vec::new(),
+            witnesses: Vec::new(),
             seen: HashSet::new(),
             distinct: 0,
             total: 0,
+            dropped: 0,
             capacity,
         }
     }
 
     /// Record a race. Returns `true` if it was a *new distinct* race.
     pub fn push(&mut self, r: RaceRecord) -> bool {
+        self.push_with_witness(r, &[])
+    }
+
+    /// Record a race together with its witness timeline (the recent
+    /// accesses to the racy chunk the RDU's witness ring captured).
+    /// Returns `true` if it was a *new distinct* race.
+    pub fn push_with_witness(&mut self, r: RaceRecord, witness: &[WitnessEvent]) -> bool {
         self.total += 1;
         let key = (r.space, r.addr, r.kind, r.category, r.pc);
         let fresh = self.seen.insert(key);
@@ -183,6 +202,9 @@ impl RaceLog {
             self.distinct += 1;
             if self.records.len() < self.capacity {
                 self.records.push(r);
+                self.witnesses.push(witness.to_vec());
+            } else {
+                self.dropped += 1;
             }
         }
         fresh
@@ -191,6 +213,23 @@ impl RaceLog {
     /// All retained distinct records.
     pub fn records(&self) -> &[RaceRecord] {
         &self.records
+    }
+
+    /// Witness timelines, index-aligned with [`Self::records`]. Empty
+    /// slices for records detected without witness capture.
+    pub fn witnesses(&self) -> &[Vec<WitnessEvent>] {
+        &self.witnesses
+    }
+
+    /// Witness timeline of retained record `idx` (empty when capture
+    /// was off or the index is out of range).
+    pub fn witness_of(&self, idx: usize) -> &[WitnessEvent] {
+        self.witnesses.get(idx).map_or(&[], |w| w.as_slice())
+    }
+
+    /// New distinct races whose records were dropped at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of distinct races (the paper's reporting unit).
@@ -221,18 +260,22 @@ impl RaceLog {
     /// Clear everything (kernel relaunch).
     pub fn clear(&mut self) {
         self.records.clear();
+        self.witnesses.clear();
         self.seen.clear();
         self.distinct = 0;
         self.total = 0;
+        self.dropped = 0;
     }
 
-    /// Merge another log into this one, preserving distinctness.
+    /// Merge another log into this one, preserving distinctness and
+    /// carrying witness timelines and drop counts along.
     pub fn absorb(&mut self, other: &RaceLog) {
-        for r in other.records() {
-            self.push(*r);
+        for (i, r) in other.records().iter().enumerate() {
+            self.push_with_witness(*r, other.witness_of(i));
         }
         // Dynamic occurrences beyond the other's retained records.
         self.total += other.total - other.records.len() as u64;
+        self.dropped += other.dropped;
     }
 
     /// Fold `n` extra dynamic occurrences into the total without touching
@@ -434,6 +477,58 @@ mod tests {
         assert_eq!(log.records().len(), 2);
         assert_eq!(log.distinct(), 10);
         assert_eq!(log.total(), 10);
+        assert_eq!(log.dropped(), 8, "saturation is counted, not silent");
+    }
+
+    #[test]
+    fn duplicates_do_not_count_as_drops() {
+        let mut log = RaceLog::new(1);
+        log.push(rec(0, 0, RaceKind::Raw));
+        log.push(rec(0, 0, RaceKind::Raw)); // duplicate: dedup, not a drop
+        assert_eq!(log.dropped(), 0);
+        log.push(rec(4, 0, RaceKind::Raw)); // fresh but at capacity
+        assert_eq!(log.dropped(), 1);
+        log.clear();
+        assert_eq!(log.dropped(), 0, "clear resets the drop count");
+    }
+
+    fn witness(cycle: u64, addr: u32) -> crate::health::WitnessEvent {
+        crate::health::WitnessEvent {
+            cycle,
+            who: ThreadCoord::new(0, 0, 0, 0),
+            pc: 1,
+            kind: crate::access::AccessKind::Write,
+            addr,
+            state_before: crate::shadow::ShadowState::Fresh,
+            state_after: crate::shadow::ShadowState::Written,
+        }
+    }
+
+    #[test]
+    fn witness_timelines_ride_with_their_records() {
+        let mut log = RaceLog::default();
+        assert!(log.push_with_witness(rec(4, 1, RaceKind::Raw), &[witness(10, 4)]));
+        assert!(log.push(rec(8, 1, RaceKind::Raw)));
+        assert_eq!(log.witnesses().len(), 2);
+        assert_eq!(log.witness_of(0).len(), 1);
+        assert_eq!(log.witness_of(0)[0].cycle, 10);
+        assert!(log.witness_of(1).is_empty());
+        assert!(log.witness_of(99).is_empty(), "out of range reads empty");
+        // Duplicates keep the original witness.
+        assert!(!log.push_with_witness(rec(4, 1, RaceKind::Raw), &[witness(20, 4)]));
+        assert_eq!(log.witness_of(0)[0].cycle, 10);
+    }
+
+    #[test]
+    fn absorb_transfers_witnesses_and_drops() {
+        let mut a = RaceLog::default();
+        let mut b = RaceLog::new(1);
+        b.push_with_witness(rec(0, 0, RaceKind::Raw), &[witness(5, 0)]);
+        b.push(rec(4, 0, RaceKind::Raw)); // dropped in b
+        a.absorb(&b);
+        assert_eq!(a.distinct(), 1, "only b's retained record transfers");
+        assert_eq!(a.witness_of(0).len(), 1);
+        assert_eq!(a.dropped(), 1, "b's drop count carries over");
     }
 
     #[test]

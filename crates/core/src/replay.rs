@@ -14,6 +14,7 @@ use crate::access::{MemAccess, MemSpace};
 use crate::clocks::ClockFile;
 use crate::config::DetectorConfig;
 use crate::global_rdu::GlobalRdu;
+use crate::health::DetectorHealth;
 use crate::race::RaceLog;
 use crate::shared_rdu::SharedRdu;
 
@@ -72,6 +73,7 @@ pub struct Replayer {
     global: Option<GlobalRdu>,
     clocks: ClockFile,
     log: RaceLog,
+    health: DetectorHealth,
     events: u64,
 }
 
@@ -85,18 +87,21 @@ impl Replayer {
         Self {
             shared: (0..geo.num_sms)
                 .map(|sm| {
-                    SharedRdu::new(
+                    let mut rdu = SharedRdu::new(
                         sm,
                         geo.shared_bytes_per_sm,
                         geo.shared_banks,
                         cfg.shared_granularity,
                         warp_filter,
                         cfg.bloom,
-                    )
+                    );
+                    rdu.set_witness_capture(cfg.witness_capture);
+                    rdu.set_exact_lockset(cfg.exact_lockset);
+                    rdu
                 })
                 .collect(),
             global: cfg.global_enabled.then(|| {
-                GlobalRdu::new(
+                let mut rdu = GlobalRdu::new(
                     geo.global_base,
                     geo.global_len,
                     geo.global_base.saturating_add(geo.global_len),
@@ -104,10 +109,14 @@ impl Replayer {
                     warp_filter,
                     cfg.l1_stale_check,
                     cfg.bloom,
-                )
+                );
+                rdu.set_witness_capture(cfg.witness_capture);
+                rdu.set_exact_lockset(cfg.exact_lockset);
+                rdu
             }),
             clocks: ClockFile::new(geo.blocks, geo.warps),
             log: RaceLog::default(),
+            health: DetectorHealth::default(),
             events: 0,
         }
     }
@@ -125,13 +134,13 @@ impl Replayer {
                     MemSpace::Shared => {
                         let sm = access.who.sm as usize;
                         if let Some(rdu) = self.shared.get_mut(sm) {
-                            rdu.observe(&access, &self.clocks, &mut self.log);
+                            rdu.observe_health(&access, &self.clocks, &mut self.log, &mut self.health);
                         }
                     }
                     MemSpace::Global => {
                         self.clocks.note_global_access(access.who.block);
                         if let Some(rdu) = self.global.as_mut() {
-                            rdu.observe(&access, &self.clocks, &mut self.log);
+                            rdu.observe_health(&access, &self.clocks, &mut self.log, &mut self.health);
                         }
                     }
                     MemSpace::Local => {}
@@ -158,6 +167,13 @@ impl Replayer {
     /// Races detected so far.
     pub fn races(&self) -> &RaceLog {
         &self.log
+    }
+
+    /// Fidelity health counters accumulated so far (drops folded in).
+    pub fn health(&self) -> DetectorHealth {
+        let mut h = self.health;
+        h.log_dropped += self.log.dropped();
+        h
     }
 
     /// Events consumed.
@@ -254,6 +270,23 @@ mod tests {
             acc(MemSpace::Local, 0x10, AccessKind::Write, 40, 1, 0, 0),
         ];
         assert_eq!(r.replay(trace.iter()).distinct(), 0);
+    }
+
+    #[test]
+    fn replayer_surfaces_health_and_witnesses() {
+        let mut cfg = DetectorConfig::paper_default();
+        cfg.witness_capture = true;
+        let mut r = Replayer::new(&cfg, &geo());
+        let trace = [
+            acc(MemSpace::Shared, 64, AccessKind::Write, 0, 0, 0, 0),
+            acc(MemSpace::Shared, 64, AccessKind::Read, 40, 1, 0, 0),
+        ];
+        let log = r.replay(trace.iter());
+        assert_eq!(log.distinct(), 1);
+        assert_eq!(log.witness_of(0).len(), 2, "witness timeline rides the race");
+        let h = r.health();
+        assert_eq!(h.log_dropped, 0);
+        assert!(h.shadow_pages_allocated >= 1, "occupancy gauge counts the touched page");
     }
 
     #[test]

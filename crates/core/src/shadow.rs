@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 use crate::access::{MemAccess, MemSpace};
 use crate::bloom::{BloomConfig, BloomSig};
 use crate::clocks::ClockFile;
+use crate::health::DetectorHealth;
+use crate::locktable::LockTable;
 use crate::race::{RaceCategory, RaceKind, RaceRecord};
 
 /// Detection rules that differ between the shared- and global-memory RDUs.
@@ -38,6 +40,10 @@ pub struct ShadowPolicy {
     pub l1_stale_check: bool,
     /// Atomic-ID signature shape for lockset intersection.
     pub bloom: BloomConfig,
+    /// Decide both-protected conflicts with the exact lookup-table
+    /// lockset (§III-B's alternative) whenever both sides carry exact
+    /// information; accesses without it fall back to the Bloom check.
+    pub exact_lockset: bool,
 }
 
 impl ShadowPolicy {
@@ -50,6 +56,7 @@ impl ShadowPolicy {
             fence_check: false,
             l1_stale_check: false,
             bloom,
+            exact_lockset: false,
         }
     }
 
@@ -62,6 +69,7 @@ impl ShadowPolicy {
             fence_check: true,
             l1_stale_check,
             bloom,
+            exact_lockset: false,
         }
     }
 }
@@ -93,6 +101,15 @@ pub struct ShadowEntry {
     /// Intersection of lock signatures protecting this chunk so far;
     /// all-zero means "unprotected so far".
     pub atomic_sig: BloomSig,
+    /// Exact counterpart of `atomic_sig` (lookup-table lockset).
+    #[serde(default)]
+    pub locks: LockTable<4>,
+    /// Whether `locks` is authoritative. `false` means the epoch opener
+    /// carried no exact lockset (Bloom only); `true` with an *empty*
+    /// table means successive protected accesses refined the exact
+    /// lockset to nothing — known-disjoint, unlike merely unknown.
+    #[serde(default)]
+    pub locks_known: bool,
     /// Whether the epoch-opening access was inside a critical section.
     pub protected: bool,
     /// Issue cycle of the most recent write (simulator-provided; lets the
@@ -139,6 +156,8 @@ pub const FRESH: ShadowEntry = ShadowEntry {
     sync_id: 0,
     fence_id: 0,
     atomic_sig: BloomSig::EMPTY,
+    locks: LockTable::EMPTY,
+    locks_known: false,
     protected: false,
     write_cycle: 0,
     pc: 0,
@@ -181,6 +200,8 @@ impl ShadowEntry {
         self.sync_id = a.sync_id;
         self.fence_id = a.fence_id;
         self.atomic_sig = if a.in_critical_section { a.atomic_sig } else { BloomSig::EMPTY };
+        self.locks = if a.in_critical_section { a.locks } else { LockTable::EMPTY };
+        self.locks_known = a.in_critical_section && !a.locks.is_empty();
         self.protected = a.in_critical_section;
         self.write_cycle = if a.kind.is_write() { a.cycle } else { 0 };
         self.pc = a.pc;
@@ -212,6 +233,19 @@ impl ShadowEntry {
         clocks: &ClockFile,
         p: &ShadowPolicy,
     ) -> Option<RaceRecord> {
+        let mut h = DetectorHealth::default();
+        self.observe_health(a, clocks, p, &mut h)
+    }
+
+    /// [`Self::observe`] with fidelity accounting: lockset-check outcomes
+    /// and Bloom-aliasing-suppressed conflicts are counted into `h`.
+    pub fn observe_health(
+        &mut self,
+        a: &MemAccess,
+        clocks: &ClockFile,
+        p: &ShadowPolicy,
+        h: &mut DetectorHealth,
+    ) -> Option<RaceRecord> {
         if !a.kind.is_tracked() {
             return None;
         }
@@ -234,7 +268,7 @@ impl ShadowEntry {
         // critical sections" — the current access is protected or the
         // recorded epoch was opened under a lock.
         let race = if a.in_critical_section || self.protected {
-            self.observe_lockset(a, clocks, p)
+            self.observe_lockset(a, clocks, p, h)
         } else {
             self.observe_happens_before(a, clocks, p)
         };
@@ -257,6 +291,7 @@ impl ShadowEntry {
         a: &MemAccess,
         clocks: &ClockFile,
         p: &ShadowPolicy,
+        h: &mut DetectorHealth,
     ) -> Option<RaceRecord> {
         let is_write = a.kind.is_write();
         let same_thread = a.who.tid == self.tid;
@@ -267,6 +302,11 @@ impl ShadowEntry {
             // stored in the shadow entry").
             if self.protected && a.in_critical_section {
                 self.atomic_sig = self.atomic_sig.intersect(a.atomic_sig);
+                if self.locks_known && !a.locks.is_empty() {
+                    // Refining to an empty table is meaningful: the thread
+                    // itself proved no single lock covers every access.
+                    self.locks = self.locks.intersect(&a.locks);
+                }
             }
             if is_write {
                 self.modified = true;
@@ -283,7 +323,23 @@ impl ShadowEntry {
 
         let race = if self.protected && a.in_critical_section {
             // Both protected: race iff no common lock can exist.
-            let null = self.atomic_sig.is_null_intersection(a.atomic_sig, p.bloom);
+            let bloom_null = self.atomic_sig.is_null_intersection(a.atomic_sig, p.bloom);
+            if bloom_null {
+                h.bloom_null_intersections += 1;
+            } else {
+                h.bloom_nonnull_intersections += 1;
+            }
+            // Cross-check against the exact locksets when both sides carry
+            // them (an unknown table next to a non-empty signature means
+            // the producer supplied no exact info — Bloom only).
+            let exact_known = self.locks_known && !a.locks.is_empty();
+            let exact_disjoint = exact_known && !self.locks.intersects(&a.locks);
+            if conflicting && !bloom_null && exact_disjoint {
+                // Ground truth says disjoint locksets, the signature says
+                // "maybe common": §VI-A2 aliasing just ate a race.
+                h.bloom_suppressed_conflicts += 1;
+            }
+            let null = if p.exact_lockset && exact_known { exact_disjoint } else { bloom_null };
             if null && conflicting {
                 kind.map(|k| self.race(a, k, RaceCategory::CriticalSection, p))
             } else if !null
@@ -299,6 +355,9 @@ impl ShadowEntry {
                 Some(self.race(a, RaceKind::Raw, RaceCategory::Fence, p))
             } else {
                 self.atomic_sig = self.atomic_sig.intersect(a.atomic_sig);
+                if exact_known {
+                    self.locks = self.locks.intersect(&a.locks);
+                }
                 None
             }
         } else {
@@ -863,6 +922,103 @@ mod tests {
         assert!(e
             .observe(&locked_access(0x100, t(40, 1), AccessKind::Read), &c, &p)
             .is_none());
+    }
+
+    // ---- fidelity: exact locksets + aliasing attribution ----
+
+    fn exact_locked(lock: u32, who: ThreadCoord, kind: AccessKind, cfg: BloomConfig) -> MemAccess {
+        let mut t: LockTable<4> = LockTable::new();
+        t.insert(lock);
+        MemAccess::plain(0, 4, kind, who)
+            .locked(BloomSig::of_lock(lock, cfg))
+            .with_locks(t)
+    }
+
+    #[test]
+    fn bloom_aliasing_miss_is_counted_and_exact_mode_catches_it() {
+        // 8-bit / 2-bin: lock words 16 bytes apart alias (§VI-A2).
+        let small = BloomConfig { bits: 8, bins: 2 };
+        let mut p = ShadowPolicy::global(true, true, small);
+        let c = clocks();
+
+        let mut e = FRESH;
+        let mut h = DetectorHealth::default();
+        e.observe_health(&exact_locked(0x100, t(0, 0), AccessKind::Write, small), &c, &p, &mut h);
+        let r = e.observe_health(&exact_locked(0x110, t(100, 3), AccessKind::Write, small), &c, &p, &mut h);
+        assert!(r.is_none(), "aliased signatures suppress the WAW");
+        assert_eq!(h.bloom_nonnull_intersections, 1);
+        assert_eq!(h.bloom_suppressed_conflicts, 1, "the miss is attributed, not silent");
+
+        // Same stream under exact lockset semantics: the race surfaces.
+        p.exact_lockset = true;
+        let mut e = FRESH;
+        let mut h = DetectorHealth::default();
+        e.observe_health(&exact_locked(0x100, t(0, 0), AccessKind::Write, small), &c, &p, &mut h);
+        let r = e.observe_health(&exact_locked(0x110, t(100, 3), AccessKind::Write, small), &c, &p, &mut h);
+        let r = r.expect("exact lockset sees disjoint sets");
+        assert_eq!(r.kind, RaceKind::Waw);
+        assert_eq!(r.category, RaceCategory::CriticalSection);
+        assert_eq!(h.bloom_suppressed_conflicts, 1, "attribution fires in both modes");
+    }
+
+    #[test]
+    fn exact_mode_without_exact_info_falls_back_to_bloom() {
+        let small = BloomConfig { bits: 8, bins: 2 };
+        let mut p = ShadowPolicy::global(true, true, small);
+        p.exact_lockset = true;
+        let c = clocks();
+        let mut e = FRESH;
+        let mut h = DetectorHealth::default();
+        // Bloom-only accesses (trace replay without lock provenance).
+        let mk = |lock: u32, who, kind| {
+            MemAccess::plain(0, 4, kind, who).locked(BloomSig::of_lock(lock, small))
+        };
+        e.observe_health(&mk(0x100, t(0, 0), AccessKind::Write), &c, &p, &mut h);
+        let r = e.observe_health(&mk(0x110, t(100, 3), AccessKind::Write), &c, &p, &mut h);
+        assert!(r.is_none(), "no exact info: the Bloom decision stands");
+        assert_eq!(h.bloom_suppressed_conflicts, 0, "cannot attribute without ground truth");
+    }
+
+    #[test]
+    fn lockset_outcome_counters_tally_every_both_protected_check() {
+        let cfg = BloomConfig::PAPER_DEFAULT;
+        let p = global_policy();
+        let c = clocks();
+        let mut e = FRESH;
+        let mut h = DetectorHealth::default();
+        e.observe_health(&exact_locked(0x100, t(0, 0), AccessKind::Read, cfg), &c, &p, &mut h);
+        // Same lock: non-null intersection.
+        e.observe_health(&exact_locked(0x100, t(100, 3), AccessKind::Read, cfg), &c, &p, &mut h);
+        // Different, non-aliasing lock: null intersection.
+        e.observe_health(&exact_locked(0x104, t(200, 6), AccessKind::Read, cfg), &c, &p, &mut h);
+        assert_eq!((h.bloom_nonnull_intersections, h.bloom_null_intersections), (1, 1));
+        assert_eq!(h.bloom_suppressed_conflicts, 0, "read/read never conflicts");
+    }
+
+    #[test]
+    fn exact_lockset_refines_to_the_common_subset() {
+        let cfg = BloomConfig::PAPER_DEFAULT;
+        let mut p = global_policy();
+        p.exact_lockset = true;
+        let c = clocks();
+        let mut e = FRESH;
+        let mut h = DetectorHealth::default();
+        // Opener holds {A, B}; second thread holds {B}: benign, refines to {B}.
+        let mut both: LockTable<4> = LockTable::new();
+        both.insert(0x100);
+        both.insert(0x204);
+        let mut sig = BloomSig::of_lock(0x100, cfg);
+        sig.insert(0x204, cfg);
+        let a0 = MemAccess::plain(0, 4, AccessKind::Write, t(0, 0)).locked(sig).with_locks(both);
+        e.observe_health(&a0, &c, &p, &mut h);
+        assert!(e
+            .observe_health(&exact_locked(0x204, t(100, 3), AccessKind::Write, cfg), &c, &p, &mut h)
+            .is_none());
+        assert!(e.locks.contains(0x204) && !e.locks.contains(0x100));
+        // A thread holding only {A} now conflicts exactly.
+        assert!(e
+            .observe_health(&exact_locked(0x100, t(200, 6), AccessKind::Write, cfg), &c, &p, &mut h)
+            .is_some());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! Observable behavior is bit-identical to the eager table: a stale-stamp
 //! entry is indistinguishable from one that was eagerly reset.
 
+use crate::health::DetectorHealth;
 use crate::shadow::{ShadowEntry, FRESH};
 
 /// Entries per shadow page. 128 × ~48 bytes ≈ 6 KiB per page keeps the
@@ -119,10 +120,23 @@ impl ShadowTable {
     /// Mutable access to entry `idx`, materializing its page and lazily
     /// re-initializing the entry if its stamp is stale.
     pub fn get_mut(&mut self, idx: usize) -> &mut ShadowEntry {
+        let mut h = DetectorHealth::default();
+        self.get_mut_counted(idx, &mut h)
+    }
+
+    /// [`Self::get_mut`] with fidelity accounting: counts page
+    /// materializations (occupancy gauge) and lazy fresh-on-mismatch
+    /// re-initializations into `h`.
+    pub fn get_mut_counted(&mut self, idx: usize, h: &mut DetectorHealth) -> &mut ShadowEntry {
         debug_assert!(idx < self.num_entries, "shadow index out of range");
-        let page = self.pages[idx / PAGE_ENTRIES].get_or_insert_with(Default::default);
+        let slot = &mut self.pages[idx / PAGE_ENTRIES];
+        if slot.is_none() {
+            h.shadow_pages_allocated += 1;
+        }
+        let page = slot.get_or_insert_with(Default::default);
         let o = idx % PAGE_ENTRIES;
         if page.stamps[o] != page.generation {
+            h.shadow_fresh_on_mismatch += 1;
             page.stamps[o] = page.generation;
             page.entries[o] = FRESH;
         }
@@ -300,6 +314,22 @@ mod tests {
         dirty(&mut t, PAGE_ENTRIES + 3);
         t.reset_all();
         assert!(t.get(PAGE_ENTRIES + 3).is_fresh());
+    }
+
+    #[test]
+    fn counted_access_reports_pages_and_stale_reinit() {
+        let mut t = ShadowTable::new(2 * PAGE_ENTRIES);
+        let mut h = DetectorHealth::default();
+        t.get_mut_counted(0, &mut h);
+        assert_eq!(h.shadow_pages_allocated, 1, "first touch materializes");
+        assert_eq!(h.shadow_fresh_on_mismatch, 0, "new pages come pre-stamped");
+        t.get_mut_counted(0, &mut h);
+        assert_eq!(h.shadow_pages_allocated, 1, "second touch reuses the page");
+        assert_eq!(h.shadow_fresh_on_mismatch, 0, "live entry: no re-init");
+        dirty(&mut t, 0);
+        t.reset_range(0, PAGE_ENTRIES);
+        t.get_mut_counted(0, &mut h);
+        assert_eq!(h.shadow_fresh_on_mismatch, 1, "stale stamp re-inits");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::bloom::BloomConfig;
 use crate::clocks::ClockFile;
 use crate::cost;
 use crate::granularity::Granularity;
+use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_RING_DEPTH};
 use crate::intra_warp::check_intra_warp_waw_into;
 use crate::race::RaceLog;
 use crate::scratch::RaceScratch;
@@ -45,6 +46,9 @@ pub struct SharedRdu {
     banks: u32,
     table: ShadowTable,
     policy: ShadowPolicy,
+    /// Opt-in windowed access recorder feeding per-race witness timelines.
+    capture_witness: bool,
+    ring: WitnessRing,
     pub stats: SharedRduStats,
 }
 
@@ -66,8 +70,26 @@ impl SharedRdu {
             banks: banks.max(1),
             table: ShadowTable::new(gran.entries_for(shared_bytes)),
             policy: ShadowPolicy::shared(warp_filter, bloom),
+            capture_witness: false,
+            ring: WitnessRing::with_depth(WITNESS_RING_DEPTH),
             stats: SharedRduStats::default(),
         }
+    }
+
+    /// Enable/disable the windowed access recorder. When enabled, every
+    /// detected race carries a bounded witness timeline of recent accesses
+    /// to the racy chunk.
+    pub fn set_witness_capture(&mut self, on: bool) {
+        self.capture_witness = on;
+        if !on {
+            self.ring.clear();
+        }
+    }
+
+    /// Switch both-protected conflict decisions to the exact lookup-table
+    /// lockset (§III-B alternative) where exact info is available.
+    pub fn set_exact_lockset(&mut self, on: bool) {
+        self.policy.exact_lockset = on;
     }
 
     /// SM this RDU belongs to.
@@ -88,14 +110,47 @@ impl SharedRdu {
     /// Check one lane access. `addr` in the access is a byte offset into
     /// this SM's shared memory. Races are pushed into `log`.
     pub fn observe(&mut self, a: &MemAccess, clocks: &ClockFile, log: &mut RaceLog) {
+        let mut h = DetectorHealth::default();
+        self.observe_health(a, clocks, log, &mut h);
+    }
+
+    /// [`Self::observe`] with fidelity accounting into `h` (lockset-check
+    /// outcomes, aliasing-suppressed conflicts, shadow-page occupancy) and,
+    /// when witness capture is on, ring recording + timeline attachment.
+    pub fn observe_health(
+        &mut self,
+        a: &MemAccess,
+        clocks: &ClockFile,
+        log: &mut RaceLog,
+        h: &mut DetectorHealth,
+    ) {
         debug_assert_eq!(a.who.sm, self.sm, "access routed to the wrong SM's RDU");
         self.stats.checks += 1;
         let (lo, hi) = self.gran.index_range(0, a.addr, a.size);
         for idx in lo..=hi.min(self.table.len().saturating_sub(1)) {
             let mut chunk_access = *a;
             chunk_access.addr = (idx as u32) << self.gran.shift();
-            if let Some(r) = self.table.get_mut(idx).observe(&chunk_access, clocks, &self.policy) {
-                log.push(r);
+            let entry = self.table.get_mut_counted(idx, h);
+            let state_before = entry.state();
+            let race = entry.observe_health(&chunk_access, clocks, &self.policy, h);
+            let state_after = entry.state();
+            if self.capture_witness && a.kind.is_tracked() {
+                self.ring.push(WitnessEvent {
+                    cycle: a.cycle,
+                    who: a.who,
+                    pc: a.pc,
+                    kind: a.kind,
+                    addr: chunk_access.addr,
+                    state_before,
+                    state_after,
+                });
+            }
+            if let Some(r) = race {
+                if self.capture_witness {
+                    log.push_with_witness(r, &self.ring.collect_for(chunk_access.addr));
+                } else {
+                    log.push(r);
+                }
             }
         }
     }
@@ -134,6 +189,7 @@ impl SharedRdu {
     /// Invalidate everything (kernel launch/termination).
     pub fn reset_all(&mut self) {
         self.table.reset_all();
+        self.ring.clear();
     }
 
     /// Inspect a shadow entry (tests/debugging). Untouched and
@@ -271,6 +327,37 @@ mod tests {
         let mut log = RaceLog::default();
         // Address past the end must not panic.
         r.observe(&acc(1 << 20, AccessKind::Write, 0, 0), &c, &mut log);
+    }
+
+    #[test]
+    fn witness_capture_attaches_a_timeline_to_the_race() {
+        let mut r = rdu();
+        r.set_witness_capture(true);
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        r.observe(&acc(64, AccessKind::Write, 0, 0).at_pc(0x10).at_cycle(5), &c, &mut log);
+        r.observe(&acc(128, AccessKind::Read, 1, 0).at_pc(0x14).at_cycle(6), &c, &mut log);
+        r.observe(&acc(64, AccessKind::Read, 32, 1).at_pc(0x18).at_cycle(7), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+        let w = log.witness_of(0);
+        // Only the two accesses to the racy chunk, oldest first, ending
+        // with the racing access itself.
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].cycle, w[0].pc), (5, 0x10));
+        assert_eq!((w[1].cycle, w[1].pc), (7, 0x18));
+        assert_eq!(w[0].state_before, crate::shadow::ShadowState::Fresh);
+        assert_eq!(w[0].state_after, crate::shadow::ShadowState::Written);
+    }
+
+    #[test]
+    fn witness_capture_off_attaches_nothing() {
+        let mut r = rdu();
+        let c = ClockFile::new(1, 2);
+        let mut log = RaceLog::default();
+        r.observe(&acc(64, AccessKind::Write, 0, 0), &c, &mut log);
+        r.observe(&acc(64, AccessKind::Read, 32, 1), &c, &mut log);
+        assert_eq!(log.distinct(), 1);
+        assert!(log.witness_of(0).is_empty());
     }
 
     #[test]

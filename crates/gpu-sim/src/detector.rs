@@ -55,11 +55,14 @@ impl DetectorState {
         let warp_filter = !cfg.warp_regrouping;
         let shared = (0..num_sms)
             .map(|sm| {
-                SharedRdu::new(sm, shared_per_sm, shared_banks, cfg.shared_granularity, warp_filter, cfg.bloom)
+                let mut rdu = SharedRdu::new(sm, shared_per_sm, shared_banks, cfg.shared_granularity, warp_filter, cfg.bloom);
+                rdu.set_witness_capture(cfg.witness_capture);
+                rdu.set_exact_lockset(cfg.exact_lockset);
+                rdu
             })
             .collect();
         let global = cfg.global_enabled.then(|| {
-            GlobalRdu::new(
+            let mut rdu = GlobalRdu::new(
                 tracked.0,
                 tracked.1,
                 shadow_base,
@@ -67,7 +70,10 @@ impl DetectorState {
                 warp_filter,
                 cfg.l1_stale_check,
                 cfg.bloom,
-            )
+            );
+            rdu.set_witness_capture(cfg.witness_capture);
+            rdu.set_exact_lockset(cfg.exact_lockset);
+            rdu
         });
         Self {
             cfg,

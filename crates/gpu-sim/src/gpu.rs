@@ -320,6 +320,14 @@ impl Gpu {
         let now = outcome?;
         skip.sm_idle_cycles = sms.iter().map(|s| s.idle_cycles).collect();
 
+        // Race-log saturation is a fidelity loss: surface it in the health
+        // block before aggregation so the final sampling interval (and the
+        // launch aggregate) both carry it.
+        let mut stats = stats;
+        if let Some(d) = det.as_ref() {
+            stats.health.log_dropped += d.log.dropped();
+        }
+
         // Aggregate statistics (the same function the sampler snapshots
         // through, so per-interval deltas telescope to this aggregate).
         let stats = aggregate_stats(
@@ -756,8 +764,10 @@ fn apply_cycle_output(
             }
             SmOp::SharedRaces { log } => {
                 if let Some(d) = det.as_mut() {
-                    for r in log.records() {
-                        let fresh = d.log.push(*r);
+                    for (i, r) in log.records().iter().enumerate() {
+                        // Witness timelines captured SM-side ride along
+                        // into the launch-wide log.
+                        let fresh = d.log.push_with_witness(*r, log.witness_of(i));
                         if fresh && tracer.on() {
                             tracer.emit(now, SimEvent::RaceDetected { record: *r });
                         }

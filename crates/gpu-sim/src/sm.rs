@@ -863,7 +863,12 @@ impl Sm {
                     if mask & (1 << l) != 0 {
                         let t = lane_thread(l);
                         let addr = cta.regs[t * nr + usize::from(lock.0)];
-                        cta.locks[t].acquire(addr, bloom);
+                        if cta.locks[t].acquire(addr, bloom) {
+                            // A distinct new lock set no new signature bit:
+                            // this acquisition is invisible to the Bloom
+                            // lockset and can suppress a real race later.
+                            out.stats.health.bloom_insert_aliased += 1;
+                        }
                     }
                 }
                 warp!().simt.advance();
@@ -1364,6 +1369,7 @@ impl Sm {
                     sync_id: v.clocks.sync_id(block_id),
                     fence_id: v.clocks.fence_id(gwarp),
                     atomic_sig: lk.signature(),
+                    locks: *lk.locks(),
                     in_critical_section: lk.in_critical_section(),
                     l1_hit: false,
                     l1_fill_cycle: 0,
@@ -1388,7 +1394,7 @@ impl Sm {
                 if let Some((lo, hi)) = watch {
                     states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
                 }
-                rdu.observe(a, v.clocks, &mut local);
+                rdu.observe_health(a, v.clocks, &mut local, &mut out.stats.health);
                 if let Some((lo, hi)) = watch {
                     for (k, i) in (lo..=hi).enumerate() {
                         let to = rdu.entry(i).state();
@@ -1508,6 +1514,7 @@ impl Sm {
                 sync_id: v.clocks.sync_id(block_id),
                 fence_id: v.clocks.fence_id(gwarp),
                 atomic_sig: lk.signature(),
+                locks: *lk.locks(),
                 in_critical_section: lk.in_critical_section(),
                 l1_hit: l1_fill.is_some(),
                 l1_fill_cycle: l1_fill.unwrap_or(0),
@@ -1551,7 +1558,7 @@ pub(crate) fn apply_global_batch(
         if let Some((lo, hi)) = watch {
             states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
         }
-        let traffic = rdu.observe(a, &det.clocks, &mut det.log);
+        let traffic = rdu.observe_health(a, &det.clocks, &mut det.log, &mut stats.health);
         if let Some((lo, hi)) = watch {
             for (k, i) in (lo..=hi).enumerate() {
                 let to = rdu.entry(i).state();

@@ -3,6 +3,7 @@
 //! behaviour and DRAM bandwidth utilization (Fig. 9), plus detector
 //! traffic counters.
 
+use haccrg::prelude::DetectorHealth;
 use serde::{Deserialize, Serialize};
 
 /// Hit/miss counters for one cache level.
@@ -175,6 +176,13 @@ pub struct SimStats {
     /// (e.g. no shared RDU installed); always 0 on a healthy run.
     #[serde(default)]
     pub detector_skipped_checks: u64,
+    /// Detector-fidelity health counters: every channel through which the
+    /// detector can silently lose a race (Bloom aliasing, packed-ID
+    /// truncation, race-log saturation) plus occupancy/outcome gauges.
+    /// Deterministic per access stream, hence part of the bit-identity
+    /// contract across serial/parallel and dense/skip engines.
+    #[serde(default)]
+    pub health: DetectorHealth,
 }
 
 impl SimStats {
@@ -235,6 +243,7 @@ impl SimStats {
         self.l1_mshr_full_stalls += o.l1_mshr_full_stalls;
         self.mem_faults += o.mem_faults;
         self.detector_skipped_checks += o.detector_skipped_checks;
+        self.health.accumulate(&o.health);
     }
 
     /// Instructions per cycle (warp-level).
@@ -287,6 +296,7 @@ impl SimStats {
             detector_skipped_checks: self
                 .detector_skipped_checks
                 .saturating_sub(prev.detector_skipped_checks),
+            health: self.health.delta(&prev.health),
         }
     }
 }

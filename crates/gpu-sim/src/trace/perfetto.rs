@@ -74,12 +74,22 @@ pub fn chrome_trace_with_counters(
     let mut tes = instant_events(events);
     for s in samples {
         let idle: u64 = s.per_sm_idle_cycles.iter().sum();
+        let h = &s.delta.health;
         let counters = [
             ("warp_instructions", s.delta.warp_instructions),
             ("cycles_skipped", s.cycles_skipped),
             ("skip_jumps", s.skip_jumps),
             ("sm_idle_cycles", idle),
             ("icnt_in_flight", s.icnt_in_flight),
+            // Detector-fidelity health: loss channels and check outcomes
+            // per interval, so saturation or aliasing bursts line up with
+            // the instant-event timeline above them.
+            ("det_bloom_insert_aliased", h.bloom_insert_aliased),
+            ("det_bloom_suppressed_conflicts", h.bloom_suppressed_conflicts),
+            ("det_bloom_null_intersections", h.bloom_null_intersections),
+            ("det_id_truncation_collisions", h.id_truncation_collisions),
+            ("det_shadow_pages_allocated", h.shadow_pages_allocated),
+            ("det_log_dropped", h.log_dropped),
         ];
         for (name, value) in counters {
             let mut args = Map::new();
@@ -162,8 +172,9 @@ mod tests {
         let samples = [mk(100, 40, 1), mk(200, 0, 0)];
         let doc = chrome_trace_with_counters(&[], 0, &samples);
         let tes = doc["traceEvents"].as_array().unwrap();
-        // 5 counters per sample, no instant events.
-        assert_eq!(tes.len(), 10);
+        // 11 counters per sample (5 engine + 6 detector health), no
+        // instant events.
+        assert_eq!(tes.len(), 22);
         assert!(tes.iter().all(|e| e["ph"] == "C" && e["pid"] == 0));
         let skipped: Vec<&Value> =
             tes.iter().filter(|e| e["name"] == "cycles_skipped").collect();
@@ -176,6 +187,8 @@ mod tests {
         assert_eq!(idle[0]["args"]["sm_idle_cycles"], 7);
         assert!(tes.iter().any(|e| e["name"] == "warp_instructions"
             && e["args"]["warp_instructions"] == 7));
+        assert!(tes.iter().any(|e| e["name"] == "det_log_dropped"
+            && e["args"]["det_log_dropped"] == 0));
     }
 
     #[test]

@@ -105,6 +105,99 @@ pub fn report_with(a: &Analysis, quiet: bool) -> String {
     out
 }
 
+/// Most records rendered per race group by [`explain_report`]. Groups can
+/// fold thousands of dynamic records; a handful of timelines per static
+/// pair is what a developer actually reads.
+pub const EXPLAIN_RECORD_CAP: usize = 3;
+
+/// Render the forensic "why did this race fire" report: every static
+/// race group, its first few dynamic records, and each record's witness
+/// timeline — the last accesses to the racy chunk with the Fig. 3 shadow
+/// state transition every one of them caused.
+///
+/// Timelines exist only when detection ran with
+/// [`DetectorConfig::witness_capture`] on (the `explain` subcommand
+/// forces it); otherwise each record notes the capture was off.
+pub fn explain_report(a: &Analysis) -> String {
+    use std::fmt::Write as _;
+    let log = a.replayer.races();
+    let mut out = String::new();
+    let _ = writeln!(out, "events   : {}", a.events);
+    if a.skipped > 0 {
+        let _ = writeln!(out, "skipped  : {} malformed lines", a.skipped);
+    }
+    let _ = writeln!(out, "races    : {} distinct ({} dynamic)", log.distinct(), log.total());
+    let groups = log.groups();
+    if groups.is_empty() {
+        let _ = writeln!(out, "nothing to explain: the trace is race-free");
+        return out;
+    }
+    let records = log.records();
+    for g in &groups {
+        let _ = writeln!(out, "\n{g}");
+        let members: Vec<usize> = (0..records.len())
+            .filter(|&i| {
+                let r = &records[i];
+                r.kind == g.kind
+                    && r.category == g.category
+                    && r.space == g.space
+                    && r.prev_pc == g.prev_pc
+                    && r.pc == g.pc
+            })
+            .collect();
+        for &i in members.iter().take(EXPLAIN_RECORD_CAP) {
+            let r = &records[i];
+            let _ = writeln!(out, "  record: {r}");
+            let witness = log.witness_of(i);
+            if witness.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "    (no witness timeline: detection ran without witness capture)"
+                );
+                continue;
+            }
+            for w in witness {
+                let _ = writeln!(
+                    out,
+                    "    cycle {:>6}  sm {:2} blk {:3} warp {:3} tid {:5}  pc {:#06x}  {:<6} {:#x}  {} -> {}",
+                    w.cycle,
+                    w.who.sm,
+                    w.who.block,
+                    w.who.warp,
+                    w.who.tid,
+                    w.pc,
+                    format!("{:?}", w.kind),
+                    w.addr,
+                    w.state_before,
+                    w.state_after,
+                );
+            }
+            // The Fig. 3 transition chain the timeline walked, deduped
+            // to the state changes (self-loops like repeated reads in
+            // read-shared collapse away).
+            let mut chain = vec![witness[0].state_before];
+            for w in witness {
+                if *chain.last().expect("seeded") != w.state_before {
+                    chain.push(w.state_before);
+                }
+                if *chain.last().expect("seeded") != w.state_after {
+                    chain.push(w.state_after);
+                }
+            }
+            let rendered: Vec<String> = chain.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "    fig3: {}", rendered.join(" -> "));
+        }
+        if members.len() > EXPLAIN_RECORD_CAP {
+            let _ = writeln!(
+                out,
+                "  ... {} more record(s) in this group",
+                members.len() - EXPLAIN_RECORD_CAP
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +291,84 @@ mod tests {
     fn missing_header_is_an_error() {
         assert!(analyze(Cursor::new(""), &DetectorConfig::paper_default()).is_err());
         assert!(analyze(Cursor::new("{}"), &DetectorConfig::paper_default()).is_err());
+    }
+
+    /// Build an analysis without JSON parsing so the explain tests run
+    /// under the offline serde stubs too: feed [`TraceEvent`]s straight
+    /// into a [`Replayer`] with witness capture toggled by the caller.
+    fn replayed_raw(witness_capture: bool) -> Analysis {
+        use haccrg::prelude::{AccessKind, MemAccess, MemSpace, ThreadCoord};
+        let geo = TraceGeometry {
+            num_sms: 4,
+            shared_bytes_per_sm: 16384,
+            shared_banks: 16,
+            blocks: 2,
+            warps: 4,
+            global_base: 4096,
+            global_len: 65536,
+        };
+        let mut cfg = DetectorConfig::paper_default();
+        cfg.witness_capture = witness_capture;
+        let mut replayer = Replayer::new(&cfg, &geo);
+        let acc = |kind, tid, warp, block, sm| TraceEvent::Access {
+            space: MemSpace::Global,
+            access: MemAccess::plain(4096, 4, kind, ThreadCoord::new(tid, warp, block, sm)),
+        };
+        replayer.feed(&acc(AccessKind::Write, 0, 0, 0, 0));
+        replayer.feed(&acc(AccessKind::Read, 64, 2, 1, 1));
+        let events = replayer.events();
+        Analysis { replayer, events, skipped: 0 }
+    }
+
+    #[test]
+    fn explain_renders_witness_timelines_and_the_fig3_chain() {
+        let a = replayed_raw(true);
+        assert_eq!(a.replayer.races().distinct(), 1, "the RAW fires");
+        let rep = explain_report(&a);
+        assert!(rep.contains("race group @"), "{rep}");
+        assert!(rep.contains("record:"), "{rep}");
+        assert!(rep.contains("cycle"), "{rep}");
+        // Both conflicting accesses appear in the timeline with their
+        // Fig. 3 transitions, and the deduped chain summarizes them.
+        assert!(rep.contains("Write"), "{rep}");
+        assert!(rep.contains("Read"), "{rep}");
+        assert!(rep.contains("fresh -> written"), "{rep}");
+        assert!(rep.contains("fig3: fresh -> written"), "{rep}");
+        assert!(!rep.contains("no witness timeline"), "{rep}");
+    }
+
+    #[test]
+    fn explain_without_capture_says_so_instead_of_inventing_a_timeline() {
+        let a = replayed_raw(false);
+        assert_eq!(a.replayer.races().distinct(), 1);
+        let rep = explain_report(&a);
+        assert!(rep.contains("no witness timeline"), "{rep}");
+        assert!(!rep.contains("fig3:"), "{rep}");
+    }
+
+    #[test]
+    fn explain_on_a_clean_trace_has_nothing_to_explain() {
+        use haccrg::prelude::{AccessKind, MemAccess, MemSpace, ThreadCoord};
+        let geo = TraceGeometry {
+            num_sms: 4,
+            shared_bytes_per_sm: 16384,
+            shared_banks: 16,
+            blocks: 2,
+            warps: 4,
+            global_base: 4096,
+            global_len: 65536,
+        };
+        let mut cfg = DetectorConfig::paper_default();
+        cfg.witness_capture = true;
+        let mut replayer = Replayer::new(&cfg, &geo);
+        replayer.feed(&TraceEvent::Access {
+            space: MemSpace::Global,
+            access: MemAccess::plain(4096, 4, AccessKind::Write, ThreadCoord::new(0, 0, 0, 0)),
+        });
+        let events = replayer.events();
+        let a = Analysis { replayer, events, skipped: 0 };
+        let rep = explain_report(&a);
+        assert!(rep.contains("nothing to explain"), "{rep}");
     }
 
     #[test]

@@ -3,7 +3,12 @@
 //! ```console
 //! $ haccrg-trace my_kernel.trace           # file input
 //! $ some-profiler | haccrg-trace -         # stdin
+//! $ haccrg-trace explain my_kernel.trace   # witness-timeline forensics
 //! ```
+//!
+//! The `explain` subcommand forces witness capture on and renders, per
+//! static race group, the conflicting records with their witness
+//! timelines and Fig. 3 state-transition chains.
 //!
 //! Options:
 //! * `--shared-gran N` / `--global-gran N` — tracking granularities
@@ -26,13 +31,19 @@ use std::io::{self, BufReader};
 use gpu_sim::log_error;
 use haccrg::config::DetectorConfig;
 use haccrg::granularity::Granularity;
-use haccrg_trace::{analyze, report_with};
+use haccrg_trace::{analyze, explain_report, report_with};
 
 const USAGE: &str = "\
-usage: haccrg-trace [FILE|-] [options]
+usage: haccrg-trace [explain] [FILE|-] [options]
 
 Run HAccRG race detection over a recorded access trace (a file, or
 stdin when the path is `-` or omitted).
+
+The `explain` subcommand replays the trace with witness capture forced
+on and renders a forensic report per static race group: the first few
+dynamic records, each with its witness timeline (the last accesses to
+the racy chunk) and the Fig. 3 shadow-state transition chain they
+walked.
 
 options:
   --shared-gran N     shared-memory tracking granularity in bytes
@@ -58,6 +69,7 @@ struct Options {
     cfg: DetectorConfig,
     path: Option<String>,
     quiet: bool,
+    explain: bool,
 }
 
 /// Parse `args` (without the program name). `Ok(None)` means help was
@@ -66,6 +78,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut cfg = DetectorConfig::paper_default();
     let mut path: Option<String> = None;
     let mut quiet = false;
+    // The subcommand must lead: `haccrg-trace explain k.trace`. Anywhere
+    // else, `explain` is an input path like any other word.
+    let explain = args.first().map(String::as_str) == Some("explain");
+    if explain {
+        // Timelines are the whole point of the subcommand.
+        cfg.witness_capture = true;
+    }
+    let args = if explain { &args[1..] } else { args };
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -116,7 +136,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
         }
     }
-    Ok(Some(Options { cfg, path, quiet }))
+    Ok(Some(Options { cfg, path, quiet, explain }))
 }
 
 fn main() {
@@ -147,7 +167,11 @@ fn main() {
 
     match result {
         Ok(a) => {
-            print!("{}", report_with(&a, opts.quiet));
+            if opts.explain {
+                print!("{}", explain_report(&a));
+            } else {
+                print!("{}", report_with(&a, opts.quiet));
+            }
             if a.replayer.races().any() {
                 std::process::exit(1);
             }
@@ -223,6 +247,22 @@ mod tests {
     fn stdin_dash_is_accepted() {
         let o = parse_args(&argv(&["-"])).unwrap().expect("not help");
         assert_eq!(o.path.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn explain_subcommand_leads_and_forces_witness_capture() {
+        assert!(!parse_args(&[]).unwrap().expect("not help").explain);
+        let o = parse_args(&argv(&["explain", "k.trace", "--quiet"])).unwrap().expect("not help");
+        assert!(o.explain);
+        assert!(o.cfg.witness_capture, "explain is pointless without timelines");
+        assert_eq!(o.path.as_deref(), Some("k.trace"));
+        // Not in the leading position, `explain` is just a file path.
+        let o = parse_args(&argv(&["k.trace", "explain"]));
+        assert!(o.is_err(), "second positional word is a duplicate path");
+        let o = parse_args(&argv(&["--quiet", "explain"])).unwrap().expect("not help");
+        assert!(!o.explain);
+        assert_eq!(o.path.as_deref(), Some("explain"));
+        assert!(!o.cfg.witness_capture);
     }
 
     #[test]

@@ -41,6 +41,27 @@ pub enum Injection {
         /// Byte offset of the targeted word.
         offset: u32,
     },
+    /// Prepend a write to `param[data_param_idx] + data_offset` performed
+    /// inside a critical section guarded by the *wrong* lock:
+    /// `param[lock_param_idx] + lock_offset + alias_offset`. With
+    /// `alias_offset` a multiple of 16 the wrong lock's Bloom signature is
+    /// identical to the victim lock's under an 8-bit/2-bin atomic ID, so
+    /// the resulting lockset race is invisible to that signature (a pure
+    /// aliasing miss) while wider signatures — or the exact lookup-table
+    /// lockset — still catch it. The detector's health counters attribute
+    /// the miss (`bloom_suppressed_conflicts`).
+    LockedWrite {
+        /// Kernel parameter holding the lock array's pointer.
+        lock_param_idx: u16,
+        /// Byte offset of the victim's lock word in the lock array.
+        lock_offset: u32,
+        /// Byte distance from the victim's lock to the injected lock.
+        alias_offset: u32,
+        /// Kernel parameter holding the protected data array's pointer.
+        data_param_idx: u16,
+        /// Byte offset of the targeted data word.
+        data_offset: u32,
+    },
 }
 
 /// Number of static sites available for an injection kind.
@@ -142,6 +163,55 @@ pub fn apply(kernel: &Kernel, inj: Injection) -> (Kernel, usize) {
             prepend(&mut k, seq);
             1
         }
+        Injection::LockedWrite {
+            lock_param_idx,
+            lock_offset,
+            alias_offset,
+            data_param_idx,
+            data_offset,
+        } => {
+            let lockbase = Reg(k.num_regs);
+            let lock = Reg(k.num_regs + 1);
+            let data = Reg(k.num_regs + 2);
+            let tid = Reg(k.num_regs + 3);
+            let p = Reg(k.num_regs + 4);
+            k.num_regs += 5;
+            let line = 920_000;
+            // Only thread 0 of each block performs the write: a warp-wide
+            // same-address store would additionally raise an intra-warp
+            // WAW, muddying what is meant to be a *pure* lockset plant.
+            // The skip branch targets the first original instruction
+            // (index `seq.len()` after the prepend).
+            let end = 9;
+            let seq = vec![
+                Instr { op: Op::Sreg { d: tid, r: SpecialReg::Tid }, line },
+                Instr {
+                    op: Op::SetP { cmp: gpu_sim::isa::CmpOp::Ne, d: p, a: tid.into(), b: 0u32.into() },
+                    line,
+                },
+                Instr { op: Op::Bra { pred: Some((p, true)), target: end, reconv: end }, line },
+                Instr { op: Op::LdParam { d: lockbase, idx: lock_param_idx }, line },
+                Instr {
+                    op: Op::Bin {
+                        op: gpu_sim::isa::BinOp::Add,
+                        d: lock,
+                        a: lockbase.into(),
+                        b: (lock_offset + alias_offset).into(),
+                    },
+                    line,
+                },
+                Instr { op: Op::CsBegin { lock }, line },
+                Instr { op: Op::LdParam { d: data, idx: data_param_idx }, line },
+                Instr {
+                    op: Op::St { space: Space::Global, addr: data, imm: data_offset, src: 1u32.into(), size: 4 },
+                    line,
+                },
+                Instr { op: Op::CsEnd, line },
+            ];
+            debug_assert_eq!(seq.len() as u32, end);
+            prepend(&mut k, seq);
+            1
+        }
     };
     k.validate().expect("injected kernel still valid");
     (k, planted)
@@ -226,6 +296,77 @@ mod tests {
         let (k2, _) = apply(&k, Injection::DropAllBarriers);
         let mut gpu = Gpu::new(GpuConfig::test_small());
         gpu.launch(&k2, 1, 32, &[]).unwrap();
+    }
+
+    /// Victim kernel: every thread read-modify-writes `data[0]` under the
+    /// lock at `locks[0]`. Correctly synchronized on its own.
+    fn locked_victim() -> Kernel {
+        let mut b = KernelBuilder::new("locked_victim");
+        let datap = b.param(0);
+        let lockp = b.param(1);
+        b.cs_begin(lockp);
+        let v = b.ld(Space::Global, datap, 0, 4);
+        let v1 = b.add(v, 1u32);
+        b.st(Space::Global, datap, 0, v1, 4);
+        b.cs_end();
+        b.build()
+    }
+
+    fn run_locked_write(bits: u8, exact: bool) -> gpu_sim::LaunchResult {
+        let (k, n) = apply(
+            &locked_victim(),
+            Injection::LockedWrite {
+                lock_param_idx: 1,
+                lock_offset: 0,
+                alias_offset: 16,
+                data_param_idx: 0,
+                data_offset: 0,
+            },
+        );
+        assert_eq!(n, 1);
+        let mut cfg = haccrg::config::DetectorConfig::paper_default();
+        cfg.bloom = haccrg::bloom::BloomConfig { bits, bins: 2 };
+        cfg.exact_lockset = exact;
+        let mut gpu = Gpu::with_detector(GpuConfig::test_small(), cfg);
+        let data = gpu.alloc(256);
+        let locks = gpu.alloc(256);
+        gpu.launch(&k, 2, 32, &[data, locks]).unwrap()
+    }
+
+    fn cs_races(res: &gpu_sim::LaunchResult) -> usize {
+        res.races
+            .records()
+            .iter()
+            .filter(|r| r.category == haccrg::prelude::RaceCategory::CriticalSection)
+            .count()
+    }
+
+    #[test]
+    fn locked_write_alias_miss_is_attributed_not_detected() {
+        // 8-bit/2-bin signature: the wrong lock 16 bytes away aliases the
+        // victim's, so the lockset race is missed — but the suppressed
+        // conflict is counted in the health block.
+        let res = run_locked_write(8, false);
+        assert_eq!(cs_races(&res), 0, "{:?}", res.races.records());
+        assert!(
+            res.stats.health.bloom_suppressed_conflicts > 0,
+            "miss must be attributed to Bloom aliasing"
+        );
+    }
+
+    #[test]
+    fn locked_write_is_caught_by_exact_lockset() {
+        let res = run_locked_write(8, true);
+        assert!(cs_races(&res) > 0, "exact lockset sees disjoint lock tables");
+        assert!(res.stats.health.bloom_suppressed_conflicts > 0);
+    }
+
+    #[test]
+    fn locked_write_is_caught_by_a_wider_signature() {
+        // 16-bit/2-bin: the two locks map to different bits, so even the
+        // Bloom signature separates them.
+        let res = run_locked_write(16, false);
+        assert!(cs_races(&res) > 0, "{:?}", res.races.records());
     }
 
     #[test]
