@@ -25,6 +25,7 @@
 
 pub mod grace;
 pub mod instrument;
+pub mod oracle;
 pub mod runner;
 pub mod sw_haccrg;
 

@@ -23,6 +23,7 @@ pub mod cycleskip;
 pub mod effectiveness;
 pub mod fidelity;
 pub mod figures;
+pub mod fuzz;
 pub mod manifest;
 pub mod progress;
 pub mod report;

@@ -1,0 +1,86 @@
+//! Corpus regression tests: every minimized repro under `corpus/` must
+//! replay clean through the full differential matrix, and the HASH-style
+//! seed-bug repro additionally pins the architectural-passivity contract
+//! it was shrunk to witness.
+
+use gpu_sim::fuzzgen::KernelSpec;
+use gpu_sim::prelude::*;
+use haccrg::config::DetectorConfig;
+use haccrg_bench::fuzz::{self, FaultInjection};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn load(name: &str) -> KernelSpec {
+    let path = corpus_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    KernelSpec::from_text(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn run_once(spec: &KernelSpec, k: &Kernel, detect: bool) -> (SimStats, Vec<u32>) {
+    let mut cfg = GpuConfig::test_small();
+    cfg.watchdog_cycles = 100_000_000;
+    let mut gpu = if detect {
+        Gpu::with_detector(cfg, DetectorConfig::paper_default())
+    } else {
+        Gpu::new(cfg)
+    };
+    let params = spec.alloc_params(&mut gpu);
+    let res = gpu
+        .launch(k, spec.grid, spec.block_dim, &params)
+        .expect("corpus kernel must terminate");
+    let out = gpu.mem.copy_to_host_u32(params[1], spec.out_words() as usize);
+    (res.stats, out)
+}
+
+/// The seed bug of this PR: detection must not perturb a contended
+/// spin-lock kernel. Instruction streams, memory-system counters and
+/// outputs are bit-identical with the detector on; only modeled cycles
+/// may grow.
+#[test]
+fn hash_repro_detection_is_architecturally_passive() {
+    let spec = load("hash-contended-lock.kernel");
+    let k = spec.build();
+    let (off, out_off) = run_once(&spec, &k, false);
+    let (on, out_on) = run_once(&spec, &k, true);
+    assert_eq!(
+        on.warp_instructions, off.warp_instructions,
+        "detection-on must replay the same instruction stream"
+    );
+    let diff = fuzz::arch_diff(&off, &on);
+    assert!(diff.is_empty(), "architectural stats diverged: {diff:?}");
+    assert_eq!(out_on, out_off, "detection-on changed functional results");
+    assert!(
+        on.cycles >= off.cycles,
+        "the detector epilogue can only add cycles: {} vs {}",
+        on.cycles,
+        off.cycles
+    );
+}
+
+/// Every corpus file — checked-in minimized repros of past findings —
+/// must replay with zero findings against the current stack.
+#[test]
+fn every_corpus_file_replays_clean() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
+        let path = entry.expect("readable corpus entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("kernel") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let spec = KernelSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+        let findings = fuzz::run_differential(&spec, FaultInjection::default());
+        assert!(
+            findings.is_empty(),
+            "{} regressed: {findings:?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "corpus must contain at least one repro");
+}

@@ -34,10 +34,11 @@ pub const GLOBAL_SHADOW_STRIDE_BYTES: u32 = 8;
 /// cycles. This is the *modeled* hardware charge; the functional shadow
 /// table invalidates lazily via generation counters and must keep quoting
 /// this arithmetic cost regardless of how little host work it does.
-/// Because the charge is arithmetic, the simulator serves it as a warp
-/// `resume_at` stall rather than per-cycle work — which also makes the
-/// whole window visible to the event-driven fast-forward layer's
-/// `Sm::wake_hint` and therefore skippable in one jump.
+/// Because the charge is arithmetic, the simulator accumulates it on the
+/// SM's detector-busy counter and folds it into the cycle count at
+/// launch end (see the passive-detection epilogue below) instead of
+/// stalling warps — stalling would let detection perturb the retired
+/// instruction stream.
 pub fn banked_reset_cycles(entries: u64, banks: u32) -> u64 {
     entries.div_ceil(u64::from(banks.max(1)))
 }
@@ -126,6 +127,43 @@ pub fn hardware_budget(p: &BudgetParams) -> HardwareBudget {
         global_basic_comparators_per_slice: global_chunks_per_line,
         global_id_comparators_per_slice: global_chunks_per_line / 2,
     }
+}
+
+/// === Passive-detection timing epilogue ===
+///
+/// HAccRG's contract is that the detector *observes* execution without
+/// changing it: enabling detection must leave the retired instruction
+/// stream, the memory traffic and every architectural counter
+/// bit-identical to a detection-off run. The simulator therefore charges
+/// detector time arithmetically — the same discipline as
+/// [`banked_reset_cycles`] — instead of injecting shadow requests into
+/// the caches and DRAM (which would perturb scheduling, e.g. a bucket
+/// lock's CAS retry count). Per-unit busy cycles are accumulated on the
+/// side during the run and folded into the cycle count as a modeled
+/// epilogue window at launch end; the fold takes the *maximum* over SMs
+/// and over memory slices, since independent units overlap.
+///
+/// One global-RDU shadow line access occupies its slice's L2 port for
+/// this many cycles (shadow shares the port round-robin with data).
+pub const SHADOW_PORT_CYCLES: u64 = 1;
+
+/// First touch of a shadow line misses L2 and fetches from DRAM; the
+/// charge models the amortized FR-FCFS service per line (bank-parallel,
+/// mostly row hits on the dense shadow table), not a full cold-miss
+/// round trip.
+pub const SHADOW_FILL_CYCLES: u64 = 8;
+
+/// Fig. 8 placement: one shared-shadow line access through the L1 port.
+pub const SHARED_SHADOW_HIT_CYCLES: u64 = 1;
+
+/// Fig. 8 placement: first touch of a shared-shadow line misses L1 and
+/// round-trips to L2 (amortized across overlapping fills).
+pub const SHARED_SHADOW_MISS_CYCLES: u64 = 16;
+
+/// Modeled busy cycles of one memory slice's shadow port: every shadow
+/// line access holds the L2 port, and first-touch lines add a DRAM fill.
+pub fn shadow_slice_cycles(port_accesses: u64, fills: u64) -> u64 {
+    port_accesses * SHADOW_PORT_CYCLES + fills * SHADOW_FILL_CYCLES
 }
 
 /// Reserved device memory for the global shadow table over a kernel

@@ -320,6 +320,11 @@ impl ShadowEntry {
 
         let conflicting = self.modified || is_write;
         let kind = self.hazard_kind(is_write);
+        // §III-A / §VI-A1: threads of one warp execute in lockstep, so
+        // their accesses are ordered even when only one side holds a lock
+        // (a divergent critical section serializes the warp's lanes, it
+        // does not un-order them). Same-warp pairs are never races.
+        let ordered_warp = p.warp_filter && a.who.warp == self.warp;
 
         let race = if self.protected && a.in_critical_section {
             // Both protected: race iff no common lock can exist.
@@ -340,7 +345,7 @@ impl ShadowEntry {
                 h.bloom_suppressed_conflicts += 1;
             }
             let null = if p.exact_lockset && exact_known { exact_disjoint } else { bloom_null };
-            if null && conflicting {
+            if null && conflicting && !ordered_warp {
                 kind.map(|k| self.race(a, k, RaceCategory::CriticalSection, p))
             } else if !null
                 && self.modified
@@ -362,7 +367,7 @@ impl ShadowEntry {
             }
         } else {
             // Protected/unprotected mix (§III-B "Unprotected accesses").
-            if conflicting {
+            if conflicting && !ordered_warp {
                 kind.map(|k| self.race(a, k, RaceCategory::CriticalSection, p))
             } else {
                 None

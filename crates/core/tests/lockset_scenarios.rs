@@ -191,3 +191,51 @@ fn barrier_epochs_compose_with_locksets() {
     // Thread 33 is warp 1, block 0: same block, new epoch.
     assert_eq!(h.access(33, HEAP + 96, AccessKind::Read), 0);
 }
+
+#[test]
+fn same_warp_lanes_never_race_across_lock_boundaries() {
+    // §III-A / §VI-A1: lanes of one warp execute in lockstep, so their
+    // accesses are ordered even when only one lane held a lock — a
+    // divergent critical section serializes the warp, it does not
+    // un-order it. Found by the differential fuzz farm (a single-warp
+    // kernel mixing a locked RMW with a plain store was reported racy).
+    let mut h = Harness::new();
+    // T0 writes under a lock, T5 (same warp) writes plain: ordered.
+    h.acquire(0, HEAP + 0x900);
+    assert_eq!(h.access(0, HEAP + 64, AccessKind::Write), 0);
+    h.fence(0);
+    h.release(0);
+    assert_eq!(
+        h.access(5, HEAP + 64, AccessKind::Write),
+        0,
+        "protected/unprotected mix within one warp is ordered"
+    );
+    // T100 (warp 3) repeating the same plain write IS a race.
+    assert_eq!(
+        h.access(100, HEAP + 64, AccessKind::Write),
+        1,
+        "the same mix across warps must still be flagged"
+    );
+}
+
+#[test]
+fn same_warp_disjoint_locksets_never_race() {
+    // Two lanes of one warp under different locks: disjoint locksets,
+    // but lockstep still orders them.
+    let mut h = Harness::new();
+    h.acquire(0, HEAP + 0x900);
+    assert_eq!(h.access(0, HEAP + 112, AccessKind::Write), 0);
+    h.fence(0);
+    h.release(0);
+    h.acquire(5, HEAP + 0x904);
+    assert_eq!(
+        h.access(5, HEAP + 112, AccessKind::Write),
+        0,
+        "disjoint locksets within one warp are ordered"
+    );
+    h.fence(5);
+    h.release(5);
+    // A third lane from another warp with a third lock: genuine race.
+    h.acquire(200, HEAP + 0x908);
+    assert_eq!(h.access(200, HEAP + 112, AccessKind::Write), 1);
+}

@@ -23,6 +23,72 @@ pub enum DetectorMode {
     Oracle,
 }
 
+/// Side model of the global RDU's shadow-memory timing, kept entirely
+/// outside the architectural memory system so detection stays passive:
+/// shadow line accesses charge modeled L2-port cycles per slice, and
+/// first touches of a shadow line charge a modeled DRAM fill. The fold
+/// into the launch cycle count (max over slices) happens in
+/// `Gpu::launch`'s epilogue.
+pub struct ShadowTimingModel {
+    /// Per-slice shadow L2-port accesses.
+    pub port_accesses: Vec<u64>,
+    /// Per-slice first-touch DRAM fills.
+    pub fills: Vec<u64>,
+    /// Residency bitmap over the shadow region, one bit per L2 line —
+    /// a ghost cache with no evictions (the shadow table is dense and
+    /// hot; modeling eviction noise would buy nothing).
+    resident: Vec<u64>,
+    base_line: u32,
+    line_shift: u32,
+}
+
+impl ShadowTimingModel {
+    /// Model covering `[shadow_base, shadow_base + span_bytes)` striped
+    /// over `num_slices` slices of `line_bytes` lines. Preallocated so
+    /// the per-access path never touches the heap.
+    pub fn new(num_slices: u32, shadow_base: u32, span_bytes: u64, line_bytes: u32) -> Self {
+        let line_shift = line_bytes.trailing_zeros();
+        let lines = span_bytes.div_ceil(u64::from(line_bytes));
+        Self {
+            port_accesses: vec![0; num_slices as usize],
+            fills: vec![0; num_slices as usize],
+            resident: vec![0; (lines as usize).div_ceil(64)],
+            base_line: shadow_base >> line_shift,
+            line_shift,
+        }
+    }
+
+    /// Record one shadow line access routed to `slice`.
+    pub fn access(&mut self, slice: u32, line_addr: u32) {
+        self.port_accesses[slice as usize] += 1;
+        let idx = ((line_addr >> self.line_shift).wrapping_sub(self.base_line)) as usize;
+        let (w, b) = (idx / 64, idx % 64);
+        // Out-of-range lines (clamped layouts) charge the port but skip
+        // residency tracking rather than indexing out of bounds.
+        if let Some(word) = self.resident.get_mut(w) {
+            if *word & (1 << b) == 0 {
+                *word |= 1 << b;
+                self.fills[slice as usize] += 1;
+            }
+        }
+    }
+
+    /// Modeled busy cycles of the busiest slice's shadow port.
+    pub fn max_slice_cycles(&self) -> u64 {
+        self.port_accesses
+            .iter()
+            .zip(&self.fills)
+            .map(|(&p, &f)| haccrg::cost::shadow_slice_cycles(p, f))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total modeled first-touch DRAM fills (all slices).
+    pub fn total_fills(&self) -> u64 {
+        self.fills.iter().sum()
+    }
+}
+
 /// Per-launch detector state.
 #[allow(missing_docs)]
 pub struct DetectorState {
@@ -32,6 +98,7 @@ pub struct DetectorState {
     pub global: Option<GlobalRdu>,
     pub clocks: ClockFile,
     pub log: RaceLog,
+    pub shadow_timing: ShadowTimingModel,
 }
 
 impl DetectorState {
@@ -40,6 +107,9 @@ impl DetectorState {
     /// `tracked` is the `[base, base+len)` device region covered by the
     /// global shadow table (everything allocated before the launch);
     /// `shadow_base` is where the shadow table itself is addressed.
+    /// `slices` describes the memory system the timing model mirrors:
+    /// `(num_slices, l2_line_bytes)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: DetectorConfig,
         mode: DetectorMode,
@@ -50,6 +120,7 @@ impl DetectorState {
         total_warps: u32,
         tracked: (u32, u32),
         shadow_base: u32,
+        slices: (u32, u32),
     ) -> Self {
         cfg.validate().expect("invalid detector config");
         let warp_filter = !cfg.warp_regrouping;
@@ -75,6 +146,8 @@ impl DetectorState {
             rdu.set_exact_lockset(cfg.exact_lockset);
             rdu
         });
+        let span = haccrg::cost::global_shadow_footprint(u64::from(tracked.1), cfg.global_granularity)
+            .allocated_bytes;
         Self {
             cfg,
             mode,
@@ -82,6 +155,7 @@ impl DetectorState {
             global,
             clocks: ClockFile::new(blocks, total_warps),
             log: RaceLog::default(),
+            shadow_timing: ShadowTimingModel::new(slices.0, shadow_base, span, slices.1),
         }
     }
 
@@ -109,6 +183,7 @@ impl DetectorState {
                 global: self.global,
                 clocks: Arc::new(self.clocks),
                 log: self.log,
+                shadow_timing: self.shadow_timing,
             },
             self.shared,
         )
@@ -125,6 +200,9 @@ pub struct LaunchDet {
     pub global: Option<GlobalRdu>,
     pub clocks: Arc<ClockFile>,
     pub log: RaceLog,
+    /// Passive timing model for global shadow traffic (mutated only in
+    /// the serial apply phase, so it is engine-invariant).
+    pub shadow_timing: ShadowTimingModel,
 }
 
 impl LaunchDet {
@@ -211,6 +289,7 @@ mod tests {
             64,
             (0x1000, 0x8000),
             0x100_0000,
+            (8, 128),
         );
         assert_eq!(d.shared.len(), 4);
         assert!(d.global.is_some());
@@ -232,6 +311,7 @@ mod tests {
             8,
             (0x1000, 0x1000),
             0x100_0000,
+            (8, 128),
         );
         assert!(d.global.is_none());
     }
@@ -248,6 +328,7 @@ mod tests {
             1,
             (0x1000, 0x1000),
             0x100_0000,
+            (8, 128),
         );
         assert!(!d.hardware());
         assert!(!d.sw_shared_shadow());

@@ -1,0 +1,605 @@
+//! Seed-deterministic structured random-kernel generator — the shared
+//! substrate of the differential fuzz farm (`haccrg_bench::fuzz`) and of
+//! the in-crate property tests.
+//!
+//! A [`KernelSpec`] is a bounded statement tree with closed-form
+//! semantics: every address a thread touches is a pure function of its
+//! coordinates and the spec's constants, loop trip counts are static, and
+//! branch conditions depend only on `tid`. That closure is what makes an
+//! *independent* happens-before oracle possible (see
+//! `haccrg_baselines::oracle`): ground truth is computed from the spec,
+//! never from the simulator under test.
+//!
+//! Coverage: ALU stretches, shared/global read-write mixes, divergent
+//! branches, counted loops, block barriers, order-independent global
+//! atomics, and HASH-style `atomicCAS` spin-lock critical sections — the
+//! statement that reproduced the detection-perturbation bug this farm
+//! exists to catch.
+//!
+//! Generation is driven by [`FuzzRng`], a xorshift64* stream: the same
+//! seed always yields the same [`KernelSpec`] on every host, with no
+//! dependency on `proptest` or any external RNG crate. Specs round-trip
+//! through a stable line-oriented text format ([`KernelSpec::to_text`] /
+//! [`KernelSpec::from_text`]) so shrunk failures can live as corpus
+//! files.
+
+use crate::gpu::Gpu;
+use crate::isa::builder::KernelBuilder;
+use crate::isa::{AtomOp, BinOp, CmpOp, Kernel, Reg, Space};
+
+/// Words in the global data buffer (`param(0)`). Small enough that
+/// independent threads collide often — collisions are the point.
+pub const GLOBAL_WORDS: u32 = 1024;
+
+/// Bytes of shared memory every generated kernel allocates.
+pub const SHARED_BYTES: u32 = 512;
+
+/// Lock words (`param(2)`) for [`FuzzStmt::LockedRmw`]; power of two.
+/// The locked payload words are `data[0..LOCK_WORDS]`, so plain global
+/// statements can race against critical sections.
+pub const LOCK_WORDS: u32 = 32;
+
+/// Knuth multiplicative hash step used by the generator's bucket maps.
+pub const HASH_MUL: u32 = 2654435761;
+
+/// xorshift64* PRNG: tiny, seed-deterministic, identical on every host.
+/// Zero seeds are remapped so the stream never collapses.
+#[derive(Clone, Debug)]
+pub struct FuzzRng(u64);
+
+impl FuzzRng {
+    /// Stream for `seed` (any value, including 0). The seed is scrambled
+    /// through a splitmix64 round so that adjacent seeds yield unrelated
+    /// streams (a plain `seed | 1` mapped seeds 2k and 2k+1 onto the same
+    /// xorshift state, silently halving campaign coverage).
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FuzzRng(if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z })
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit draw (upper half of the 64-bit state — better mixed).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u32) -> u32 {
+        self.next_u32() % n.max(1)
+    }
+}
+
+/// One statement of a generated kernel. Every variant's lowering (and
+/// therefore its access footprint) is fixed by this module; the oracle
+/// mirrors the same arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuzzStmt {
+    /// `acc = acc <op%3> (tid ^ k)` — pure ALU, no memory.
+    Alu(u8, u32),
+    /// Shared store + load at a tid/k-derived word; feeds `acc`.
+    SharedRw(u32),
+    /// Global store + load at a gtid/k-derived word; feeds `acc`.
+    GlobalRw(u32),
+    /// Order-independent global atomic (`add/min/max/or` by `op % 4`) on
+    /// a gtid/k-derived word; result discarded so outputs stay
+    /// schedule-invariant.
+    GlobalAtomic(u8, u32),
+    /// HASH-style critical section: spin-acquire `locks[h]` with
+    /// `atomicCAS`, `data[h] += 1` inside `cs_begin`/`cs_end`, fence,
+    /// release with `atomicExch`. `h = hash(gtid ^ k) % LOCK_WORDS`.
+    LockedRmw(u32),
+    /// `if (tid & ((mask % 31) + 1)) { then } else { otherwise }` —
+    /// divergent within a warp.
+    If(u32, Vec<FuzzStmt>, Vec<FuzzStmt>),
+    /// `for i in 0..(n % 3 + 1) { body }`.
+    For(u8, Vec<FuzzStmt>),
+    /// `__syncthreads()` — generated at top level only (uniform flow).
+    Bar,
+}
+
+impl FuzzStmt {
+    /// Nodes in this statement's subtree (the shrinker's size metric).
+    pub fn node_count(&self) -> usize {
+        match self {
+            FuzzStmt::If(_, t, e) => {
+                1 + t.iter().map(FuzzStmt::node_count).sum::<usize>()
+                    + e.iter().map(FuzzStmt::node_count).sum::<usize>()
+            }
+            FuzzStmt::For(_, b) => 1 + b.iter().map(FuzzStmt::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+/// Generation shape knobs. The defaults match the differential farm; the
+/// property tests reuse them so corpus files reproduce under either
+/// harness.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Top-level statements (uniformly `1..=max_top`).
+    pub max_top: u32,
+    /// Maximum `If`/`For` nesting depth.
+    pub max_depth: u32,
+    /// Whether to generate [`FuzzStmt::LockedRmw`] (spin locks make
+    /// kernels slower; some harnesses exclude them).
+    pub locks: bool,
+    /// Whether to generate [`FuzzStmt::GlobalAtomic`].
+    pub atomics: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_top: 8, max_depth: 2, locks: true, atomics: true }
+    }
+}
+
+/// A complete generated kernel: launch geometry plus the statement tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Seed this spec was generated from (0 for hand-written specs).
+    pub seed: u64,
+    /// Blocks in the launch.
+    pub grid: u32,
+    /// Threads per block (a multiple of the warp size keeps warp-filter
+    /// reasoning simple; the generator uses 32 or 64).
+    pub block_dim: u32,
+    /// The program.
+    pub stmts: Vec<FuzzStmt>,
+}
+
+impl KernelSpec {
+    /// Deterministically generate the spec for `seed`.
+    pub fn generate(seed: u64, cfg: &GenConfig) -> Self {
+        let mut rng = FuzzRng::new(seed);
+        let grid = [1u32, 2, 2, 4][rng.below(4) as usize];
+        let block_dim = [32u32, 64][rng.below(2) as usize];
+        let n = 1 + rng.below(cfg.max_top.max(1));
+        let stmts = (0..n).map(|_| gen_stmt(&mut rng, cfg, cfg.max_depth, true)).collect();
+        KernelSpec { seed, grid, block_dim, stmts }
+    }
+
+    /// Total statement-tree nodes (shrinker metric).
+    pub fn node_count(&self) -> usize {
+        self.stmts.iter().map(FuzzStmt::node_count).sum()
+    }
+
+    /// Output words the harness must allocate for `param(1)`.
+    pub fn out_words(&self) -> u32 {
+        self.grid * self.block_dim
+    }
+
+    /// Lower the spec to an executable kernel.
+    pub fn build(&self) -> Kernel {
+        let mut b = KernelBuilder::new("fuzzgen");
+        let _sh = b.shared_alloc(SHARED_BYTES);
+        let acc = b.mov(1u32);
+        lower(&mut b, acc, &self.stmts, true);
+        // Sink the accumulator so no statement is trivially dead.
+        let outp = b.param(1);
+        let g = b.global_tid();
+        let o = b.shl(g, 2u32);
+        let dst = b.add(outp, o);
+        b.st(Space::Global, dst, 0, acc, 4);
+        b.build()
+    }
+
+    /// Allocate the kernel's parameter buffers on `gpu` and return the
+    /// launch params `[data, out, locks]`. Device memory is
+    /// zero-initialized, so locks start released.
+    pub fn alloc_params(&self, gpu: &mut Gpu) -> Vec<u32> {
+        let data = gpu.alloc(GLOBAL_WORDS * 4);
+        let out = gpu.alloc(self.out_words() * 4);
+        let locks = gpu.alloc(LOCK_WORDS * 4);
+        vec![data, out, locks]
+    }
+
+    /// Serialize to the stable corpus text format (see module docs).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("haccrg-fuzz-kernel v1\n");
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("grid {}\n", self.grid));
+        s.push_str(&format!("block {}\n", self.block_dim));
+        s.push_str("begin\n");
+        write_stmts(&mut s, &self.stmts, 1);
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parse the corpus text format. Errors carry the offending line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .peekable();
+        let header = lines.next().ok_or("empty corpus file")?;
+        if header != "haccrg-fuzz-kernel v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let seed = parse_kv(lines.next(), "seed")?;
+        let grid = parse_kv(lines.next(), "grid")? as u32;
+        let block_dim = parse_kv(lines.next(), "block")? as u32;
+        if grid == 0 || block_dim == 0 {
+            return Err("grid and block must be nonzero".into());
+        }
+        match lines.next() {
+            Some("begin") => {}
+            other => return Err(format!("expected 'begin', got {other:?}")),
+        }
+        let stmts = parse_stmts(&mut lines, "end")?;
+        if lines.next().is_some() {
+            return Err("trailing content after 'end'".into());
+        }
+        Ok(KernelSpec { seed, grid, block_dim, stmts })
+    }
+}
+
+fn gen_stmt(rng: &mut FuzzRng, cfg: &GenConfig, depth: u32, top: bool) -> FuzzStmt {
+    // Weighted kind draw; nesting and barriers only where legal.
+    let mut weights: Vec<(u32, u8)> = vec![(3, 0), (2, 1), (2, 2)];
+    if cfg.atomics {
+        weights.push((1, 3));
+    }
+    if cfg.locks {
+        weights.push((1, 4));
+    }
+    if depth > 0 {
+        weights.push((1, 5));
+        weights.push((1, 6));
+    }
+    if top {
+        weights.push((1, 7));
+    }
+    let total: u32 = weights.iter().map(|(w, _)| w).sum();
+    let mut pick = rng.below(total);
+    let kind = weights
+        .iter()
+        .find(|(w, _)| {
+            if pick < *w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        })
+        .map_or(0, |(_, k)| *k);
+    match kind {
+        0 => FuzzStmt::Alu(rng.next_u32() as u8, rng.next_u32()),
+        1 => FuzzStmt::SharedRw(rng.next_u32()),
+        2 => FuzzStmt::GlobalRw(rng.next_u32()),
+        3 => FuzzStmt::GlobalAtomic(rng.next_u32() as u8, rng.next_u32()),
+        4 => FuzzStmt::LockedRmw(rng.next_u32()),
+        5 => {
+            let mask = rng.next_u32();
+            let nt = 1 + rng.below(3);
+            let ne = rng.below(3);
+            let t = (0..nt).map(|_| gen_stmt(rng, cfg, depth - 1, false)).collect();
+            let e = (0..ne).map(|_| gen_stmt(rng, cfg, depth - 1, false)).collect();
+            FuzzStmt::If(mask, t, e)
+        }
+        6 => {
+            let n = rng.next_u32() as u8;
+            let nb = 1 + rng.below(3);
+            let body = (0..nb).map(|_| gen_stmt(rng, cfg, depth - 1, false)).collect();
+            FuzzStmt::For(n, body)
+        }
+        _ => FuzzStmt::Bar,
+    }
+}
+
+/// The address arithmetic below is the *contract* between lowering and
+/// the oracle: `haccrg_baselines::oracle` re-computes these closed forms.
+/// Change one side only with the other.
+///
+/// Shared word touched by `SharedRw(k)` for thread `tid`.
+pub fn shared_addr(tid: u32, k: u32) -> u32 {
+    (tid.wrapping_mul(4).wrapping_add(k % SHARED_BYTES) % (SHARED_BYTES - 4)) & !3
+}
+
+/// Global word byte-offset touched by `GlobalRw(k)` for global thread
+/// `gtid` (relative to the data buffer base).
+pub fn global_addr(gtid: u32, k: u32) -> u32 {
+    (gtid.wrapping_mul(4).wrapping_add(k % (GLOBAL_WORDS * 4)) % (GLOBAL_WORDS * 4 - 4)) & !3
+}
+
+/// Global word byte-offset touched by `GlobalAtomic(_, k)`.
+pub fn atomic_addr(gtid: u32, k: u32) -> u32 {
+    ((gtid ^ k).wrapping_mul(HASH_MUL) >> 16) % GLOBAL_WORDS * 4
+}
+
+/// Lock bucket of `LockedRmw(k)`; the payload word is `data[bucket]` and
+/// the lock word is `locks[bucket]`.
+pub fn lock_bucket(gtid: u32, k: u32) -> u32 {
+    ((gtid ^ k).wrapping_mul(HASH_MUL) >> 16) & (LOCK_WORDS - 1)
+}
+
+/// The atomic op encoded by `GlobalAtomic(op, _)` — all order-independent
+/// so final memory contents are schedule-invariant.
+pub fn atomic_op(op: u8) -> AtomOp {
+    match op % 4 {
+        0 => AtomOp::Add,
+        1 => AtomOp::Min,
+        2 => AtomOp::Max,
+        _ => AtomOp::Or,
+    }
+}
+
+fn lower(b: &mut KernelBuilder, acc: Reg, stmts: &[FuzzStmt], top: bool) {
+    for s in stmts {
+        match s {
+            FuzzStmt::Alu(op, k) => {
+                let t = b.tid();
+                let x = b.xor(t, *k);
+                match op % 3 {
+                    0 => b.bin_into(BinOp::Add, acc, acc, x),
+                    1 => b.bin_into(BinOp::Xor, acc, acc, x),
+                    _ => b.bin_into(BinOp::Sub, acc, acc, x),
+                }
+            }
+            FuzzStmt::SharedRw(k) => {
+                let t = b.tid();
+                let t4 = b.shl(t, 2u32);
+                let o = b.add(t4, *k % SHARED_BYTES);
+                let idx = b.rem(o, SHARED_BYTES - 4);
+                let a = b.and(idx, !3u32);
+                b.st(Space::Shared, a, 0, acc, 4);
+                let v = b.ld(Space::Shared, a, 0, 4);
+                b.bin_into(BinOp::Xor, acc, acc, v);
+            }
+            FuzzStmt::GlobalRw(k) => {
+                let base = b.param(0);
+                let g = b.global_tid();
+                let g4 = b.shl(g, 2u32);
+                let o = b.add(g4, *k % (GLOBAL_WORDS * 4));
+                let idx = b.rem(o, GLOBAL_WORDS * 4 - 4);
+                let al = b.and(idx, !3u32);
+                let a = b.add(base, al);
+                b.st(Space::Global, a, 0, acc, 4);
+                let v = b.ld(Space::Global, a, 0, 4);
+                b.bin_into(BinOp::Add, acc, acc, v);
+            }
+            FuzzStmt::GlobalAtomic(op, k) => {
+                let base = b.param(0);
+                let g = b.global_tid();
+                let x = b.xor(g, *k);
+                let h0 = b.mul(x, HASH_MUL);
+                let h1 = b.shr(h0, 16u32);
+                let w = b.rem(h1, GLOBAL_WORDS);
+                let off = b.shl(w, 2u32);
+                let a = b.add(base, off);
+                // Result discarded: keeps outputs schedule-invariant.
+                let _ = b.atom(Space::Global, atomic_op(*op), a, 0, 1u32, 0u32);
+            }
+            FuzzStmt::LockedRmw(k) => {
+                let datap = b.param(0);
+                let locksp = b.param(2);
+                let g = b.global_tid();
+                let x = b.xor(g, *k);
+                let h0 = b.mul(x, HASH_MUL);
+                let h1 = b.shr(h0, 16u32);
+                let h = b.and(h1, LOCK_WORDS - 1);
+                let h4 = b.shl(h, 2u32);
+                let lock = b.add(locksp, h4);
+                let payload = b.add(datap, h4);
+                let done = b.mov(0u32);
+                b.while_loop(
+                    |b| b.setp(CmpOp::Eq, done, 0u32),
+                    |b| {
+                        let old = b.atom(Space::Global, AtomOp::Cas, lock, 0, 0u32, 1u32);
+                        let won = b.setp(CmpOp::Eq, old, 0u32);
+                        b.if_then(won, |b| {
+                            b.cs_begin(lock);
+                            let v = b.ld(Space::Global, payload, 0, 4);
+                            let v1 = b.add(v, 1u32);
+                            b.st(Space::Global, payload, 0, v1, 4);
+                            b.cs_end();
+                            // Fig. 2(b): fence before the release is
+                            // visible on this non-coherent machine.
+                            b.membar();
+                            b.atom(Space::Global, AtomOp::Exch, lock, 0, 0u32, 0u32);
+                            b.assign(done, 1u32);
+                        });
+                    },
+                );
+            }
+            FuzzStmt::If(m, t, e) => {
+                let tid = b.tid();
+                let bit = b.and(tid, (*m % 31) + 1);
+                let p = b.setp(CmpOp::Ne, bit, 0u32);
+                let (tb, eb) = (t.clone(), e.clone());
+                b.if_then_else(
+                    p,
+                    move |b| lower(b, acc, &tb, false),
+                    move |b| lower(b, acc, &eb, false),
+                );
+            }
+            FuzzStmt::For(n, body) => {
+                let body = body.clone();
+                let trips = u32::from(*n) % 3 + 1;
+                b.for_range(0u32, trips, 1u32, move |b, _| lower(b, acc, &body, false));
+            }
+            FuzzStmt::Bar => {
+                if top {
+                    b.bar();
+                }
+            }
+        }
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[FuzzStmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            FuzzStmt::Alu(op, k) => out.push_str(&format!("{pad}alu {op} {k}\n")),
+            FuzzStmt::SharedRw(k) => out.push_str(&format!("{pad}shared {k}\n")),
+            FuzzStmt::GlobalRw(k) => out.push_str(&format!("{pad}global {k}\n")),
+            FuzzStmt::GlobalAtomic(op, k) => out.push_str(&format!("{pad}atomic {op} {k}\n")),
+            FuzzStmt::LockedRmw(k) => out.push_str(&format!("{pad}locked {k}\n")),
+            FuzzStmt::If(m, t, e) => {
+                out.push_str(&format!("{pad}if {m}\n"));
+                write_stmts(out, t, indent + 1);
+                out.push_str(&format!("{pad}else\n"));
+                write_stmts(out, e, indent + 1);
+                out.push_str(&format!("{pad}endif\n"));
+            }
+            FuzzStmt::For(n, body) => {
+                out.push_str(&format!("{pad}for {n}\n"));
+                write_stmts(out, body, indent + 1);
+                out.push_str(&format!("{pad}endfor\n"));
+            }
+            FuzzStmt::Bar => out.push_str(&format!("{pad}bar\n")),
+        }
+    }
+}
+
+fn parse_kv(line: Option<&str>, key: &str) -> Result<u64, String> {
+    let line = line.ok_or_else(|| format!("missing '{key}' line"))?;
+    let rest = line
+        .strip_prefix(key)
+        .ok_or_else(|| format!("expected '{key} N', got {line:?}"))?;
+    rest.trim().parse().map_err(|e| format!("bad {key} value in {line:?}: {e}"))
+}
+
+fn parse_stmts<'a, I>(
+    lines: &mut std::iter::Peekable<I>,
+    terminator: &str,
+) -> Result<Vec<FuzzStmt>, String>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut out = Vec::new();
+    loop {
+        let line = *lines.peek().ok_or_else(|| format!("missing '{terminator}'"))?;
+        if line == terminator || line == "else" {
+            if line == terminator {
+                lines.next();
+            }
+            return Ok(out);
+        }
+        lines.next();
+        let mut parts = line.split_whitespace();
+        let word = parts.next().unwrap_or("");
+        let mut num = |what: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("{line:?}: missing {what}"))?
+                .parse()
+                .map_err(|e| format!("{line:?}: bad {what}: {e}"))
+        };
+        out.push(match word {
+            "alu" => FuzzStmt::Alu(num("op")? as u8, num("k")? as u32),
+            "shared" => FuzzStmt::SharedRw(num("k")? as u32),
+            "global" => FuzzStmt::GlobalRw(num("k")? as u32),
+            "atomic" => FuzzStmt::GlobalAtomic(num("op")? as u8, num("k")? as u32),
+            "locked" => FuzzStmt::LockedRmw(num("k")? as u32),
+            "bar" => FuzzStmt::Bar,
+            "if" => {
+                let m = num("mask")? as u32;
+                let t = parse_stmts(lines, "endif")?;
+                // parse_stmts returned either at 'else' (not consumed) or
+                // at 'endif' (consumed).
+                let e = if lines.peek().is_none() || t_stopped_at_else(lines) {
+                    lines.next(); // consume 'else'
+                    parse_stmts(lines, "endif")?
+                } else {
+                    Vec::new()
+                };
+                FuzzStmt::If(m, t, e)
+            }
+            "for" => {
+                let n = num("n")? as u8;
+                let body = parse_stmts(lines, "endfor")?;
+                FuzzStmt::For(n, body)
+            }
+            other => return Err(format!("unknown statement {other:?}")),
+        });
+    }
+}
+
+fn t_stopped_at_else<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+) -> bool {
+    lines.peek() == Some(&"else")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_seeds_yield_distinct_streams() {
+        // Regression: the old seed scramble (`seed ^ C | 1`) collapsed
+        // seeds 2k and 2k+1 into one RNG state, so half of every fuzz
+        // campaign duplicated the other half.
+        let mut collisions = 0;
+        for seed in 0..64u64 {
+            if FuzzRng::new(seed).next_u64() == FuzzRng::new(seed + 1).next_u64() {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0, "adjacent seeds must not share a stream");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = KernelSpec::generate(seed, &cfg);
+            let b = KernelSpec::generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed} diverged");
+            assert!(a.build().validate().is_ok(), "seed {seed} builds invalid kernel");
+        }
+        assert_ne!(
+            KernelSpec::generate(1, &cfg),
+            KernelSpec::generate(2, &cfg),
+            "distinct seeds should differ"
+        );
+    }
+
+    #[test]
+    fn corpus_text_round_trips() {
+        let cfg = GenConfig::default();
+        for seed in 0..64u64 {
+            let spec = KernelSpec::generate(seed, &cfg);
+            let text = spec.to_text();
+            let back = KernelSpec::from_text(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(back, spec, "seed {seed} did not round-trip\n{text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(KernelSpec::from_text("").is_err());
+        assert!(KernelSpec::from_text("haccrg-fuzz-kernel v2\n").is_err());
+        let missing_end = "haccrg-fuzz-kernel v1\nseed 1\ngrid 1\nblock 32\nbegin\nalu 1 2\n";
+        assert!(KernelSpec::from_text(missing_end).is_err());
+        let bad_stmt = "haccrg-fuzz-kernel v1\nseed 1\ngrid 1\nblock 32\nbegin\nfrob 1\nend\n";
+        assert!(KernelSpec::from_text(bad_stmt).is_err());
+    }
+
+    #[test]
+    fn generated_kernels_execute() {
+        let spec = KernelSpec::generate(7, &GenConfig::default());
+        let mut gpu = Gpu::new(crate::config::GpuConfig::test_small());
+        let params = spec.alloc_params(&mut gpu);
+        let res = gpu
+            .launch(&spec.build(), spec.grid, spec.block_dim, &params)
+            .expect("generated kernel terminates");
+        assert!(res.stats.cycles > 0);
+    }
+}

@@ -66,6 +66,7 @@ pub mod detector;
 pub mod device;
 pub(crate) mod engine;
 pub mod exec;
+pub mod fuzzgen;
 pub mod gpu;
 pub mod isa;
 pub mod mem;

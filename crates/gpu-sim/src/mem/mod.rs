@@ -44,17 +44,12 @@ pub enum ReqKind {
         /// Destination register receiving the old values.
         dreg: u16,
     },
-    /// Detection-only probe for an L1 read hit (§IV-B): charges the
-    /// network and the slice's shadow queue; no response.
-    ShadowProbe,
-    /// Fig. 8 mode: L1 miss fill for a shared-shadow line; no warp wakeup.
-    SharedShadowFill,
 }
 
 impl ReqKind {
     /// Whether a response must travel back to the SM.
     pub fn wants_response(&self) -> bool {
-        matches!(self, ReqKind::LoadData | ReqKind::StoreData | ReqKind::Atomic { .. } | ReqKind::SharedShadowFill)
+        matches!(self, ReqKind::LoadData | ReqKind::StoreData | ReqKind::Atomic { .. })
     }
 
     /// Whether the request writes memory (for L2 dirty handling).
@@ -80,8 +75,10 @@ pub struct MemReq {
     /// after the CTA retired and another warp reused the slot.
     pub gwarp: u32,
     pub kind: ReqKind,
-    /// Shadow-table line accesses the global RDU piggybacked on this
-    /// request (charged at the slice's shadow queue).
+    /// Shadow-table line accesses the global RDU associated with this
+    /// request. Timing-inert annotation (the passive detector charges
+    /// shadow traffic arithmetically); consumed only by the §IV-B TLB
+    /// trace.
     pub shadow_ops: u8,
     /// First shadow line address for those accesses (consecutive lines).
     pub shadow_base: u32,
@@ -105,10 +102,9 @@ impl MemReq {
     /// Network flits for the response in the slice→SM direction.
     pub fn response_flits(&self, flit_bytes: u32) -> u64 {
         let data = match self.kind {
-            ReqKind::LoadData | ReqKind::SharedShadowFill => self.bytes,
+            ReqKind::LoadData => self.bytes,
             ReqKind::Atomic { .. } => 8,
             ReqKind::StoreData => 0, // bare ack
-            ReqKind::ShadowProbe => 0,
         };
         1 + u64::from(data.div_ceil(flit_bytes))
     }
@@ -143,10 +139,6 @@ mod tests {
         let w = req(ReqKind::StoreData, 128);
         assert_eq!(w.request_flits(32), 5);
         assert_eq!(w.response_flits(32), 1);
-        // Probe: header only, no response.
-        let p = req(ReqKind::ShadowProbe, 0);
-        assert_eq!(p.request_flits(32), 1);
-        assert!(!p.kind.wants_response());
     }
 
     #[test]

@@ -1,13 +1,12 @@
-//! A memory slice: one bank of the unified L2 cache, its memory
-//! controller + GDDR3 channel, and the global-memory RDU's shadow-access
-//! port (§IV-B, Fig. 6).
+//! A memory slice: one bank of the unified L2 cache and its memory
+//! controller + GDDR3 channel.
 //!
-//! Every global data transaction is processed here; when HAccRG is on,
-//! the slice additionally serves the shadow-table line accesses the RDU
-//! generated for that transaction. Shadow accesses share the L2 port
-//! (round-robin with data), allocate in L2 (polluting it — §VI-C1), and
-//! fall through to DRAM on misses: this contention is the entire source
-//! of the combined-detection overhead in Fig. 7/9.
+//! Every global data transaction is processed here. HAccRG's
+//! shadow-table accesses (§IV-B, Fig. 6) are *not* served by the slice:
+//! the passive detector charges them arithmetically through
+//! `ShadowTimingModel` so detection can never perturb data timing. The
+//! `shadow_ops`/`shadow_base` annotations on a request are inert here —
+//! they exist only for the §IV-B TLB trace.
 
 use std::collections::VecDeque;
 
@@ -19,15 +18,6 @@ use crate::mem::dram::{Dram, DramReq};
 use crate::mem::{MemReq, ReqKind};
 use crate::trace::SimEvent;
 
-/// Why a DRAM read was issued.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum FillKind {
-    /// Data line for MSHR waiters.
-    Data,
-    /// Shadow-table line (RDU access).
-    Shadow,
-}
-
 /// One memory slice.
 pub struct MemSlice {
     id: u32,
@@ -37,18 +27,13 @@ pub struct MemSlice {
     /// This slice's memory controller + GDDR3 channel.
     pub dram: Dram,
     input: VecDeque<MemReq>,
-    shadow_queue: VecDeque<u32>,
-    /// line → (fill kind, waiting requests, dirty-on-fill)
-    mshr: Vec<(u32, FillKind, Vec<MemReq>, bool)>,
+    /// line → (waiting requests, dirty-on-fill)
+    mshr: Vec<(u32, Vec<MemReq>, bool)>,
     /// Dirty evictions waiting for DRAM queue space.
     writeback_queue: VecDeque<u32>,
     /// Completed responses awaiting their ready time.
     ready: Vec<(u64, MemReq)>,
-    /// Round-robin fairness bit between data and shadow L2 ports.
-    serve_shadow_next: bool,
     next_dram_id: u64,
-    /// Shadow L2 accesses performed (stats).
-    pub shadow_l2_accesses: u64,
     /// Whether to record trace events (mirrors the GPU tracer's state;
     /// the slice has no tracer handle, so the GPU drains `trace_buf`).
     pub trace_on: bool,
@@ -58,10 +43,8 @@ pub struct MemSlice {
     /// Earliest future cycle [`Self::cycle`] can make progress, as of the
     /// last time the slice was cycled; `0` (never in the future) whenever
     /// the hint may be stale — new input invalidates it. While
-    /// `now < wake_hint` a cycle call could only flip the port-arbiter
-    /// fairness bit, which [`Self::settle_arbiter`] replicates, so the
-    /// GPU may gate the slice out of such cycles with bit-identical
-    /// results.
+    /// `now < wake_hint` a cycle call is a provable no-op, so the GPU
+    /// may gate the slice out of such cycles with bit-identical results.
     pub(crate) wake_hint: u64,
 }
 
@@ -74,13 +57,10 @@ impl MemSlice {
             l2: Cache::new(cfg.l2),
             dram: Dram::new(cfg.dram),
             input: VecDeque::new(),
-            shadow_queue: VecDeque::new(),
             mshr: Vec::new(),
             writeback_queue: VecDeque::new(),
             ready: Vec::new(),
-            serve_shadow_next: false,
             next_dram_id: 0,
-            shadow_l2_accesses: 0,
             trace_on: false,
             trace_buf: Vec::new(),
             wake_hint: 0,
@@ -102,7 +82,6 @@ impl MemSlice {
     /// Whether all queues are drained (kernel completion check).
     pub fn idle(&self) -> bool {
         self.input.is_empty()
-            && self.shadow_queue.is_empty()
             && self.mshr.is_empty()
             && self.writeback_queue.is_empty()
             && self.ready.is_empty()
@@ -138,22 +117,8 @@ impl MemSlice {
             self.writeback_queue.pop_front();
         }
 
-        // One L2 port access per cycle, round-robin between data requests
-        // and RDU shadow accesses.
-        let shadow_first = self.serve_shadow_next && !self.shadow_queue.is_empty();
-        if shadow_first || self.input.is_empty() {
-            if self.process_shadow(now) {
-                self.serve_shadow_next = false;
-            } else {
-                self.process_data(now, mem);
-                self.serve_shadow_next = true;
-            }
-        } else if self.process_data(now, mem) {
-            self.serve_shadow_next = true;
-        } else {
-            self.process_shadow(now);
-            self.serve_shadow_next = false;
-        }
+        // One L2 port access per cycle.
+        self.process_data(now, mem);
 
         // DRAM progress.
         let prof_dram = crate::prof::scope(crate::prof::Phase::Dram);
@@ -171,17 +136,12 @@ impl MemSlice {
                 continue;
             }
             // Which MSHR entry does this fill?
-            if let Some(pos) = self.mshr.iter().position(|(l, _, _, _)| *l == c.line_addr) {
-                let (line, kind, waiters, dirty) = self.mshr.swap_remove(pos);
+            if let Some(pos) = self.mshr.iter().position(|(l, _, _)| *l == c.line_addr) {
+                let (line, waiters, dirty) = self.mshr.swap_remove(pos);
                 let ev = self.l2.fill(line, dirty, now);
                 self.handle_eviction(ev);
-                match kind {
-                    FillKind::Shadow => {}
-                    FillKind::Data => {
-                        for w in waiters {
-                            self.ready.push((now + 1, w));
-                        }
-                    }
+                for w in waiters {
+                    self.ready.push((now + 1, w));
                 }
             }
         }
@@ -205,9 +165,9 @@ impl MemSlice {
     /// Earliest future cycle at which [`Self::cycle`] could do real work,
     /// evaluated right after a cycle at `now` (so every event is
     /// `> now`); `u64::MAX` when the slice is drained. "Real work" means
-    /// anything beyond flipping the arbiter fairness bit: releasing a
-    /// matured response, DRAM scheduling or completion, retrying a
-    /// writeback, or serving a head request through the L2 port.
+    /// releasing a matured response, DRAM scheduling or completion,
+    /// retrying a writeback, or serving a head request through the L2
+    /// port.
     fn next_event(&self, now: u64) -> u64 {
         let mut t = u64::MAX;
         for &(at, _) in &self.ready {
@@ -219,9 +179,7 @@ impl MemSlice {
         if !self.writeback_queue.is_empty() && self.dram.can_accept() {
             t = t.min(now + 1);
         }
-        if self.head_can_progress(self.input.front().map(|r| r.line_addr))
-            || self.head_can_progress(self.shadow_queue.front().copied())
-        {
+        if self.head_can_progress(self.input.front().map(|r| r.line_addr)) {
             t = t.min(now + 1);
         }
         t
@@ -229,30 +187,13 @@ impl MemSlice {
 
     /// Whether a head request for `line` would get through the L2 port:
     /// the exact inverse of the head-blockage checks in
-    /// [`Self::process_data`] / [`Self::process_shadow`] (hit, merged
-    /// into an outstanding fill, or free MSHR + DRAM queue space).
+    /// [`Self::process_data`] (hit, merged into an outstanding fill, or
+    /// free MSHR + DRAM queue space).
     fn head_can_progress(&self, line: Option<u32>) -> bool {
         let Some(line) = line else { return false };
         self.l2.contains(line)
-            || self.mshr.iter().any(|(l, _, _, _)| *l == line)
+            || self.mshr.iter().any(|(l, _, _)| *l == line)
             || (self.dram.can_accept() && self.mshr.len() < self.cfg.l2.mshrs as usize)
-    }
-
-    /// Stand-in for [`Self::cycle`] on a gated (quiescent) cycle. A fully
-    /// blocked cycle's only state change is the data/shadow port-arbiter
-    /// fairness bit, which settles to a fixed point after one blocked
-    /// cycle: an empty input queue always hands the port to data next
-    /// (the arbiter tried shadow first and fell through), and a blocked
-    /// data head with nothing in the shadow queue parks the bit on
-    /// shadow-last. With both queues non-empty and blocked the bit is
-    /// already stable. Applying this rule once per gated cycle is
-    /// therefore bit-identical to running the dense arbiter.
-    pub(crate) fn settle_arbiter(&mut self) {
-        if self.input.is_empty() {
-            self.serve_shadow_next = true;
-        } else if self.shadow_queue.is_empty() {
-            self.serve_shadow_next = false;
-        }
     }
 
     /// Process one data request. Returns whether the L2 port was used.
@@ -263,21 +204,13 @@ impl MemSlice {
         let line = req.line_addr;
         let needs_mshr = !self.l2.contains(line);
         if needs_mshr
-            && !self.mshr.iter().any(|(l, _, _, _)| *l == line)
+            && !self.mshr.iter().any(|(l, _, _)| *l == line)
             && (!self.dram.can_accept() || self.mshr.len() >= self.cfg.l2.mshrs as usize)
         {
             return false;
         }
 
         let mut req = self.input.pop_front().expect("checked above");
-
-        // The RDU piggybacked shadow line accesses on this request: they
-        // join the shadow queue now that the request reached the slice.
-        // (Vec is drained; probes carry their lines the same way.)
-        for i in 0..req.shadow_ops {
-            let base = shadow_line_key(&req, i);
-            self.shadow_queue.push_back(base);
-        }
 
         // Atomics: functional read-modify-write in lane order, right now.
         if let ReqKind::Atomic { ops, .. } = &req.kind {
@@ -293,87 +226,28 @@ impl MemSlice {
         let is_write = req.kind.is_write();
         let hit = self.l2.probe(line, is_write, now);
         if self.trace_on {
-            self.trace_buf.push(SimEvent::L2Access {
-                slice: self.id,
-                line,
-                hit,
-                shadow: matches!(req.kind, ReqKind::ShadowProbe),
-            });
+            self.trace_buf.push(SimEvent::L2Access { slice: self.id, line, hit, shadow: false });
         }
-        match (&req.kind, hit) {
-            (ReqKind::ShadowProbe, _) => { /* consumed above; no response */ }
-            (_, true) => {
-                if req.kind.wants_response() {
-                    self.ready.push((now + u64::from(self.cfg.l2.hit_latency), req));
-                }
-            }
-            (_, false) => {
-                // Miss: join or open an MSHR entry; write-allocate marks
-                // the fill dirty.
-                if let Some(entry) = self.mshr.iter_mut().find(|(l, _, _, _)| *l == line) {
-                    entry.3 |= is_write;
-                    if req.kind.wants_response() {
-                        entry.2.push(req);
-                    }
-                } else {
-                    let waiters = if req.kind.wants_response() { vec![req] } else { Vec::new() };
-                    self.mshr.push((line, FillKind::Data, waiters, is_write));
-                    self.dram_read(line);
-                }
-            }
-        }
-        true
-    }
-
-    /// Process one shadow access. Returns whether the L2 port was used.
-    fn process_shadow(&mut self, now: u64) -> bool {
-        let Some(&line) = self.shadow_queue.front() else { return false };
-        if !self.l2.contains(line) {
-            let merged = self.mshr.iter().any(|(l, _, _, _)| *l == line);
-            if !merged && (!self.dram.can_accept() || self.mshr.len() >= self.cfg.l2.mshrs as usize) {
-                return false;
-            }
-            self.shadow_queue.pop_front();
-            self.shadow_l2_accesses += 1;
-            if self.trace_on {
-                self.trace_buf.push(SimEvent::L2Access {
-                    slice: self.id,
-                    line,
-                    hit: false,
-                    shadow: true,
-                });
-            }
-            // Shadow accesses are read-modify-write: the fill is dirty.
-            if merged {
-                if let Some(e) = self.mshr.iter_mut().find(|(l, _, _, _)| *l == line) {
-                    e.3 = true;
-                }
-            } else {
-                self.mshr.push((line, FillKind::Shadow, Vec::new(), true));
-                self.dram_read(line);
+        if hit {
+            if req.kind.wants_response() {
+                self.ready.push((now + u64::from(self.cfg.l2.hit_latency), req));
             }
         } else {
-            self.shadow_queue.pop_front();
-            self.shadow_l2_accesses += 1;
-            if self.trace_on {
-                self.trace_buf.push(SimEvent::L2Access {
-                    slice: self.id,
-                    line,
-                    hit: true,
-                    shadow: true,
-                });
+            // Miss: join or open an MSHR entry; write-allocate marks the
+            // fill dirty.
+            if let Some(entry) = self.mshr.iter_mut().find(|(l, _, _)| *l == line) {
+                entry.2 |= is_write;
+                if req.kind.wants_response() {
+                    entry.1.push(req);
+                }
+            } else {
+                let waiters = if req.kind.wants_response() { vec![req] } else { Vec::new() };
+                self.mshr.push((line, waiters, is_write));
+                self.dram_read(line);
             }
-            self.l2.probe(line, true, now);
         }
         true
     }
-}
-
-/// Reconstruct the `i`-th shadow line address piggybacked on a request.
-/// The SM encodes the base shadow line in `line_addr`'s companion field —
-/// to keep `MemReq` lean we derive consecutive lines from the stored base.
-fn shadow_line_key(req: &MemReq, i: u8) -> u32 {
-    req.shadow_base + u32::from(i) * 128
 }
 
 #[cfg(test)]
@@ -480,7 +354,15 @@ mod tests {
     }
 
     #[test]
-    fn shadow_ops_consume_l2_port_and_allocate() {
+    fn shadow_annotations_are_inert_at_the_slice() {
+        // Passive detection: a request carrying shadow annotations must
+        // complete on exactly the same cycle as a bare one and generate
+        // no extra cache or DRAM traffic.
+        let mut bare_s = slice();
+        let mut bare_m = mem();
+        bare_s.push_input(load(1, 0x5000));
+        let bare = run(&mut bare_s, &mut bare_m, 0, 2000);
+
         let mut s = slice();
         let mut m = mem();
         let mut r = load(1, 0x5000);
@@ -488,26 +370,11 @@ mod tests {
         r.shadow_base = 0x80_0000;
         s.push_input(r);
         let done = run(&mut s, &mut m, 0, 2000);
-        assert_eq!(done.len(), 1);
-        assert_eq!(s.shadow_l2_accesses, 2);
-        assert!(s.l2.contains(0x80_0000));
-        assert!(s.l2.contains(0x80_0080));
-        // Shadow lines were fetched from DRAM too (data + 2 shadow).
-        assert_eq!(s.dram.stats.reads, 3);
-    }
 
-    #[test]
-    fn probe_requests_produce_no_response() {
-        let mut s = slice();
-        let mut m = mem();
-        let mut p = load(1, 0x6000);
-        p.kind = ReqKind::ShadowProbe;
-        p.shadow_ops = 1;
-        p.shadow_base = 0x90_0000;
-        s.push_input(p);
-        let done = run(&mut s, &mut m, 0, 2000);
-        assert!(done.is_empty());
-        assert_eq!(s.shadow_l2_accesses, 1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, bare[0].0, "annotation changed completion time");
+        assert_eq!(s.dram.stats.reads, bare_s.dram.stats.reads);
+        assert!(!s.l2.contains(0x80_0000), "shadow lines must not allocate in L2");
     }
 
     #[test]

@@ -155,16 +155,15 @@ pub enum ShadowSink {
         /// Index into the SM's `out_req` of this cycle.
         req_idx: usize,
     },
-    /// Emit a detection-only [`ReqKind::ShadowProbe`] (L1 hits and
-    /// merged misses). `count_stat` preserves the historical accounting:
-    /// hit probes count toward `probe_packets`, merged-miss probes don't.
+    /// Detection-only probe (L1 hits and merged misses, §IV-B): the
+    /// shadow lines are charged to the passive timing model instead of
+    /// travelling the network as a request. `count_stat` preserves the
+    /// historical accounting: hit probes count toward `probe_packets`,
+    /// merged-miss probes don't. `line_addr` is the probed data line,
+    /// recorded into the TLB trace alongside its shadow base.
     Probe {
-        /// Probed line address.
+        /// Probed data line address (TLB trace pairing).
         line_addr: u32,
-        /// Issuing warp slot.
-        warp_slot: usize,
-        /// Issuing global warp ID.
-        gwarp: u32,
         /// Bump `SimStats::probe_packets`?
         count_stat: bool,
     },
@@ -272,6 +271,16 @@ pub struct Sm {
     /// cycle was actually gated/jumped or densely polled — identical in
     /// both modes by construction.
     pub idle_cycles: u64,
+    /// Modeled detector busy cycles on this SM (barrier shadow resets,
+    /// Fig. 8 ghost-L1 shared-shadow traffic). Never affects scheduling:
+    /// folded into the launch cycle count as an epilogue (max over SMs)
+    /// so detection stays architecturally passive.
+    pub det_busy_cycles: u64,
+    /// Fig. 8 ghost-L1 residency bitmap over this SM's shared-shadow
+    /// stride region (first touch = modeled miss, then modeled hits; no
+    /// evictions). Sized lazily on first use so detector-off and
+    /// hardware-placement launches never allocate it.
+    fig8_resident: Vec<u64>,
 }
 
 impl Sm {
@@ -295,6 +304,8 @@ impl Sm {
             next_req_id: u64::from(id) << 40,
             wake_hint: 0,
             idle_cycles: 0,
+            det_busy_cycles: 0,
+            fig8_resident: Vec::new(),
         }
     }
 
@@ -557,18 +568,6 @@ impl Sm {
                 }
                 self.wake_load(slot, resp.gwarp);
             }
-            ReqKind::SharedShadowFill => {
-                self.l1.fill(resp.line_addr, false, now);
-                // Clear the MSHR entry (a data load may have merged into
-                // this fill while it was outstanding — wake it).
-                if let Some(pos) = self.l1_mshr.iter().position(|(l, _)| *l == resp.line_addr) {
-                    let (_, waiters) = self.l1_mshr.swap_remove(pos);
-                    for (slot, gwarp) in waiters {
-                        self.wake_load(slot, gwarp);
-                    }
-                }
-            }
-            ReqKind::ShadowProbe => {}
         }
     }
 
@@ -929,8 +928,11 @@ impl Sm {
 
         // Detector barrier work: bump the sync ID (§IV-B) — deferred to
         // the apply phase, since the clock file is shared — and invalidate
-        // the block's shared shadow entries (§IV-A) in this SM's own RDU,
-        // stalling the block for the invalidation cycles in hardware mode.
+        // the block's shared shadow entries (§IV-A) in this SM's own RDU.
+        // The invalidation cycles are charged arithmetically to the SM's
+        // detector-busy counter (folded into the launch epilogue), never
+        // as a warp stall: stalling would change the retired instruction
+        // stream relative to a detection-off run.
         let mut stall = 0u64;
         if let Some(v) = det {
             out.ops.push(SmOp::Barrier { block: block_id });
@@ -940,6 +942,7 @@ impl Sm {
                     if v.hardware && !v.sw_shared_shadow {
                         stall = cycles;
                         out.stats.shadow_reset_stall_cycles += cycles;
+                        self.det_busy_cycles += cycles;
                     }
                 } else {
                     // Misconfigured launch: skip the invalidation instead
@@ -950,6 +953,8 @@ impl Sm {
             }
         }
 
+        // `stall_cycles` reports the *modeled* invalidation charge; the
+        // warps below resume immediately regardless (passive detection).
         out.emit(
             now,
             SimEvent::BarrierRelease { sm: self.id, block: block_id, stall_cycles: stall },
@@ -962,7 +967,7 @@ impl Sm {
             if let Some(w) = self.warps[slot].as_mut() {
                 if w.cta_slot == cta_slot && w.state == WarpState::AtBarrier {
                     w.state = WarpState::Ready;
-                    w.resume_at = now + stall;
+                    w.resume_at = now;
                 }
             }
         }
@@ -1176,15 +1181,14 @@ impl Sm {
                                 self.local_ready
                                     .push((now + u64::from(self.cfg.l1.hit_latency), widx, gwarp));
                                 // §IV-B: L1 read hits still notify the
-                                // global RDU via a detection-only packet.
+                                // global RDU via a detection-only probe
+                                // (modeled, not a network request).
                                 if let Some(range) = batch {
                                     out.ops.push(SmOp::GlobalBatch {
                                         range,
                                         is_store: false,
                                         sink: ShadowSink::Probe {
                                             line_addr: tx.line_addr,
-                                            warp_slot: widx,
-                                            gwarp,
                                             count_stat: true,
                                         },
                                     });
@@ -1199,8 +1203,6 @@ impl Sm {
                                         is_store: false,
                                         sink: ShadowSink::Probe {
                                             line_addr: tx.line_addr,
-                                            warp_slot: widx,
-                                            gwarp,
                                             count_stat: false,
                                         },
                                     });
@@ -1423,7 +1425,10 @@ impl Sm {
         }
 
         // Fig. 8: shared shadow entries live in global memory, cached in
-        // L1; the RDU's fetches occupy the L1 port and may miss to L2.
+        // L1. The RDU's fetches are charged to a ghost L1 (per-SM
+        // first-touch residency over the shadow stride region) so the
+        // real L1 contents, port and MSHRs — and therefore the retired
+        // instruction stream — are untouched by detection.
         if v.sw_shared_shadow {
             let gran = v.cfg.shared_granularity;
             let mut lines = std::mem::take(&mut out.scratch.race.lines);
@@ -1438,26 +1443,29 @@ impl Sm {
                     lines.push(line);
                 }
             }
+            let region_base = ctx.shared_shadow_base + self.id * ctx.shared_shadow_stride;
+            let line_shift = self.cfg.l1.line_bytes.trailing_zeros();
+            let words = (ctx.shared_shadow_stride >> line_shift).div_ceil(64) as usize;
+            if self.fig8_resident.len() < words {
+                self.fig8_resident.resize(words, 0);
+            }
             for &line in &lines {
                 out.stats.shared_shadow_l1_accesses += 1;
-                self.issue_free_at += 1; // L1 port occupancy
-                if !self.l1.probe(line, false, now) {
-                    if self.l1_mshr.iter().any(|(l, _)| *l == line) {
-                        // A data or shadow fill for this line is already
-                        // in flight.
-                    } else if self.l1_mshr.len() >= self.cfg.l1.mshrs as usize {
-                        // MSHR file full (S1 enforces capacity for data
-                        // loads): issue the fill without tracking it. The
-                        // response path tolerates a missing entry — we
-                        // only lose fill dedup for this line.
-                        let r = self.fresh_req(line, self.cfg.l1.line_bytes, 0, u32::MAX, ReqKind::SharedShadowFill);
-                        self.out_req.push(r);
-                    } else {
-                        self.l1_mshr.push((line, Vec::new()));
-                        let r = self.fresh_req(line, self.cfg.l1.line_bytes, 0, u32::MAX, ReqKind::SharedShadowFill);
-                        self.out_req.push(r);
+                let idx = (line.wrapping_sub(region_base) >> line_shift) as usize;
+                let (w, b) = (idx / 64, idx % 64);
+                let hit = match self.fig8_resident.get_mut(w) {
+                    Some(word) if *word & (1 << b) == 0 => {
+                        *word |= 1 << b;
+                        false
                     }
-                }
+                    Some(_) => true,
+                    None => true, // out-of-range (clamped layout): charge as hit
+                };
+                self.det_busy_cycles += if hit {
+                    haccrg::cost::SHARED_SHADOW_HIT_CYCLES
+                } else {
+                    haccrg::cost::SHARED_SHADOW_MISS_CYCLES
+                };
             }
             out.scratch.race.lines = lines;
         }
@@ -1526,9 +1534,12 @@ impl Sm {
 }
 
 /// Run one [`SmOp::GlobalBatch`] through the shared global RDU (serial
-/// apply phase) and route the resulting shadow traffic: either piggyback
-/// it on the data request captured at issue ([`ShadowSink::Attach`]) or
-/// emit a detection-only probe packet ([`ShadowSink::Probe`]).
+/// apply phase) and charge the resulting shadow traffic to the passive
+/// timing model. [`ShadowSink::Attach`] additionally annotates the data
+/// request captured at issue (inert at the slice — TLB-trace input
+/// only); [`ShadowSink::Probe`] records the `(data, shadow)` pair into
+/// `tlb_trace` directly, since no request travels. Detection is
+/// architecturally passive: nothing here may alter request timing.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_global_batch(
     sm: &mut Sm,
@@ -1539,6 +1550,7 @@ pub(crate) fn apply_global_batch(
     det: &mut LaunchDet,
     stats: &mut SimStats,
     tracer: &mut Tracer,
+    tlb_trace: Option<&mut Vec<(u32, Option<u32>)>>,
     scratch: &mut RaceScratch,
 ) {
     let Some(rdu) = det.global.as_mut() else { return };
@@ -1596,6 +1608,11 @@ pub(crate) fn apply_global_batch(
     let shadow = if det.hardware() && !shadow_lines.is_empty() {
         stats.shadow_l2_accesses += shadow_lines.len() as u64;
         shadow_lines.sort_unstable();
+        // Charge every shadow line to its slice's modeled port/fill
+        // counters — this replaces the real shadow-queue traffic.
+        for &line in shadow_lines.iter() {
+            det.shadow_timing.access(sm.cfg.slice_of(line), line);
+        }
         Some((shadow_lines[0], shadow_lines.len().min(255) as u8))
     } else {
         None
@@ -1609,15 +1626,14 @@ pub(crate) fn apply_global_batch(
                 r.shadow_base = base;
             }
         }
-        ShadowSink::Probe { line_addr, warp_slot, gwarp, count_stat } => {
-            if let Some((base, n)) = shadow {
-                let mut p = sm.fresh_req(line_addr, 0, warp_slot, gwarp, ReqKind::ShadowProbe);
-                p.shadow_ops = n;
-                p.shadow_base = base;
+        ShadowSink::Probe { line_addr, count_stat } => {
+            if let Some((base, _)) = shadow {
                 if count_stat {
                     stats.probe_packets += 1;
                 }
-                sm.out_req.push(p);
+                if let Some(tr) = tlb_trace {
+                    tr.push((line_addr, Some(base)));
+                }
             }
         }
     }
@@ -1733,19 +1749,6 @@ mod tests {
         let w = sm.warps[0].as_ref().expect("occupant still resident");
         assert_eq!(w.pending_loads, 0);
         assert_eq!(w.state, WarpState::Ready);
-    }
-
-    #[test]
-    fn stale_shared_shadow_fill_is_guarded_too() {
-        let mut sm = Sm::new(0, GpuConfig::test_small());
-        sm.warps[0] = Some(waiting_warp(3));
-        // A data load merged into an outstanding shadow fill, then the
-        // slot was recycled (waiter gwarp 1 != occupant gwarp 3).
-        sm.l1_mshr.push((0x800, vec![(0, 1)]));
-        deliver(&mut sm, load_resp(0x800, ReqKind::SharedShadowFill));
-        let w = sm.warps[0].as_ref().expect("occupant still resident");
-        assert_eq!(w.pending_loads, 1, "stale wake must not touch the new occupant");
-        assert!(sm.l1_mshr.is_empty());
     }
 
     #[test]

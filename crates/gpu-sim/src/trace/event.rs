@@ -35,9 +35,12 @@ pub enum ReqTag {
     Store,
     /// Atomic read-modify-write executed at the slice.
     Atomic,
-    /// Detection-only probe for an L1 read hit (§IV-B).
+    /// Detection-only probe for an L1 read hit (§IV-B). Retained for
+    /// trace-schema stability: passive detection no longer sends probe
+    /// requests, so current traces never emit this tag.
     ShadowProbe,
-    /// Fig. 8 mode shared-shadow line fill.
+    /// Fig. 8 mode shared-shadow line fill. Retained for trace-schema
+    /// stability; never emitted by passive detection.
     SharedShadowFill,
 }
 
@@ -47,8 +50,6 @@ impl From<&ReqKind> for ReqTag {
             ReqKind::LoadData => ReqTag::Load,
             ReqKind::StoreData => ReqTag::Store,
             ReqKind::Atomic { .. } => ReqTag::Atomic,
-            ReqKind::ShadowProbe => ReqTag::ShadowProbe,
-            ReqKind::SharedShadowFill => ReqTag::SharedShadowFill,
         }
     }
 }
@@ -268,8 +269,6 @@ mod tests {
             ReqTag::from(&ReqKind::Atomic { ops: vec![], dreg: 0 }),
             ReqTag::Atomic
         );
-        assert_eq!(ReqTag::from(&ReqKind::ShadowProbe), ReqTag::ShadowProbe);
-        assert_eq!(ReqTag::from(&ReqKind::SharedShadowFill), ReqTag::SharedShadowFill);
     }
 
     #[test]

@@ -73,27 +73,33 @@ fn repeated_hits_are_cheap_after_one_fill() {
 }
 
 #[test]
-fn shadow_floods_do_not_starve_data() {
-    // A request with many shadow ops shares the L2 port round-robin with
-    // subsequent data requests — both make progress.
-    let mut s = MemSlice::new(0, GpuConfig::test_small());
-    let mut m = DeviceMemory::new(1 << 20);
-    let mut r = load(1, 0x1000);
-    r.shadow_ops = 200;
-    r.shadow_base = 0x20_0000;
-    s.push_input(r);
-    s.push_input(load(2, 0x8000));
-    let mut done_ids = Vec::new();
-    for now in 0..1_000_000u64 {
-        for resp in s.cycle(now, &mut m) {
-            done_ids.push(resp.id);
+fn shadow_annotations_never_delay_data() {
+    // Passive detection: even an absurd shadow-op annotation on a request
+    // must leave the slice's timing and DRAM traffic identical to a bare
+    // run — detection may not perturb the architectural stream.
+    let run = |shadow_ops: u8| {
+        let mut s = MemSlice::new(0, GpuConfig::test_small());
+        let mut m = DeviceMemory::new(1 << 20);
+        let mut r = load(1, 0x1000);
+        r.shadow_ops = shadow_ops;
+        r.shadow_base = 0x20_0000;
+        s.push_input(r);
+        s.push_input(load(2, 0x8000));
+        let mut done = Vec::new();
+        for now in 0..1_000_000u64 {
+            for resp in s.cycle(now, &mut m) {
+                done.push((now, resp.id));
+            }
+            if done.len() == 2 && s.idle() {
+                break;
+            }
         }
-        if done_ids.len() == 2 && s.idle() {
-            break;
-        }
-    }
-    assert_eq!(done_ids.len(), 2);
-    assert!(s.shadow_l2_accesses >= 200);
+        (done, s.dram.stats.reads)
+    };
+    let (bare_done, bare_reads) = run(0);
+    let (annotated_done, annotated_reads) = run(200);
+    assert_eq!(annotated_done, bare_done, "annotations changed data timing");
+    assert_eq!(annotated_reads, bare_reads, "annotations changed DRAM traffic");
 }
 
 #[test]

@@ -4,8 +4,8 @@
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::exec::{eval_atom, eval_bin, eval_cmp};
-use gpu_sim::isa::builder::KernelBuilder;
-use gpu_sim::isa::{AtomOp, BinOp, CmpOp, Kernel, Space};
+use gpu_sim::fuzzgen::{GenConfig, KernelSpec};
+use gpu_sim::isa::{AtomOp, BinOp, CmpOp, Kernel};
 use gpu_sim::mem::cache::Cache;
 use gpu_sim::mem::coalesce::{bank_conflict_degree, coalesce, LaneAddr};
 use gpu_sim::mem::dram::{Dram, DramReq};
@@ -156,86 +156,19 @@ proptest! {
     }
 }
 
-/// One flat random kernel step; a compact cousin of the `kernel_fuzz`
-/// statement tree, broad enough to cover ALU-only stretches, shared and
-/// global traffic, long-latency stalls and barrier waits — the state
+/// Random kernels for the cycle-skip equivalence check come from the
+/// shared `fuzzgen` generator (promoted out of this file so the
+/// differential fuzz farm in `haccrg-bench` exercises the exact same
+/// statement space): ALU stretches, shared/global traffic, atomics,
+/// lock critical sections, divergence, loops and barriers — the state
 /// space the fast-forward hints must be conservative over.
-#[derive(Clone, Debug)]
-enum SkipStmt {
-    /// acc = acc <op> (tid ^ k)
-    Alu(u8, u32),
-    /// shared store + load at a tid-dependent slot
-    SharedRw(u32),
-    /// global store + load at a gtid-dependent slot (racy across blocks)
-    GlobalRw(u32),
-    /// __syncthreads()
-    Bar,
-}
-
-const SKIP_WORDS: u32 = 1024;
-
-fn build_skip_kernel(stmts: &[SkipStmt]) -> Kernel {
-    let mut b = KernelBuilder::new("skipfuzz");
-    let _sh = b.shared_alloc(256);
-    let acc = b.mov(1u32);
-    for s in stmts {
-        match s {
-            SkipStmt::Alu(op, k) => {
-                let t = b.tid();
-                let x = b.xor(t, *k);
-                match op % 3 {
-                    0 => b.bin_into(BinOp::Add, acc, acc, x),
-                    1 => b.bin_into(BinOp::Xor, acc, acc, x),
-                    _ => b.bin_into(BinOp::Sub, acc, acc, x),
-                }
-            }
-            SkipStmt::SharedRw(k) => {
-                let t = b.tid();
-                let t4 = b.shl(t, 2u32);
-                let o = b.add(t4, *k % 256);
-                let idx = b.rem(o, 252);
-                let a = b.and(idx, !3u32);
-                b.st(Space::Shared, a, 0, acc, 4);
-                let v = b.ld(Space::Shared, a, 0, 4);
-                b.bin_into(BinOp::Xor, acc, acc, v);
-            }
-            SkipStmt::GlobalRw(k) => {
-                let base = b.param(0);
-                let g = b.global_tid();
-                let g4 = b.shl(g, 2u32);
-                let o = b.add(g4, *k % (SKIP_WORDS * 4));
-                let idx = b.rem(o, SKIP_WORDS * 4 - 4);
-                let al = b.and(idx, !3u32);
-                let a = b.add(base, al);
-                b.st(Space::Global, a, 0, acc, 4);
-                let v = b.ld(Space::Global, a, 0, 4);
-                b.bin_into(BinOp::Add, acc, acc, v);
-            }
-            SkipStmt::Bar => b.bar(),
-        }
-    }
-    let outp = b.param(1);
-    let g = b.global_tid();
-    let o = b.shl(g, 2u32);
-    let dst = b.add(outp, o);
-    b.st(Space::Global, dst, 0, acc, 4);
-    b.build()
-}
-
-fn arb_skip_program() -> impl Strategy<Value = Vec<SkipStmt>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => (any::<u8>(), any::<u32>()).prop_map(|(o, k)| SkipStmt::Alu(o, k)),
-            2 => any::<u32>().prop_map(SkipStmt::SharedRw),
-            2 => any::<u32>().prop_map(SkipStmt::GlobalRw),
-            1 => Just(SkipStmt::Bar),
-        ],
-        1..10,
-    )
+fn arb_spec() -> impl Strategy<Value = KernelSpec> {
+    any::<u64>().prop_map(|seed| KernelSpec::generate(seed, &GenConfig::default()))
 }
 
 /// Everything a launch reports, plus the output buffer.
 fn run_skip_kernel(
+    spec: &KernelSpec,
     k: &Kernel,
     cycle_skip: bool,
 ) -> (SimStats, Vec<u32>, Vec<haccrg::prelude::RaceRecord>, SkipStats) {
@@ -243,15 +176,12 @@ fn run_skip_kernel(
     cfg.watchdog_cycles = 20_000_000;
     cfg.cycle_skip = cycle_skip;
     let mut gpu = Gpu::with_detector(cfg, DetectorConfig::paper_default());
-    let buf = gpu.alloc(SKIP_WORDS * 4);
-    let outp = gpu.alloc(128 * 4);
-    let res = gpu.launch(k, 2, 64, &[buf, outp]).expect("kernel terminates");
-    (
-        res.stats,
-        gpu.mem.copy_to_host_u32(outp, 128),
-        res.races.records().to_vec(),
-        res.skip,
-    )
+    let params = spec.alloc_params(&mut gpu);
+    let res = gpu
+        .launch(k, spec.grid, spec.block_dim, &params)
+        .expect("kernel terminates");
+    let out = gpu.mem.copy_to_host_u32(params[1], spec.out_words() as usize);
+    (res.stats, out, res.races.records().to_vec(), res.skip)
 }
 
 proptest! {
@@ -261,11 +191,11 @@ proptest! {
     /// kernels: same statistics (cycles included), same functional
     /// results, same race records, same per-SM idle accounting.
     #[test]
-    fn cycle_skipping_never_changes_results(prog in arb_skip_program()) {
-        let k = build_skip_kernel(&prog);
+    fn cycle_skipping_never_changes_results(spec in arb_spec()) {
+        let k = spec.build();
         prop_assert!(k.validate().is_ok());
-        let (dense_stats, dense_out, dense_races, dense_skip) = run_skip_kernel(&k, false);
-        let (skip_stats, skip_out, skip_races, skip_skip) = run_skip_kernel(&k, true);
+        let (dense_stats, dense_out, dense_races, dense_skip) = run_skip_kernel(&spec, &k, false);
+        let (skip_stats, skip_out, skip_races, skip_skip) = run_skip_kernel(&spec, &k, true);
         prop_assert_eq!(dense_stats, skip_stats, "SimStats diverged");
         prop_assert_eq!(dense_out, skip_out, "functional results diverged");
         prop_assert_eq!(dense_races, skip_races, "race records diverged");
