@@ -1,0 +1,323 @@
+//! Measure the vectorized warp tier and write `BENCH_warp.json`.
+//!
+//! Four warp shapes, each timed as nanoseconds per 32-lane warp:
+//!
+//! 1. **`alu_only`** — one `Bin(Add)` warp instruction through the SoA
+//!    lane engine ([`gpu_sim::lanes::WarpLanes`]): whole-row operand
+//!    fetch, 32-lane compute, mask-predicated writeback.
+//! 2. **`coalesced_store`** — the `BENCH_shadow.json` steady-state
+//!    shape (32 same-warp stores, stride 4) through the batch shadow
+//!    path [`GlobalRdu::check_warp_batch`]. This is the scenario whose
+//!    scalar-pipeline cost anchored the previous snapshot
+//!    (`ns_per_warp` = 1465.2); the acceptance target is >= 5x on it.
+//! 3. **`scattered_store`** — 32 stores striding 1 KiB so every lane
+//!    lands on its own shadow page (worst case for run formation: the
+//!    batch degenerates to one page resolve per lane).
+//! 4. **`lockset_heavy`** — two warps alternately writing the same
+//!    words inside critical sections, so every check takes the Bloom
+//!    lockset-intersection slow path (§III-B).
+//!
+//! Each shape is also timed through the pre-batch scalar pipeline
+//! (`check_warp_stores` + per-lane `observe`) so the JSON records the
+//! measured speedup alongside the committed 1465.2 ns anchor.
+//!
+//! Usage: `cargo run --release -p haccrg-bench --bin warp_bench
+//! [output.json]` (default `BENCH_warp.json` in the current directory —
+//! run from the repo root to refresh the committed snapshot). With
+//! `--smoke` the iteration counts drop ~100x and the 5x floor assert is
+//! skipped: CI uses it to prove the harness runs and the JSON parses,
+//! not to gate on shared-runner timing.
+
+use std::time::Instant;
+
+use gpu_sim::isa::{BinOp, Reg, Src};
+use gpu_sim::lanes::{WarpLanes, LANES};
+use haccrg::bloom::BloomSig;
+use haccrg::prelude::*;
+
+/// `ns_per_warp` of the scalar pipeline in the committed
+/// `BENCH_shadow.json` snapshot taken before the vectorized tier.
+const BASELINE_NS_PER_WARP: f64 = 1465.2;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+fn alu_iters() -> u32 {
+    if smoke() {
+        10_000
+    } else {
+        1_000_000
+    }
+}
+
+fn warp_iters() -> u32 {
+    if smoke() {
+        1_000
+    } else {
+        100_000
+    }
+}
+
+fn rdu() -> GlobalRdu {
+    GlobalRdu::new(
+        0x1000,
+        1 << 20,
+        0x100_0000,
+        Granularity::GLOBAL_DEFAULT,
+        true,
+        true,
+        BloomConfig::PAPER_DEFAULT,
+    )
+}
+
+/// Nanoseconds per iteration of `f`: the minimum over fixed-size timing
+/// batches. The minimum estimates the uncontended steady-state cost and
+/// is robust against scheduler preemption and frequency dips that skew a
+/// plain mean on shared machines.
+fn time_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    const BATCHES: u32 = 50;
+    let per = (iters / BATCHES).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..per {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / f64::from(per));
+    }
+    best
+}
+
+/// Coalesced same-warp stores: stride 4 from the heap base.
+fn coalesced_lanes() -> Vec<MemAccess> {
+    (0..32u32)
+        .map(|l| {
+            MemAccess::plain(0x1000 + l * 4, 4, AccessKind::Write, ThreadCoord::new(l, 0, 0, 0))
+        })
+        .collect()
+}
+
+/// Page-per-lane scattered stores: stride 1 KiB (page = 512 B tracked).
+fn scattered_lanes() -> Vec<MemAccess> {
+    (0..32u32)
+        .map(|l| {
+            MemAccess::plain(0x1000 + l * 1024, 4, AccessKind::Write, ThreadCoord::new(l, 0, 0, 0))
+        })
+        .collect()
+}
+
+/// Two warps hammering the same words under a common lock: every check
+/// walks the full lockset path (same-thread fast path cannot apply to
+/// in-critical-section accesses).
+fn lockset_lanes(warp: u32) -> Vec<MemAccess> {
+    let sig = BloomSig::of_lock(0x8000, BloomConfig::PAPER_DEFAULT);
+    (0..32u32)
+        .map(|l| {
+            MemAccess::plain(
+                0x1000 + l * 4,
+                4,
+                AccessKind::Write,
+                ThreadCoord::new(warp * 32 + l, warp, 0, 0),
+            )
+            .locked(sig)
+        })
+        .collect()
+}
+
+struct Bench {
+    rdu: GlobalRdu,
+    clocks: ClockFile,
+    log: RaceLog,
+    scratch: RaceScratch,
+    health: DetectorHealth,
+}
+
+impl Bench {
+    fn new() -> Self {
+        Self {
+            rdu: rdu(),
+            clocks: ClockFile::new(64, 2048),
+            log: RaceLog::default(),
+            scratch: RaceScratch::default(),
+            health: DetectorHealth::default(),
+        }
+    }
+
+    /// One warp through the batch shadow path.
+    fn batch(&mut self, lanes: &[MemAccess]) -> u64 {
+        self.rdu.check_warp_batch(
+            lanes,
+            true,
+            &self.clocks,
+            &mut self.scratch,
+            &mut self.log,
+            &mut self.health,
+            None,
+            |_traffic| {},
+        );
+        self.log.total()
+    }
+
+    /// One warp through the pre-batch scalar pipeline.
+    fn scalar(&mut self, lanes: &[MemAccess]) -> u64 {
+        self.rdu.check_warp_stores(lanes, &mut self.scratch, &mut self.log);
+        for a in lanes {
+            std::hint::black_box(self.rdu.observe_health(
+                a,
+                &self.clocks,
+                &mut self.log,
+                &mut self.health,
+            ));
+        }
+        self.log.total()
+    }
+}
+
+/// Time one warp shape through both pipelines (fresh RDU each, one
+/// warm-up warp to materialize pages and size scratch buffers).
+fn run_shape(lanes_of: impl Fn(u32) -> Vec<MemAccess>, alternate: bool) -> (f64, f64) {
+    let shapes: Vec<Vec<MemAccess>> =
+        if alternate { vec![lanes_of(0), lanes_of(1)] } else { vec![lanes_of(0)] };
+
+    // Branchy rotation — a `%` in the timed loop is a hardware divide —
+    // and no rotation at all for single-shape scenarios.
+    let mut b = Bench::new();
+    for s in &shapes {
+        b.batch(s);
+    }
+    let batch_ns = if shapes.len() == 1 {
+        let only = &shapes[0];
+        time_ns(warp_iters(), || b.batch(only))
+    } else {
+        let mut i = 0usize;
+        time_ns(warp_iters(), || {
+            i += 1;
+            if i == shapes.len() {
+                i = 0;
+            }
+            b.batch(&shapes[i])
+        })
+    };
+
+    let mut b = Bench::new();
+    for s in &shapes {
+        b.scalar(s);
+    }
+    let scalar_ns = if shapes.len() == 1 {
+        let only = &shapes[0];
+        time_ns(warp_iters(), || b.scalar(only))
+    } else {
+        let mut i = 0usize;
+        time_ns(warp_iters(), || {
+            i += 1;
+            if i == shapes.len() {
+                i = 0;
+            }
+            b.scalar(&shapes[i])
+        })
+    };
+    (batch_ns, scalar_ns)
+}
+
+fn main() {
+    let setup = haccrg_bench::RunSetup::from_args();
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_warp.json".into());
+
+    // 1. ALU-only warp instruction through the SoA lane engine.
+    let lane_slots = 2 * LANES;
+    let mut regs: Vec<u32> = (0..lane_slots * 8).map(|i| i as u32).collect();
+    let alu_ns = time_ns(alu_iters(), || {
+        let mut view = WarpLanes::new(&mut regs, lane_slots, 0);
+        view.bin(
+            BinOp::Add,
+            Reg(0),
+            Src::Reg(Reg(1)),
+            Src::Reg(Reg(2)),
+            std::hint::black_box(u32::MAX),
+        );
+        regs[0]
+    });
+
+    // 2-4. Store warps through batch vs scalar shadow pipelines.
+    let (coalesced_ns, coalesced_scalar_ns) = run_shape(|_| coalesced_lanes(), false);
+    let (scattered_ns, scattered_scalar_ns) = run_shape(|_| scattered_lanes(), false);
+    let (lockset_ns, lockset_scalar_ns) = run_shape(lockset_lanes, true);
+
+    let speedup_vs_baseline = BASELINE_NS_PER_WARP / coalesced_ns;
+
+    // Rendered by hand: the offline serde_json stub has no real
+    // serializer, and the shape is fixed anyway.
+    let report = format!(
+        r#"{{
+  "benchmark": "warp_exec",
+  "produced_by": "cargo run --release -p haccrg-bench --bin warp_bench",
+  "environment": {env},
+  "jobs": {jobs},
+  "cycle_skip": {cycle_skip},
+  "config": {{
+    "warp_lanes": {LANES},
+    "tracked_bytes": {tracked},
+    "global_granularity_bytes": {gran},
+    "iters": {{
+      "alu_only": {alu_iters},
+      "store_warps": {warp_iters}
+    }}
+  }},
+  "baseline": {{
+    "source": "BENCH_shadow.json steady_state before the vectorized warp tier",
+    "ns_per_warp": {BASELINE_NS_PER_WARP}
+  }},
+  "ns_per_warp": {coalesced_ns:.1},
+  "speedup_vs_baseline": {speedup_vs_baseline:.1},
+  "scenarios": {{
+    "alu_only": {{
+      "ns_per_warp": {alu_ns:.1}
+    }},
+    "coalesced_store": {{
+      "ns_per_warp": {coalesced_ns:.1},
+      "scalar_ns_per_warp": {coalesced_scalar_ns:.1},
+      "speedup": {coalesced_speedup:.1}
+    }},
+    "scattered_store": {{
+      "ns_per_warp": {scattered_ns:.1},
+      "scalar_ns_per_warp": {scattered_scalar_ns:.1},
+      "speedup": {scattered_speedup:.1}
+    }},
+    "lockset_heavy": {{
+      "ns_per_warp": {lockset_ns:.1},
+      "scalar_ns_per_warp": {lockset_scalar_ns:.1},
+      "speedup": {lockset_speedup:.1}
+    }}
+  }}
+}}
+"#,
+        env = haccrg_bench::Environment::capture().to_json(),
+        jobs = haccrg_bench::sweep::configured_jobs(),
+        cycle_skip = haccrg_workloads::runner::cycle_skip_enabled(),
+        tracked = 1u32 << 20,
+        gran = Granularity::GLOBAL_DEFAULT.bytes(),
+        coalesced_speedup = coalesced_scalar_ns / coalesced_ns,
+        scattered_speedup = scattered_scalar_ns / scattered_ns,
+        lockset_speedup = lockset_scalar_ns / lockset_ns,
+        alu_iters = alu_iters(),
+        warp_iters = warp_iters(),
+    );
+    std::fs::write(&out_path, report).expect("write report");
+    println!("wrote {out_path}");
+    println!("alu_only:        {alu_ns:.1} ns/warp");
+    println!(
+        "coalesced_store: {coalesced_ns:.1} ns/warp (scalar {coalesced_scalar_ns:.1}, baseline {BASELINE_NS_PER_WARP})"
+    );
+    println!("scattered_store: {scattered_ns:.1} ns/warp (scalar {scattered_scalar_ns:.1})");
+    println!("lockset_heavy:   {lockset_ns:.1} ns/warp (scalar {lockset_scalar_ns:.1})");
+    println!("speedup vs committed baseline: {speedup_vs_baseline:.1}x");
+    setup.write_manifest("warp_bench", &[&out_path]);
+    assert!(
+        smoke() || speedup_vs_baseline >= 5.0,
+        "vectorized warp tier below the 5x target ({speedup_vs_baseline:.1}x)"
+    );
+}

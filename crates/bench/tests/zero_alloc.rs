@@ -7,6 +7,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
+use gpu_sim::isa::{BinOp, CmpOp, Reg, Src};
+use gpu_sim::lanes::{WarpLanes, LANES};
 use gpu_sim::mem::coalesce::{coalesce_into, LaneAddr, Transaction};
 use haccrg::prelude::*;
 
@@ -46,6 +48,9 @@ struct Pipeline {
     shared_lanes: Vec<MemAccess>,
     lane_addrs: Vec<LaneAddr>,
     txs: Vec<Transaction>,
+    health: DetectorHealth,
+    /// SoA register file for the vector lane engine (2 warps x 8 regs).
+    regs: Vec<u32>,
 }
 
 impl Pipeline {
@@ -87,6 +92,8 @@ impl Pipeline {
                 .map(|l| LaneAddr { lane: l, addr: 0x1000 + u32::from(l) * 4, size: 4 })
                 .collect(),
             txs: Vec::new(),
+            health: DetectorHealth::default(),
+            regs: (0..2 * LANES * 8).map(|i| i as u32).collect(),
         }
     }
 
@@ -104,7 +111,34 @@ impl Pipeline {
             self.srdu.observe(a, &self.clocks, &mut self.log);
         }
         self.srdu.reset_block_range(0, 48 * 1024);
-        self.txs.len() + self.log.total() as usize
+        // Batch path: whole-warp checks through the page-resolved runs
+        // (the same accesses, so the pattern stays race-free).
+        self.grdu.check_warp_batch(
+            &self.global_lanes,
+            true,
+            &self.clocks,
+            &mut self.scratch,
+            &mut self.log,
+            &mut self.health,
+            None,
+            |_traffic| {},
+        );
+        self.srdu.check_warp_batch(
+            &self.shared_lanes,
+            true,
+            &self.clocks,
+            &mut self.scratch,
+            &mut self.log,
+            &mut self.health,
+            None,
+        );
+        // SoA execute path: vector ALU kernels over a warp's rows.
+        let mut view = WarpLanes::new(&mut self.regs, 2 * LANES, 0);
+        view.bin(BinOp::Add, Reg(0), Src::Reg(Reg(1)), Src::Reg(Reg(2)), u32::MAX);
+        view.mad(Reg(3), Src::Reg(Reg(0)), Src::Imm(3), Src::Reg(Reg(4)), 0xFFFF);
+        view.setp(CmpOp::LtU, Reg(5), Src::Reg(Reg(3)), Src::Imm(64), u32::MAX);
+        let taken = view.vote(Reg(5), true, u32::MAX);
+        self.txs.len() + self.log.total() as usize + taken as usize
     }
 }
 

@@ -146,7 +146,13 @@ impl WitnessRing {
             self.buf.push(e);
         } else {
             self.buf[self.next] = e;
-            self.next = (self.next + 1) % self.buf.capacity();
+            // Branchy wrap instead of `%`: the capacity is not a
+            // compile-time constant, and a hardware divide on every push
+            // is measurable in the batch check loop.
+            self.next += 1;
+            if self.next == self.buf.capacity() {
+                self.next = 0;
+            }
         }
     }
 

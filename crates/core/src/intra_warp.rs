@@ -32,6 +32,11 @@ pub fn check_intra_warp_waw(lanes: &[MemAccess], base: u32, space: MemSpace) -> 
 
 /// Allocation-free variant: races go straight into `log`, the dedup set
 /// lives in `scratch`. Hot-path equivalent of [`check_intra_warp_waw`].
+///
+/// Fast path: a bit-parallel occupancy screen proves the common case —
+/// all write lanes disjoint — in one linear pass over the warp, so the
+/// exact pairwise comparison only runs when some tracked chunk actually
+/// sees two writes (the comparator tree has work to do).
 pub fn check_intra_warp_waw_into(
     lanes: &[MemAccess],
     base: u32,
@@ -40,9 +45,75 @@ pub fn check_intra_warp_waw_into(
     log: &mut RaceLog,
 ) {
     scratch.reported.clear();
+    if writes_provably_disjoint(lanes, base) {
+        return;
+    }
     check_intra_warp_waw_impl(lanes, base, space, &mut scratch.reported, |r| {
         log.push(r);
     });
+}
+
+/// Occupancy-bitmap screen: `true` means no two tracked write lanes can
+/// overlap, so the exact check would report nothing. Conservative — a
+/// `false` only means "possible overlap, run the exact comparison".
+///
+/// The write footprint `[min, max_end)` is mapped onto a 2048-bit window
+/// at the smallest power-of-two chunk size (≥4 bytes) that fits; each
+/// lane sets the bits of the chunks it touches, and a set-bit collision
+/// (two lanes in one chunk) falls back to the exact path. At 4-byte
+/// chunks the screen is within one word of byte-exact; wider spans use
+/// coarser chunks, trading a rare false fallback for O(lanes) screening
+/// of arbitrarily scattered warps.
+fn writes_provably_disjoint(lanes: &[MemAccess], base: u32) -> bool {
+    const WINDOW_BITS: u32 = 2048;
+    // Ascending non-overlapping lanes (the coalescer's natural order)
+    // are proven disjoint in this single pass: intervals sorted by start
+    // with consecutive pairs disjoint are pairwise disjoint.
+    let mut writes = 0u32;
+    let mut monotone = true;
+    let mut prev_end = 0u32;
+    for a in lanes {
+        if a.kind != AccessKind::Write || a.addr < base {
+            continue;
+        }
+        writes += 1;
+        monotone &= writes == 1 || a.addr >= prev_end;
+        prev_end = a.addr + u32::from(a.size.max(1));
+    }
+    if writes <= 1 || monotone {
+        return true;
+    }
+    // Rare fallback: gather the footprint, then run the occupancy window.
+    let mut min = u32::MAX;
+    let mut max_end = 0u32;
+    for a in lanes {
+        if a.kind != AccessKind::Write || a.addr < base {
+            continue;
+        }
+        min = min.min(a.addr);
+        max_end = max_end.max(a.addr + u32::from(a.size.max(1)));
+    }
+    let span = max_end - min;
+    let mut shift = 2u32;
+    while (span >> shift) >= WINDOW_BITS {
+        shift += 1;
+    }
+    let mut occ = [0u64; (WINDOW_BITS / 64) as usize];
+    for a in lanes {
+        if a.kind != AccessKind::Write || a.addr < base {
+            continue;
+        }
+        let lo = (a.addr - min) >> shift;
+        let hi = (a.addr - min + u32::from(a.size.max(1)) - 1) >> shift;
+        for c in lo..=hi {
+            let (w, b) = ((c / 64) as usize, c % 64);
+            if occ[w] & (1 << b) != 0 {
+                return false;
+            }
+            occ[w] |= 1 << b;
+        }
+    }
+    true
 }
 
 fn check_intra_warp_waw_impl(
@@ -168,6 +239,43 @@ mod tests {
     fn untracked_lanes_below_base_are_ignored() {
         let lanes = vec![lane_store(8, 4, 0, 0, 0), lane_store(8, 4, 1, 0, 0)];
         assert!(check_intra_warp_waw(&lanes, 0x100, MemSpace::Global).is_empty());
+    }
+
+    /// The `_into` fast path (occupancy screen + exact fallback) must
+    /// agree with the reference implementation on every pattern.
+    fn assert_into_matches(lanes: &[MemAccess], base: u32, space: MemSpace) {
+        let reference = check_intra_warp_waw(lanes, base, space);
+        let mut scratch = RaceScratch::default();
+        let mut log = RaceLog::default();
+        check_intra_warp_waw_into(lanes, base, space, &mut scratch, &mut log);
+        assert_eq!(log.records(), reference.as_slice());
+    }
+
+    #[test]
+    fn screened_path_matches_reference() {
+        // Disjoint (screen passes, nothing reported).
+        let disjoint: Vec<_> = (0..32).map(|l| lane_store(l * 4, 4, l, 0, 0)).collect();
+        assert_into_matches(&disjoint, 0, MemSpace::Shared);
+        // Dense collision (screen falls back, race reported).
+        let clash: Vec<_> = (0..4).map(|l| lane_store(16, 4, l, 0, 7)).collect();
+        assert_into_matches(&clash, 0, MemSpace::Shared);
+        // Wide scatter, 4 KiB stride: coarse-chunk screen must still pass.
+        let scatter: Vec<_> = (0..32).map(|l| lane_store(l * 4096, 4, l, 0, 0)).collect();
+        assert_into_matches(&scatter, 0, MemSpace::Global);
+        // Wide scatter with one distant duplicate pair.
+        let mut dup = scatter.clone();
+        dup[31] = lane_store(0, 4, 31, 0, 3);
+        assert_into_matches(&dup, 0, MemSpace::Global);
+        // Straddling 8-byte store overlapping a word store.
+        let straddle = vec![lane_store(4, 8, 0, 0, 0), lane_store(8, 4, 1, 0, 0)];
+        assert_into_matches(&straddle, 0, MemSpace::Global);
+        // Byte stores sharing a word but not a byte: screen may fall
+        // back (4-byte chunks collide) but the exact path stays silent.
+        let bytes = vec![lane_store(8, 1, 0, 0, 0), lane_store(9, 1, 1, 0, 0)];
+        assert_into_matches(&bytes, 0, MemSpace::Shared);
+        // Untracked lanes below base are invisible to both paths.
+        let below = vec![lane_store(8, 4, 0, 0, 0), lane_store(8, 4, 1, 0, 0)];
+        assert_into_matches(&below, 0x100, MemSpace::Global);
     }
 
     #[test]

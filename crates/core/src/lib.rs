@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::bloom::{BloomConfig, BloomSig};
     pub use crate::clocks::ClockFile;
     pub use crate::config::{DetectorConfig, SharedShadowPlacement};
-    pub use crate::global_rdu::{GlobalRdu, ShadowTraffic};
+    pub use crate::global_rdu::{GlobalRdu, ShadowTraffic, TransitionSink};
     pub use crate::granularity::Granularity;
     pub use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_CAP};
     pub use crate::lockset::AtomicIdRegister;

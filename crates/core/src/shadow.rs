@@ -281,6 +281,95 @@ impl ShadowEntry {
         race
     }
 
+    /// Same-thread steady-state fast path for the batch check pipeline.
+    ///
+    /// Handles the overwhelmingly common case — the recorded thread
+    /// re-accessing its own location outside any critical section, in the
+    /// same epoch — without copying the entry or running the full
+    /// dispatch. Returns `Some(entry_changed)` when the access is fully
+    /// handled (never a race, never a witness-state ambiguity), `None`
+    /// when the caller must fall back to [`Self::observe_health`]. The
+    /// handled cases are an exact transliteration of
+    /// `observe_happens_before` with `same_thread = true`:
+    /// `entry_changed` is true iff the full path would have left the
+    /// entry bitwise different (the signal `ShadowTraffic::writes`
+    /// counts).
+    #[inline(always)]
+    pub fn observe_same_thread_fast(
+        &mut self,
+        a: &MemAccess,
+        p: &ShadowPolicy,
+    ) -> Option<(bool, ShadowState, ShadowState)> {
+        if !a.kind.is_tracked() {
+            let st = self.state();
+            return Some((false, st, st));
+        }
+        // Identity must match on every recorded coordinate — not just
+        // `tid` — so the truncated-ID collision counter, the lockset
+        // dispatch, and the sync-ID epoch filter all provably see
+        // nothing to do. Non-short-circuit `|` on purpose: every operand
+        // is a cheap flag/field compare, and folding them into one branch
+        // beats seven predicted-not-taken jumps in the batch loop.
+        if self.is_fresh()
+            | (a.who.tid != self.tid)
+            | (a.who.warp != self.warp)
+            | (a.who.block != self.block)
+            | (a.who.sm != self.sm)
+            | a.in_critical_section
+            | self.protected
+            // Same block (just checked), different barrier epoch: the
+            // full path re-opens the entry.
+            | (p.sync_id_epochs & (a.sync_id != self.sync_id))
+        {
+            return None;
+        }
+        let is_write = a.kind.is_write();
+        match (self.modified, self.shared) {
+            // State 2: own read recorded. A write promotes to Written
+            // (the identity fields are already ours); a read is a no-op.
+            (false, false) => {
+                if is_write {
+                    self.modified = true;
+                    self.fence_id = a.fence_id;
+                    self.write_cycle = a.cycle;
+                    self.pc = a.pc;
+                    Some((true, ShadowState::ReadSingle, ShadowState::Written))
+                } else {
+                    Some((false, ShadowState::ReadSingle, ShadowState::ReadSingle))
+                }
+            }
+            // State 3: own write recorded. A write refreshes the
+            // provenance fields; an ordered read changes nothing. The
+            // stores are skipped when the fields already match — the
+            // steady state is then read-only on the entry.
+            (true, false) => {
+                if is_write {
+                    let changed = self.fence_id != a.fence_id
+                        || self.write_cycle != a.cycle
+                        || self.pc != a.pc;
+                    if changed {
+                        self.fence_id = a.fence_id;
+                        self.write_cycle = a.cycle;
+                        self.pc = a.pc;
+                    }
+                    Some((changed, ShadowState::Written, ShadowState::Written))
+                } else {
+                    Some((false, ShadowState::Written, ShadowState::Written))
+                }
+            }
+            // State 4: read-shared. A write races even from the recorded
+            // thread — full path. Reads stay silent.
+            (false, true) => {
+                if is_write {
+                    None
+                } else {
+                    Some((false, ShadowState::ReadShared, ShadowState::ReadShared))
+                }
+            }
+            (true, true) => unreachable!("fresh entries bail above"),
+        }
+    }
+
     /// Lockset rules (§III-B), plus the Fig. 2(b) check: even with a
     /// common lock, a consumer inside a critical section can read stale
     /// data on this non-coherent machine if the producer released the
@@ -1024,6 +1113,60 @@ mod tests {
         assert!(e
             .observe_health(&exact_locked(0x100, t(200, 6), AccessKind::Write, cfg), &c, &p, &mut h)
             .is_some());
+    }
+
+    #[test]
+    fn same_thread_fast_path_matches_full_dispatch() {
+        // Everywhere the fast path claims to handle an access, the full
+        // dispatch must produce the identical entry, no race, and a
+        // bitwise-change flag equal to the fast path's return.
+        let c = clocks();
+        for p in [shared_policy(), global_policy()] {
+            let opener_read = rd(t(5, 2)).with_clocks(3, 0).at_pc(10);
+            let opener_write = wr(t(5, 2)).with_clocks(3, 0).at_pc(11).at_cycle(7);
+            let mut setups: Vec<ShadowEntry> = Vec::new();
+            for opener in [&opener_read, &opener_write] {
+                let mut e = FRESH;
+                e.observe(opener, &c, &p);
+                setups.push(e);
+            }
+            // Read-shared state: reader from another warp after a read.
+            let mut shared_state = FRESH;
+            shared_state.observe(&opener_read, &c, &p);
+            shared_state.observe(&rd(t(90, 4)).with_clocks(3, 0), &c, &p);
+            setups.push(shared_state);
+
+            let followups = [
+                rd(t(5, 2)).with_clocks(3, 0).at_pc(20),
+                wr(t(5, 2)).with_clocks(3, 0).at_pc(21).at_cycle(9),
+                wr(t(5, 2)).with_clocks(3, 1).at_pc(11).at_cycle(7),
+                MemAccess::plain(0, 4, AccessKind::Atomic, t(5, 2)).with_clocks(3, 0),
+                // Cases the fast path must refuse: other thread, new
+                // epoch, critical section.
+                wr(t(90, 4)).with_clocks(3, 0),
+                wr(t(5, 2)).with_clocks(4, 0),
+                locked_access(0x100, t(5, 2), AccessKind::Write),
+            ];
+            for setup in &setups {
+                for a in &followups {
+                    let mut fast = *setup;
+                    let verdict = fast.observe_same_thread_fast(a, &p);
+                    let mut full = *setup;
+                    let mut h = DetectorHealth::default();
+                    let race = full.observe_health(a, &c, &p, &mut h);
+                    if let Some((changed, before, after)) = verdict {
+                        assert_eq!(fast, full, "entry mismatch for {a:?} from {setup:?}");
+                        assert!(race.is_none(), "fast path claimed a non-race");
+                        assert_eq!(changed, full != *setup, "changed flag for {a:?}");
+                        assert_eq!(before, setup.state(), "before state for {a:?}");
+                        assert_eq!(after, full.state(), "after state for {a:?}");
+                        assert_eq!(h, DetectorHealth::default(), "fast path hid health");
+                    } else {
+                        assert_eq!(fast, *setup, "refusal must not mutate");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -143,6 +143,36 @@ impl ShadowTable {
         &mut page.entries[o]
     }
 
+    /// Page index of entry `idx` — the grouping key batch checks use to
+    /// form contiguous same-page runs.
+    #[inline]
+    pub fn page_of(idx: usize) -> usize {
+        idx / PAGE_ENTRIES
+    }
+
+    /// Resolve the page containing entry `idx` once — materializing it
+    /// with the same allocation accounting as [`Self::get_mut_counted`] —
+    /// and run `f` against it. Batch-check entry point: callers group a
+    /// warp's consecutive same-page accesses and amortize the page lookup
+    /// over the whole run instead of paying it per chunk. The health
+    /// counter is lent back into the closure so entry resolution and
+    /// state-machine accounting share one accumulator.
+    pub fn with_page<R>(
+        &mut self,
+        idx: usize,
+        h: &mut DetectorHealth,
+        f: impl FnOnce(&mut PageEntries<'_>, &mut DetectorHealth) -> R,
+    ) -> R {
+        debug_assert!(idx < self.num_entries, "shadow index out of range");
+        let pi = idx / PAGE_ENTRIES;
+        let slot = &mut self.pages[pi];
+        if slot.is_none() {
+            h.shadow_pages_allocated += 1;
+        }
+        let page = slot.get_or_insert_with(Default::default);
+        f(&mut PageEntries { page, base: pi * PAGE_ENTRIES }, h)
+    }
+
     /// Invalidate entries in the half-open range `[first, last)`:
     /// generation bump for fully-covered pages, an entry walk for partial
     /// boundary pages, nothing at all for pages never materialized.
@@ -195,6 +225,34 @@ impl ShadowTable {
     #[doc(hidden)]
     pub fn generation_of(&self, idx: usize) -> Option<u32> {
         self.pages[idx / PAGE_ENTRIES].as_deref().map(|p| p.generation)
+    }
+}
+
+/// Mutable view of one materialized shadow page, handed out by
+/// [`ShadowTable::with_page`]. Entry resolution performs the identical
+/// lazy fresh-on-mismatch restamping (and fidelity accounting) as
+/// [`ShadowTable::get_mut_counted`], minus the per-chunk page lookup.
+pub struct PageEntries<'a> {
+    page: &'a mut ShadowPage,
+    base: usize,
+}
+
+impl PageEntries<'_> {
+    /// Mutable access to entry `idx` (absolute table index; must lie on
+    /// this page), lazily re-initializing it if its stamp is stale.
+    #[inline]
+    pub fn entry_counted(&mut self, idx: usize, h: &mut DetectorHealth) -> &mut ShadowEntry {
+        debug_assert_eq!(idx / PAGE_ENTRIES, self.base / PAGE_ENTRIES, "index off page");
+        // The mask is a no-op for on-page indices (debug-asserted above)
+        // and proves the index in-bounds, eliding both bounds checks in
+        // the batch loop.
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        if self.page.stamps[o] != self.page.generation {
+            h.shadow_fresh_on_mismatch += 1;
+            self.page.stamps[o] = self.page.generation;
+            self.page.entries[o] = FRESH;
+        }
+        &mut self.page.entries[o]
     }
 }
 
@@ -330,6 +388,37 @@ mod tests {
         t.reset_range(0, PAGE_ENTRIES);
         t.get_mut_counted(0, &mut h);
         assert_eq!(h.shadow_fresh_on_mismatch, 1, "stale stamp re-inits");
+    }
+
+    #[test]
+    fn with_page_matches_get_mut_counted() {
+        // The batch page view must be indistinguishable from per-entry
+        // resolution: same entries handed out, same health accounting,
+        // through materialization, reset, and lazy re-init.
+        let mut scalar = ShadowTable::new(2 * PAGE_ENTRIES);
+        let mut batch = ShadowTable::new(2 * PAGE_ENTRIES);
+        let mut hs = DetectorHealth::default();
+        let mut hb = DetectorHealth::default();
+        let idxs = [0usize, 5, 5, PAGE_ENTRIES - 1];
+        for &i in &idxs {
+            scalar.get_mut_counted(i, &mut hs).protected = true;
+        }
+        batch.with_page(idxs[0], &mut hb, |pe, h| {
+            for &i in &idxs {
+                pe.entry_counted(i, h).protected = true;
+            }
+        });
+        assert_eq!(hs.shadow_pages_allocated, hb.shadow_pages_allocated);
+        assert_eq!(hs.shadow_fresh_on_mismatch, hb.shadow_fresh_on_mismatch);
+        scalar.reset_range(0, PAGE_ENTRIES);
+        batch.reset_range(0, PAGE_ENTRIES);
+        // Stale stamps re-init identically through both paths.
+        let s = *scalar.get_mut_counted(5, &mut hs);
+        let b = batch.with_page(5, &mut hb, |pe, h| *pe.entry_counted(5, h));
+        assert_eq!(s, b);
+        assert!(b.is_fresh());
+        assert_eq!(hs.shadow_fresh_on_mismatch, hb.shadow_fresh_on_mismatch);
+        assert_eq!(hs.shadow_pages_allocated, hb.shadow_pages_allocated);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_RING_DEPT
 use crate::intra_warp::check_intra_warp_waw_into;
 use crate::race::RaceLog;
 use crate::scratch::RaceScratch;
+use crate::global_rdu::TransitionSink;
 use crate::shadow::{ShadowEntry, ShadowPolicy};
 use crate::shadow_table::ShadowTable;
 
@@ -155,6 +156,117 @@ impl SharedRdu {
         }
     }
 
+    /// Batch counterpart of [`Self::observe_health`] over one warp's lane
+    /// accesses — bit-identical to `check_warp_stores` (when `is_store`)
+    /// followed by `observe_health` per lane in order. Maximal consecutive
+    /// same-page runs resolve the shadow page once, and the same-thread
+    /// steady state short-circuits the full dispatch; `on_transition`
+    /// (tracing) or witness capture disables the short-circuit so every
+    /// Fig. 3 edge is observed in scalar order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_warp_batch(
+        &mut self,
+        accesses: &[MemAccess],
+        is_store: bool,
+        clocks: &ClockFile,
+        scratch: &mut RaceScratch,
+        log: &mut RaceLog,
+        h: &mut DetectorHealth,
+        mut on_transition: Option<TransitionSink<'_>>,
+    ) {
+        if is_store {
+            self.check_warp_stores(accesses, scratch, log);
+        }
+        let SharedRdu { sm, gran, table, policy, capture_witness, ring, stats, .. } = self;
+        let (sm, gran, capture_witness) = (*sm, *gran, *capture_witness);
+        let tlen = table.len();
+        // Hoisted out of the per-access loop (`Granularity::shift` is a
+        // trailing_zeros each call).
+        let shift = gran.shift();
+        let index_range = |addr: u32, size: u8| {
+            (
+                (addr >> shift) as usize,
+                (((addr + u32::from(size.max(1)) - 1) >> shift) as usize)
+                    .min(tlen.saturating_sub(1)),
+            )
+        };
+        let traced = on_transition.is_some();
+        let mut i = 0usize;
+        while i < accesses.len() {
+            let a = &accesses[i];
+            debug_assert_eq!(a.who.sm, sm, "access routed to the wrong SM's RDU");
+            let (lo, hi) = index_range(a.addr, a.size);
+            let page = ShadowTable::page_of(lo);
+            if traced || lo > hi || ShadowTable::page_of(hi) != page {
+                // Scalar fallback: tracing, clamped-out accesses, and
+                // page straddles resolve per chunk.
+                stats.checks += 1;
+                for idx in lo..=hi {
+                    let entry = table.get_mut_counted(idx, h);
+                    shared_check_chunk(
+                        entry,
+                        a,
+                        (idx as u32) << shift,
+                        traced,
+                        clocks,
+                        policy,
+                        capture_witness,
+                        ring,
+                        log,
+                        h,
+                        &mut on_transition,
+                    );
+                }
+                i += 1;
+                continue;
+            }
+            // Maximal same-page run: resolve the page once, then consume
+            // accesses while they stay on it — one `index_range` per
+            // access, the check counter flushed per run.
+            let next = table.with_page(lo, h, |pe, h| {
+                let (mut lo, mut hi) = (lo, hi);
+                let mut j = i;
+                loop {
+                    let a = &accesses[j];
+                    // `lo..hi + 1`, not `lo..=hi`: RangeInclusive keeps a
+                    // done-flag the optimizer doesn't remove in this loop.
+                    for idx in lo..hi + 1 {
+                        let entry = pe.entry_counted(idx, h);
+                        shared_check_chunk(
+                            entry,
+                            a,
+                            (idx as u32) << shift,
+                            false,
+                            clocks,
+                            policy,
+                            capture_witness,
+                            ring,
+                            log,
+                            h,
+                            &mut on_transition,
+                        );
+                    }
+                    j += 1;
+                    if j >= accesses.len() {
+                        break;
+                    }
+                    let b = &accesses[j];
+                    let (blo, bhi) = index_range(b.addr, b.size);
+                    if blo > bhi
+                        || ShadowTable::page_of(blo) != page
+                        || ShadowTable::page_of(bhi) != page
+                    {
+                        break;
+                    }
+                    (lo, hi) = (blo, bhi);
+                }
+                j
+            });
+            stats.checks += (next - i) as u64;
+            i = next;
+        }
+    }
+
     /// Pre-issue intra-warp WAW check over one warp instruction's lanes
     /// (exact byte overlap — same-warp chunk conflation never reports).
     /// Races go into `log`; `scratch` supplies the reusable dedup buffer.
@@ -214,6 +326,104 @@ impl SharedRdu {
     /// Byte offset (into this SM's shared memory) of chunk `idx`.
     pub fn chunk_addr(&self, idx: usize) -> u32 {
         (idx as u32) << self.gran.shift()
+    }
+}
+
+/// One shared shadow-entry check — [`SharedRdu::observe_health`]'s inner
+/// loop body, preceded by the same-thread fast path whenever no
+/// transition sink is attached; the fast path reports before/after
+/// states itself, so witness capture rides it. (Unlike the global path
+/// there is no traffic signal and no truncated-ID accounting.)
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn shared_check_chunk(
+    entry: &mut ShadowEntry,
+    a: &MemAccess,
+    chunk_addr: u32,
+    traced: bool,
+    clocks: &ClockFile,
+    policy: &ShadowPolicy,
+    capture_witness: bool,
+    ring: &mut WitnessRing,
+    log: &mut RaceLog,
+    h: &mut DetectorHealth,
+    on_transition: &mut Option<TransitionSink<'_>>,
+) {
+    if !traced {
+        if let Some((_, state_before, state_after)) = entry.observe_same_thread_fast(a, policy) {
+            if capture_witness && a.kind.is_tracked() {
+                ring.push(WitnessEvent {
+                    cycle: a.cycle,
+                    who: a.who,
+                    pc: a.pc,
+                    kind: a.kind,
+                    addr: chunk_addr,
+                    state_before,
+                    state_after,
+                });
+            }
+            return;
+        }
+    }
+    shared_check_chunk_slow(
+        entry,
+        a,
+        chunk_addr,
+        clocks,
+        policy,
+        capture_witness,
+        ring,
+        log,
+        h,
+        on_transition,
+    );
+}
+
+/// The full Fig. 3 dispatch for one shared chunk — everything past the
+/// same-thread fast path, kept out of line so the steady state inlines
+/// into the batch loop.
+#[allow(clippy::too_many_arguments)]
+#[cold]
+#[inline(never)]
+fn shared_check_chunk_slow(
+    entry: &mut ShadowEntry,
+    a: &MemAccess,
+    chunk_addr: u32,
+    clocks: &ClockFile,
+    policy: &ShadowPolicy,
+    capture_witness: bool,
+    ring: &mut WitnessRing,
+    log: &mut RaceLog,
+    h: &mut DetectorHealth,
+    on_transition: &mut Option<TransitionSink<'_>>,
+) {
+    let mut chunk_access = *a;
+    chunk_access.addr = chunk_addr;
+    let state_before = entry.state();
+    let race = entry.observe_health(&chunk_access, clocks, policy, h);
+    let state_after = entry.state();
+    if let Some(cb) = on_transition.as_deref_mut() {
+        if state_after != state_before {
+            cb(chunk_addr, state_before, state_after);
+        }
+    }
+    if capture_witness && a.kind.is_tracked() {
+        ring.push(WitnessEvent {
+            cycle: a.cycle,
+            who: a.who,
+            pc: a.pc,
+            kind: a.kind,
+            addr: chunk_addr,
+            state_before,
+            state_after,
+        });
+    }
+    if let Some(r) = race {
+        if capture_witness {
+            log.push_with_witness(r, &ring.collect_for(chunk_addr));
+        } else {
+            log.push(r);
+        }
     }
 }
 
@@ -358,6 +568,114 @@ mod tests {
         r.observe(&acc(64, AccessKind::Read, 32, 1), &c, &mut log);
         assert_eq!(log.distinct(), 1);
         assert!(log.witness_of(0).is_empty());
+    }
+
+    /// Batch pipeline vs scalar pipeline on the shared RDU: identical
+    /// races, health, stats, entries, witnesses, and transition events.
+    fn assert_batch_matches_scalar(accesses: &[MemAccess], is_store: bool, witness: bool) {
+        use crate::shadow::ShadowState;
+        let c = ClockFile::new(4, 16);
+        let mut scalar = rdu();
+        let mut batch = rdu();
+        scalar.set_witness_capture(witness);
+        batch.set_witness_capture(witness);
+        let mut slog = RaceLog::default();
+        let mut blog = RaceLog::default();
+        let mut sh = DetectorHealth::default();
+        let mut bh = DetectorHealth::default();
+        let mut ss = RaceScratch::default();
+        let mut bs = RaceScratch::default();
+        let mut sevents: Vec<(u32, ShadowState, ShadowState)> = Vec::new();
+        let mut bevents: Vec<(u32, ShadowState, ShadowState)> = Vec::new();
+        for _round in 0..2 {
+            if is_store {
+                scalar.check_warp_stores(accesses, &mut ss, &mut slog);
+            }
+            for a in accesses {
+                let watch = scalar.chunk_range(a.addr, a.size);
+                let states: Vec<ShadowState> = watch
+                    .map(|(lo, hi)| (lo..=hi).map(|i| scalar.entry(i).state()).collect())
+                    .unwrap_or_default();
+                scalar.observe_health(a, &c, &mut slog, &mut sh);
+                if let Some((lo, hi)) = watch {
+                    for (k, i) in (lo..=hi).enumerate() {
+                        let to = scalar.entry(i).state();
+                        if to != states[k] {
+                            sevents.push((scalar.chunk_addr(i), states[k], to));
+                        }
+                    }
+                }
+            }
+            let mut sink = |addr: u32, from: ShadowState, to: ShadowState| {
+                bevents.push((addr, from, to));
+            };
+            batch.check_warp_batch(
+                accesses,
+                is_store,
+                &c,
+                &mut bs,
+                &mut blog,
+                &mut bh,
+                Some(&mut sink),
+            );
+        }
+        assert_eq!(slog.records(), blog.records());
+        assert_eq!(slog.total(), blog.total());
+        assert_eq!(sh, bh, "health counters");
+        assert_eq!(sevents, bevents, "transition events");
+        assert_eq!(format!("{:?}", scalar.stats), format!("{:?}", batch.stats));
+        for idx in 0..scalar.num_entries() {
+            assert_eq!(scalar.entry(idx), batch.entry(idx), "entry {idx}");
+        }
+        for k in 0..slog.records().len() {
+            assert_eq!(slog.witness_of(k), blog.witness_of(k), "witness {k}");
+        }
+
+        // Untraced: the same-thread fast path engages.
+        let mut scalar2 = rdu();
+        let mut batch2 = rdu();
+        let mut slog2 = RaceLog::default();
+        let mut blog2 = RaceLog::default();
+        let mut sh2 = DetectorHealth::default();
+        let mut bh2 = DetectorHealth::default();
+        for _ in 0..2 {
+            if is_store {
+                scalar2.check_warp_stores(accesses, &mut ss, &mut slog2);
+            }
+            for a in accesses {
+                scalar2.observe_health(a, &c, &mut slog2, &mut sh2);
+            }
+            batch2.check_warp_batch(accesses, is_store, &c, &mut bs, &mut blog2, &mut bh2, None);
+        }
+        assert_eq!(slog2.records(), blog2.records());
+        assert_eq!(sh2, bh2, "untraced health");
+        assert_eq!(format!("{:?}", scalar2.stats), format!("{:?}", batch2.stats));
+        for idx in 0..scalar2.num_entries() {
+            assert_eq!(scalar2.entry(idx), batch2.entry(idx), "untraced entry {idx}");
+        }
+    }
+
+    #[test]
+    fn warp_batch_matches_scalar_pipeline() {
+        // Coalesced same-warp stores (one page run, steady state on
+        // round 2).
+        let coalesced: Vec<_> =
+            (0..32).map(|l| acc(l * 4, AccessKind::Write, l, 0).at_pc(9)).collect();
+        assert_batch_matches_scalar(&coalesced, true, false);
+        assert_batch_matches_scalar(&coalesced, true, true);
+
+        // Cross-warp conflicts + bank-scattered lanes + a straddling
+        // access + an out-of-range lane (clamped) + an atomic.
+        let mut mixed: Vec<_> =
+            (0..16).map(|l| acc(l * 1024, AccessKind::Write, l, 0).at_pc(3)).collect();
+        mixed.extend((0..8).map(|l| acc(l * 1024, AccessKind::Read, 32 + l, 1).at_pc(4)));
+        let mut straddle = acc(2044, AccessKind::Write, 5, 0);
+        straddle.size = 8;
+        mixed.push(straddle);
+        mixed.push(acc(1 << 20, AccessKind::Write, 6, 0));
+        mixed.push(acc(64, AccessKind::Atomic, 7, 0));
+        assert_batch_matches_scalar(&mixed, true, false);
+        assert_batch_matches_scalar(&mixed, true, true);
     }
 
     #[test]

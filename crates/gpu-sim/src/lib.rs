@@ -69,6 +69,7 @@ pub mod exec;
 pub mod fuzzgen;
 pub mod gpu;
 pub mod isa;
+pub mod lanes;
 pub mod mem;
 pub mod prof;
 pub mod simt;

@@ -111,7 +111,60 @@ pub fn coalesce(lanes: &[LaneAddr], line_bytes: u32) -> Vec<Transaction> {
 
 /// Allocation-free [`coalesce`]: clears and refills `out`, retaining its
 /// capacity across warp instructions.
+///
+/// Fast path (≤32 lanes, no line-straddling access): the warp's line
+/// addresses are gathered into a fixed 32-wide array and grouped by a
+/// bit-parallel equality scan — take the lowest unprocessed lane, compare
+/// its line against all lanes at once, and retire the whole match mask as
+/// one transaction. One pass per *distinct line* instead of one linear
+/// probe per lane, and the comparison loop autovectorizes. Straddling
+/// accesses (and oversized lane lists) take the exact scalar path; both
+/// produce identical transactions in identical first-touch order.
 pub fn coalesce_into(lanes: &[LaneAddr], line_bytes: u32, out: &mut Vec<Transaction>) {
+    out.clear();
+    let mask = !(line_bytes - 1);
+    let n = lanes.len();
+    if n <= 32 {
+        let mut lines = [0u32; 32];
+        let mut sizes = [0u32; 32];
+        let mut straddle = false;
+        for (i, la) in lanes.iter().enumerate() {
+            let first = la.addr & mask;
+            let last = (la.addr + u32::from(la.size.max(1)) - 1) & mask;
+            lines[i] = first;
+            sizes[i] = u32::from(la.size);
+            straddle |= first != last;
+        }
+        if !straddle {
+            let mut remaining: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+            while remaining != 0 {
+                let i = remaining.trailing_zeros() as usize;
+                let line = lines[i];
+                let mut same = 0u32;
+                for (j, l) in lines[..n].iter().enumerate() {
+                    same |= u32::from(*l == line) << j;
+                }
+                remaining &= !same;
+                let mut tx = Transaction { line_addr: line, bytes: 0, lanes: LaneMask::EMPTY };
+                while same != 0 {
+                    let j = same.trailing_zeros() as usize;
+                    same &= same - 1;
+                    tx.lanes.insert(lanes[j].lane);
+                    tx.bytes += sizes[j];
+                }
+                tx.bytes = tx.bytes.min(line_bytes);
+                out.push(tx);
+            }
+            return;
+        }
+    }
+    coalesce_exact_into(lanes, line_bytes, out);
+}
+
+/// Exact scalar reference: linear probe per lane line, straddles join
+/// both transactions. Used for straddling/oversized inputs and as the
+/// differential oracle for the fast path in tests.
+fn coalesce_exact_into(lanes: &[LaneAddr], line_bytes: u32, out: &mut Vec<Transaction>) {
     out.clear();
     let mask = !(line_bytes - 1);
     for la in lanes {
@@ -147,8 +200,33 @@ pub fn coalesce_into(lanes: &[LaneAddr], line_bytes: u32, out: &mut Vec<Transact
 /// (§II-A: "If threads within a warp access different banks, all the
 /// accesses are served in parallel").
 pub fn bank_conflict_degree(lanes: &[LaneAddr], banks: u32) -> u32 {
-    // Allocation-free distinct-word count per bank: a warp is ≤32 lanes,
-    // so the quadratic first-occurrence scans stay trivially cheap.
+    let n = lanes.len();
+    if n <= 32 && banks <= 32 {
+        // Bit-parallel distinct-word grouping: dedup whole equality
+        // classes per iteration via a 32-wide compare, then tally one
+        // distinct word into its bank. O(distinct words) passes.
+        let mut words = [0u32; 32];
+        for (i, la) in lanes.iter().enumerate() {
+            words[i] = la.addr / 4;
+        }
+        let mut counts = [0u32; 32];
+        let mut remaining: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let mut max = 1u32;
+        while remaining != 0 {
+            let i = remaining.trailing_zeros() as usize;
+            let w = words[i];
+            let mut same = 0u32;
+            for (j, cand) in words[..n].iter().enumerate() {
+                same |= u32::from(*cand == w) << j;
+            }
+            remaining &= !same;
+            let bank = (w % banks) as usize;
+            counts[bank] += 1;
+            max = max.max(counts[bank]);
+        }
+        return max;
+    }
+    // Exact reference path for oversized lane lists / bank counts.
     let mut max = 1u32;
     for (i, la) in lanes.iter().enumerate() {
         let word = la.addr / 4;
@@ -255,5 +333,32 @@ mod tests {
     #[test]
     fn empty_access_costs_one_cycle() {
         assert_eq!(bank_conflict_degree(&[], 16), 1);
+    }
+
+    #[test]
+    fn fast_path_matches_exact_reference() {
+        let patterns: Vec<Vec<LaneAddr>> = vec![
+            // coalesced, broadcast, strided, scattered with duplicates
+            (0..32).map(|l| LaneAddr { lane: l as u8, addr: 0x1000 + l * 4, size: 4 }).collect(),
+            (0..32).map(|l| LaneAddr { lane: l as u8, addr: 0x2000, size: 4 }).collect(),
+            (0..32).map(|l| LaneAddr { lane: l as u8, addr: l * 256, size: 4 }).collect(),
+            (0..32)
+                .map(|l| LaneAddr { lane: l as u8, addr: (l % 3) * 0x300 + l * 8, size: 8 })
+                .collect(),
+            // partial warp, mixed sizes
+            vec![
+                LaneAddr { lane: 0, addr: 0x100, size: 1 },
+                LaneAddr { lane: 5, addr: 0x104, size: 8 },
+                LaneAddr { lane: 9, addr: 0x100, size: 4 },
+            ],
+            vec![],
+        ];
+        for lanes in &patterns {
+            let mut fast = Vec::new();
+            let mut exact = Vec::new();
+            coalesce_into(lanes, 128, &mut fast);
+            coalesce_exact_into(lanes, 128, &mut exact);
+            assert_eq!(fast, exact, "pattern {lanes:?}");
+        }
     }
 }

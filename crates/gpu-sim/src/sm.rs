@@ -27,8 +27,8 @@ use haccrg::prelude::*;
 use crate::config::GpuConfig;
 use crate::detector::{DetView, LaunchDet};
 use crate::device::DeviceMemory;
-use crate::exec::{eval_bin, eval_cmp, eval_un};
 use crate::isa::{Kernel, Op, Space, SpecialReg, Src};
+use crate::lanes::{WarpLanes, LANES};
 use crate::mem::cache::Cache;
 use crate::mem::coalesce::{bank_conflict_degree, coalesce_into, LaneAddr, LaneMask, Transaction};
 use crate::mem::{LaneAtomic, MemReq, ReqKind};
@@ -225,8 +225,15 @@ pub struct Cta {
     pub shared_size: u32,
     /// Functional shared-memory contents.
     pub shared_data: Vec<u8>,
-    /// Flat register file: `threads × num_regs`.
+    /// SoA register file: register `r` of warp `w`'s 32 lanes is the
+    /// contiguous row `regs[r * lane_slots + w * LANES ..][..LANES]`
+    /// (see [`crate::lanes`]). Thread `t` of the block lives in lane
+    /// `t % warp_size` of warp `t / warp_size`.
     pub regs: Vec<u32>,
+    /// Lane slots per register row: `warps_per_block × LANES`.
+    pub lane_slots: usize,
+    /// Virtual registers per thread (retire-time bookkeeping).
+    pub num_regs: u16,
     /// Per-thread atomic-ID (lockset) registers (§III-B).
     pub locks: Vec<AtomicIdRegister>,
     pub barrier_waiting: u32,
@@ -376,7 +383,9 @@ impl Sm {
             shared_base: slot as u32 * shared_need,
             shared_size: ctx.kernel.shared_bytes,
             shared_data: vec![0; ctx.kernel.shared_bytes as usize],
-            regs: vec![0; (threads as usize) * usize::from(ctx.kernel.num_regs)],
+            regs: vec![0; nwarps as usize * LANES * usize::from(ctx.kernel.num_regs)],
+            lane_slots: nwarps as usize * LANES,
+            num_regs: ctx.kernel.num_regs,
             locks: vec![AtomicIdRegister::default(); threads as usize],
             barrier_waiting: 0,
             live_warps: nwarps,
@@ -509,7 +518,7 @@ impl Sm {
         &mut self,
         resp: MemReq,
         now: u64,
-        ctx: &LaunchContext,
+        _ctx: &LaunchContext,
         det: &mut Option<LaunchDet>,
         stats: &mut SimStats,
         tracer: &mut Tracer,
@@ -558,11 +567,11 @@ impl Sm {
                     _ => return,
                 };
                 if let Some(cta) = self.ctas[cta_slot].as_mut() {
-                    let nr = usize::from(ctx.kernel.num_regs);
+                    let mut view = WarpLanes::new(&mut cta.regs, cta.lane_slots, warp_in_block);
                     for &(lane, old) in &resp.atomic_old {
                         let t = (warp_in_block * self.cfg.warp_size + u32::from(lane)) as usize;
                         if t < cta.threads as usize {
-                            cta.regs[t * nr + usize::from(dreg)] = old;
+                            view.set_lane(crate::isa::Reg(dreg), usize::from(lane), old);
                         }
                     }
                 }
@@ -603,23 +612,26 @@ impl Sm {
         cta_slot: usize,
         warp_in_block: u32,
         mask: u32,
-        ctx: &LaunchContext,
         addr_reg: crate::isa::Reg,
         imm: u32,
         size: u8,
         scratch: &mut SmScratch,
     ) -> bool {
-        let nr = usize::from(ctx.kernel.num_regs);
         let cta = self.ctas[cta_slot].as_ref().expect("cta live");
         let SmScratch { lanes, txs, .. } = scratch;
         lanes.clear();
+        let addrs = crate::lanes::addr_gen(
+            &cta.regs,
+            cta.lane_slots,
+            warp_in_block as usize * LANES,
+            addr_reg,
+            imm,
+        );
         for l in 0..self.cfg.warp_size {
             if mask & (1 << l) == 0 {
                 continue;
             }
-            let t = (warp_in_block * self.cfg.warp_size + l) as usize;
-            let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
-            lanes.push(LaneAddr { lane: l as u8, addr: a, size });
+            lanes.push(LaneAddr { lane: l as u8, addr: addrs[l as usize], size });
         }
         coalesce_into(lanes, self.cfg.l1.line_bytes, txs);
         let needed = txs
@@ -644,7 +656,6 @@ impl Sm {
     ) {
         let _prof = prof::scope(Phase::FetchExecute);
         let warp_size = self.cfg.warp_size;
-        let nr = usize::from(ctx.kernel.num_regs);
 
         let (cta_slot, warp_in_block, gwarp, pc, mask) = {
             let w = self.warps[widx].as_ref().expect("issuing live warp");
@@ -663,7 +674,7 @@ impl Sm {
         // enforced between instructions (and livelock is impossible).
         if let Op::Ld { space: Space::Global, addr, imm, size, .. } = instr.op {
             if !self.l1_mshr.is_empty()
-                && self.mshr_short(cta_slot, warp_in_block, mask, ctx, addr, imm, size, &mut out.scratch)
+                && self.mshr_short(cta_slot, warp_in_block, mask, addr, imm, size, &mut out.scratch)
             {
                 out.stats.l1_mshr_full_stalls += 1;
                 self.warps[widx].as_mut().expect("warp live").resume_at = now + 1;
@@ -695,132 +706,67 @@ impl Sm {
         }
 
         let lane_thread = |l: u32| (warp_in_block * warp_size + l) as usize;
-        let rd = |regs: &[u32], t: usize, s: Src| -> u32 {
-            match s {
-                Src::Imm(v) => v,
-                Src::Reg(r) => regs[t * nr + usize::from(r.0)],
-            }
-        };
+        // All ALU/control arms below go through the vectorized lane
+        // engine: whole-row operand fetch, unconditional 32-lane
+        // compute, mask-predicated writeback (see `crate::lanes`).
+        macro_rules! view {
+            ($cta:expr) => {{
+                let c = $cta;
+                WarpLanes::new(&mut c.regs, c.lane_slots, warp_in_block)
+            }};
+        }
 
         match instr.op {
             Op::Bin { op, d, a, b } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let va = rd(&cta.regs, t, a);
-                        let vb = rd(&cta.regs, t, b);
-                        cta.regs[t * nr + usize::from(d.0)] = eval_bin(op, va, vb);
-                    }
-                }
+                view!(cta!()).bin(op, d, a, b, mask);
                 warp!().simt.advance();
             }
             Op::Un { op, d, a } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let va = rd(&cta.regs, t, a);
-                        cta.regs[t * nr + usize::from(d.0)] = eval_un(op, va);
-                    }
-                }
+                view!(cta!()).un(op, d, a, mask);
                 warp!().simt.advance();
             }
             Op::Mad { d, a, b, c } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let v = rd(&cta.regs, t, a)
-                            .wrapping_mul(rd(&cta.regs, t, b))
-                            .wrapping_add(rd(&cta.regs, t, c));
-                        cta.regs[t * nr + usize::from(d.0)] = v;
-                    }
-                }
+                view!(cta!()).mad(d, a, b, c, mask);
                 warp!().simt.advance();
             }
             Op::FMad { d, a, b, c } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let va = f32::from_bits(rd(&cta.regs, t, a));
-                        let vb = f32::from_bits(rd(&cta.regs, t, b));
-                        let vc = f32::from_bits(rd(&cta.regs, t, c));
-                        cta.regs[t * nr + usize::from(d.0)] = (va * vb + vc).to_bits();
-                    }
-                }
+                view!(cta!()).fmad(d, a, b, c, mask);
                 warp!().simt.advance();
             }
             Op::SetP { cmp, d, a, b } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let v = eval_cmp(cmp, rd(&cta.regs, t, a), rd(&cta.regs, t, b));
-                        cta.regs[t * nr + usize::from(d.0)] = u32::from(v);
-                    }
-                }
+                view!(cta!()).setp(cmp, d, a, b, mask);
                 warp!().simt.advance();
             }
             Op::Sel { d, c, a, b } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let cond = cta.regs[t * nr + usize::from(c.0)];
-                        let v = if cond != 0 { rd(&cta.regs, t, a) } else { rd(&cta.regs, t, b) };
-                        cta.regs[t * nr + usize::from(d.0)] = v;
-                    }
-                }
+                view!(cta!()).sel(d, c, a, b, mask);
                 warp!().simt.advance();
             }
             Op::Sreg { d, r } => {
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        let v = match r {
-                            SpecialReg::Tid => t as u32,
-                            SpecialReg::Ctaid => block_id,
-                            SpecialReg::Ntid => ctx.block_dim,
-                            SpecialReg::Nctaid => ctx.grid,
-                            SpecialReg::LaneId => l,
-                            SpecialReg::WarpId => warp_in_block,
-                        };
-                        cta.regs[t * nr + usize::from(d.0)] = v;
-                    }
+                let first_t = warp_in_block * warp_size;
+                let mut vals = [0u32; LANES];
+                for (l, v) in vals.iter_mut().enumerate() {
+                    *v = match r {
+                        SpecialReg::Tid => first_t + l as u32,
+                        SpecialReg::Ctaid => block_id,
+                        SpecialReg::Ntid => ctx.block_dim,
+                        SpecialReg::Nctaid => ctx.grid,
+                        SpecialReg::LaneId => l as u32,
+                        SpecialReg::WarpId => warp_in_block,
+                    };
                 }
+                view!(cta!()).write_masked(d, mask, &vals);
                 warp!().simt.advance();
             }
             Op::LdParam { d, idx } => {
                 let v = ctx.params.get(usize::from(idx)).copied().unwrap_or(0);
-                let cta = cta!();
-                for l in 0..warp_size {
-                    if mask & (1 << l) != 0 {
-                        let t = lane_thread(l);
-                        cta.regs[t * nr + usize::from(d.0)] = v;
-                    }
-                }
+                view!(cta!()).write_masked(d, mask, &[v; LANES]);
                 warp!().simt.advance();
             }
             Op::Bra { pred, target, reconv } => {
-                let mut taken = 0u32;
-                match pred {
-                    None => taken = mask,
-                    Some((r, sense)) => {
-                        let cta = cta!();
-                        for l in 0..warp_size {
-                            if mask & (1 << l) != 0 {
-                                let t = lane_thread(l);
-                                let v = cta.regs[t * nr + usize::from(r.0)] != 0;
-                                if v == sense {
-                                    taken |= 1 << l;
-                                }
-                            }
-                        }
-                    }
-                }
+                let taken = match pred {
+                    None => mask,
+                    Some((r, sense)) => view!(cta!()).vote(r, sense, mask),
+                };
                 if warp!().simt.branch(taken, target, reconv).is_err() {
                     // Runaway divergence: kill the warp rather than hang.
                     warp!().simt.exit_active();
@@ -858,11 +804,16 @@ impl Sm {
             Op::CsBegin { lock } => {
                 let bloom = det.map(|v| v.cfg.bloom).unwrap_or_default();
                 let cta = cta!();
+                let addrs = crate::lanes::read_reg(
+                    &cta.regs,
+                    cta.lane_slots,
+                    warp_in_block as usize * LANES,
+                    lock,
+                );
                 for l in 0..warp_size {
                     if mask & (1 << l) != 0 {
                         let t = lane_thread(l);
-                        let addr = cta.regs[t * nr + usize::from(lock.0)];
-                        if cta.locks[t].acquire(addr, bloom) {
+                        if cta.locks[t].acquire(addrs[l as usize], bloom) {
                             // A distinct new lock set no new signature bit:
                             // this acquisition is invisible to the Bloom
                             // lockset and can suppress a real race later.
@@ -984,9 +935,8 @@ impl Sm {
             self.warps[slot] = None;
         }
         self.threads_resident -= cta.threads;
-        self.regs_resident = self.regs_resident.saturating_sub(
-            cta.threads * (cta.regs.len() as u32 / cta.threads.max(1)),
-        );
+        self.regs_resident =
+            self.regs_resident.saturating_sub(cta.threads * u32::from(cta.num_regs));
         // Kernel end is an implicit barrier: clear the block's shared
         // shadow entries so the next block on this range starts fresh.
         if let Some(v) = det {
@@ -1031,62 +981,55 @@ impl Sm {
         line_tag: u32,
     ) {
         let warp_size = self.cfg.warp_size;
-        let nr = usize::from(ctx.kernel.num_regs);
-        let lane_thread = |l: u32| (warp_in_block * warp_size + l) as usize;
 
-        // Gather per-lane addresses and perform the functional access.
-        // The lane buffer is scratch taken from `out` (restored on every
-        // path out of this function), so no per-instruction allocation.
+        // Whole-warp operand prologue: one address-gen row plus the
+        // store/atomic source rows, fetched once instead of per lane
+        // (lane slots never alias, so prefetching is bit-identical to
+        // the old interleaved per-lane reads).
         let mut lanes = std::mem::take(&mut out.scratch.lanes);
         lanes.clear();
+        let (addrs, svals, s2vals) = {
+            let cta = self.ctas[cta_slot].as_ref().expect("cta live");
+            let wb = warp_in_block as usize * LANES;
+            (
+                crate::lanes::addr_gen(&cta.regs, cta.lane_slots, wb, addr_reg, imm),
+                crate::lanes::read_operand(&cta.regs, cta.lane_slots, wb, src),
+                crate::lanes::read_operand(&cta.regs, cta.lane_slots, wb, src2),
+            )
+        };
         {
             let cta = self.ctas[cta_slot].as_mut().expect("cta live");
+            let Cta { regs, shared_data, lane_slots, .. } = cta;
+            let mut view = WarpLanes::new(regs, *lane_slots, warp_in_block);
             for l in 0..warp_size {
                 if mask & (1 << l) == 0 {
                     continue;
                 }
-                let t = lane_thread(l);
-                let base = cta.regs[t * nr + usize::from(addr_reg.0)];
-                let a = base.wrapping_add(imm);
+                let li = l as usize;
+                let a = addrs[li];
                 lanes.push(LaneAddr { lane: l as u8, addr: a, size });
                 match (space, kind) {
                     (Space::Shared, MemOpKind::Load { d }) => {
-                        let v = read_shared(&cta.shared_data, a, size, &mut out.stats);
-                        cta.regs[t * nr + usize::from(d.0)] = v;
+                        let v = read_shared(shared_data, a, size, &mut out.stats);
+                        view.set_lane(d, li, v);
                     }
                     (Space::Shared, MemOpKind::Store) => {
-                        let v = match src {
-                            Src::Imm(x) => x,
-                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                        };
-                        write_shared(&mut cta.shared_data, a, v, size, &mut out.stats);
+                        write_shared(shared_data, a, svals[li], size, &mut out.stats);
                     }
                     (Space::Shared, MemOpKind::Atomic { op, d }) => {
                         // Shared-memory atomics are serialized by the SM
                         // itself: functional RMW at issue.
-                        let old = read_shared(&cta.shared_data, a, size, &mut out.stats);
-                        let vs = match src {
-                            Src::Imm(x) => x,
-                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                        };
-                        let vs2 = match src2 {
-                            Src::Imm(x) => x,
-                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                        };
-                        let new = crate::exec::eval_atom(op, old, vs, vs2);
-                        write_shared(&mut cta.shared_data, a, new, size, &mut out.stats);
-                        cta.regs[t * nr + usize::from(d.0)] = old;
+                        let old = read_shared(shared_data, a, size, &mut out.stats);
+                        let new = crate::exec::eval_atom(op, old, svals[li], s2vals[li]);
+                        write_shared(shared_data, a, new, size, &mut out.stats);
+                        view.set_lane(d, li, old);
                     }
                     (Space::Global, MemOpKind::Load { d }) => {
                         let v = mem.read(a, size);
-                        cta.regs[t * nr + usize::from(d.0)] = v;
+                        view.set_lane(d, li, v);
                     }
                     (Space::Global, MemOpKind::Store) => {
-                        let v = match src {
-                            Src::Imm(x) => x,
-                            Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                        };
-                        out.ops.push(SmOp::MemWrite { addr: a, val: v, size });
+                        out.ops.push(SmOp::MemWrite { addr: a, val: svals[li], size });
                     }
                     (Space::Global, MemOpKind::Atomic { .. }) => {
                         // Functional execution happens at the memory slice
@@ -1255,22 +1198,18 @@ impl Sm {
                             self.warps[widx].as_mut().expect("warp live").outstanding_stores += 1;
                         }
                         MemOpKind::Atomic { op, d } => {
-                            let cta = self.ctas[cta_slot].as_ref().expect("cta live");
                             let ops: Vec<LaneAtomic> = tx
                                 .lanes
                                 .iter()
                                 .map(|l| {
-                                    let t = lane_thread(u32::from(l));
-                                    let a = cta.regs[t * nr + usize::from(addr_reg.0)].wrapping_add(imm);
-                                    let vs = match src {
-                                        Src::Imm(x) => x,
-                                        Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                                    };
-                                    let vs2 = match src2 {
-                                        Src::Imm(x) => x,
-                                        Src::Reg(r) => cta.regs[t * nr + usize::from(r.0)],
-                                    };
-                                    LaneAtomic { lane: l, addr: a, op, src: vs, src2: vs2 }
+                                    let li = usize::from(l);
+                                    LaneAtomic {
+                                        lane: l,
+                                        addr: addrs[li],
+                                        op,
+                                        src: svals[li],
+                                        src2: s2vals[li],
+                                    }
                                 })
                                 .collect();
                             pending += 1;
@@ -1379,45 +1318,38 @@ impl Sm {
                 }
             }));
 
-        // `before`-state snapshots reuse the scratch buffer; the RaceLog
-        // itself only allocates when a race is actually recorded.
-        let mut states = std::mem::take(&mut out.scratch.race.states);
+        // Whole-warp batch check: the RDU resolves each shadow page once
+        // per run of same-page lanes and reports Fig. 3 edges through the
+        // sink (tracing only; the sink keeps the per-access event order of
+        // the old scalar loop).
         let mut local = RaceLog::default();
         {
             let rdu = self.shared_rdu.as_mut().expect("checked above");
-            if matches!(kind, MemOpKind::Store) {
-                rdu.check_warp_stores(&accesses, &mut out.scratch.race, &mut local);
-            }
-            for a in &accesses {
-                // When tracing, snapshot the touched chunks' Fig. 3 states so
-                // state-machine edges can be reported.
-                let watch = if out.tracing { rdu.chunk_range(a.addr, a.size) } else { None };
-                states.clear();
-                if let Some((lo, hi)) = watch {
-                    states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
-                }
-                rdu.observe_health(a, v.clocks, &mut local, &mut out.stats.health);
-                if let Some((lo, hi)) = watch {
-                    for (k, i) in (lo..=hi).enumerate() {
-                        let to = rdu.entry(i).state();
-                        if to != states[k] {
-                            let chunk_addr = rdu.chunk_addr(i);
-                            out.emit(
-                                now,
-                                SimEvent::ShadowTransition {
-                                    space: MemSpace::Shared,
-                                    sm: sm_id,
-                                    chunk_addr,
-                                    from: states[k],
-                                    to,
-                                },
-                            );
-                        }
-                    }
-                }
-            }
+            let ops = &mut out.ops;
+            let mut sink = |chunk_addr: u32, from: ShadowState, to: ShadowState| {
+                ops.push(SmOp::Emit {
+                    cycle: now,
+                    ev: SimEvent::ShadowTransition {
+                        space: MemSpace::Shared,
+                        sm: sm_id,
+                        chunk_addr,
+                        from,
+                        to,
+                    },
+                });
+            };
+            let on_transition: Option<TransitionSink<'_>> =
+                if out.tracing { Some(&mut sink) } else { None };
+            rdu.check_warp_batch(
+                &accesses,
+                matches!(kind, MemOpKind::Store),
+                v.clocks,
+                &mut out.scratch.race,
+                &mut local,
+                &mut out.stats.health,
+                on_transition,
+            );
         }
-        out.scratch.race.states = states;
         // Race reports go through the coordinator, which knows whether a
         // record is fresh launch-wide (and emits RaceDetected events).
         if local.total() > 0 {
@@ -1558,45 +1490,48 @@ pub(crate) fn apply_global_batch(
     prof::count(Counter::GlobalChecks, accesses.len() as u64);
     let races_before = det.log.records().len();
 
-    if is_store {
-        rdu.check_warp_stores(accesses, scratch, &mut det.log);
-    }
-
-    let RaceScratch { states, lines: shadow_lines, .. } = scratch;
+    // Whole-warp batch check: same-page lane runs resolve their shadow
+    // page once; shadow-line traffic and Fig. 3 edges stream back through
+    // the two sinks in the old scalar loop's per-access order.
+    let mut shadow_lines = std::mem::take(&mut scratch.lines);
     shadow_lines.clear();
-    for a in accesses {
-        let watch = if tracer.on() { rdu.chunk_range(a.addr, a.size) } else { None };
-        states.clear();
-        if let Some((lo, hi)) = watch {
-            states.extend((lo..=hi).map(|i| rdu.entry(i).state()));
-        }
-        let traffic = rdu.observe_health(a, &det.clocks, &mut det.log, &mut stats.health);
-        if let Some((lo, hi)) = watch {
-            for (k, i) in (lo..=hi).enumerate() {
-                let to = rdu.entry(i).state();
-                if to != states[k] {
-                    tracer.emit(
-                        now,
-                        SimEvent::ShadowTransition {
-                            space: MemSpace::Global,
-                            sm: sm.id,
-                            chunk_addr: rdu.chunk_addr(i),
-                            from: states[k],
-                            to,
-                        },
-                    );
+    {
+        let line_mask = !(sm.cfg.l2.line_bytes - 1);
+        let sm_id = sm.id;
+        let tracing = tracer.on();
+        let mut trace_sink = |chunk_addr: u32, from: ShadowState, to: ShadowState| {
+            tracer.emit(
+                now,
+                SimEvent::ShadowTransition {
+                    space: MemSpace::Global,
+                    sm: sm_id,
+                    chunk_addr,
+                    from,
+                    to,
+                },
+            );
+        };
+        let on_transition: Option<TransitionSink<'_>> =
+            if tracing { Some(&mut trace_sink) } else { None };
+        rdu.check_warp_batch(
+            accesses,
+            is_store,
+            &det.clocks,
+            scratch,
+            &mut det.log,
+            &mut stats.health,
+            on_transition,
+            |traffic| {
+                for i in 0..traffic.reads {
+                    let sa = traffic.shadow_addr
+                        + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
+                    let line = sa & line_mask;
+                    if !shadow_lines.contains(&line) {
+                        shadow_lines.push(line);
+                    }
                 }
-            }
-        }
-        if traffic.reads > 0 {
-            for i in 0..traffic.reads {
-                let sa = traffic.shadow_addr + u32::from(i) * haccrg::cost::GLOBAL_SHADOW_STRIDE_BYTES;
-                let line = sa & !(sm.cfg.l2.line_bytes - 1);
-                if !shadow_lines.contains(&line) {
-                    shadow_lines.push(line);
-                }
-            }
-        }
+            },
+        );
     }
 
     if tracer.on() {
@@ -1637,6 +1572,7 @@ pub(crate) fn apply_global_batch(
             }
         }
     }
+    scratch.lines = shadow_lines;
 }
 
 /// Internal memory-op classification.
