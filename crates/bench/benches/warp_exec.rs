@@ -133,5 +133,82 @@ fn batch_shadow(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, lane_engine, batch_shadow);
+/// Two warps alternately writing the same words under a common lock:
+/// every check walks the lockset path (§III-B).
+fn lockset_lanes(warp: u32) -> Vec<MemAccess> {
+    let sig = BloomSig::of_lock(0x8000, BloomConfig::PAPER_DEFAULT);
+    (0..32u32)
+        .map(|l| {
+            MemAccess::plain(
+                0x1000 + l * 4,
+                4,
+                AccessKind::Write,
+                ThreadCoord::new(warp * 32 + l, warp, 0, 0),
+            )
+            .locked(sig)
+        })
+        .collect()
+}
+
+fn lockset_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockset_batch");
+    g.throughput(Throughput::Elements(32));
+
+    // simd: the batched lockset path — one Bloom intersection hoisted
+    // per same-lockset run. batch: the same entry point pinned to the
+    // per-lane reference path. scalar: the pre-batch pipeline.
+    for (name, force_scalar) in [("simd", false), ("batch", true)] {
+        g.bench_function(name, |b| {
+            let warps = [lockset_lanes(0), lockset_lanes(1)];
+            let clocks = ClockFile::new(64, 2048);
+            let mut rdu = rdu();
+            rdu.set_force_scalar(force_scalar);
+            let mut log = RaceLog::default();
+            let mut scratch = RaceScratch::default();
+            let mut health = DetectorHealth::default();
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                if i == warps.len() {
+                    i = 0;
+                }
+                rdu.check_warp_batch(
+                    &warps[i],
+                    true,
+                    &clocks,
+                    &mut scratch,
+                    &mut log,
+                    &mut health,
+                    None,
+                    |_traffic| {},
+                );
+                black_box(log.total())
+            })
+        });
+    }
+
+    g.bench_function("scalar", |b| {
+        let warps = [lockset_lanes(0), lockset_lanes(1)];
+        let clocks = ClockFile::new(64, 2048);
+        let mut rdu = rdu();
+        let mut log = RaceLog::default();
+        let mut scratch = RaceScratch::default();
+        let mut health = DetectorHealth::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            if i == warps.len() {
+                i = 0;
+            }
+            rdu.check_warp_stores(&warps[i], &mut scratch, &mut log);
+            for a in &warps[i] {
+                black_box(rdu.observe_health(a, &clocks, &mut log, &mut health));
+            }
+            black_box(log.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, lane_engine, batch_shadow, lockset_batch);
 criterion_main!(benches);

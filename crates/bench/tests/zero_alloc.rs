@@ -46,6 +46,12 @@ struct Pipeline {
     scratch: RaceScratch,
     global_lanes: Vec<MemAccess>,
     shared_lanes: Vec<MemAccess>,
+    /// Two warps alternately writing the same words under a common lock:
+    /// every batch round drives the batched lockset path (§III-B) in its
+    /// cross-thread steady state.
+    lockset_warps: [Vec<MemAccess>; 2],
+    /// Round parity selecting which lockset warp goes next.
+    tick: usize,
     lane_addrs: Vec<LaneAddr>,
     txs: Vec<Transaction>,
     health: DetectorHealth,
@@ -88,6 +94,16 @@ impl Pipeline {
                     MemAccess::plain(l * 16, 4, AccessKind::Write, who)
                 })
                 .collect(),
+            lockset_warps: [0u32, 1u32].map(|w| {
+                let sig = BloomSig::of_lock(0x8000, BloomConfig::PAPER_DEFAULT);
+                (0..32u32)
+                    .map(|l| {
+                        let who = ThreadCoord::new(32 + w * 32 + l, 1 + w, 0, 0);
+                        MemAccess::plain(0x2000 + l * 4, 4, AccessKind::Write, who).locked(sig)
+                    })
+                    .collect()
+            }),
+            tick: 0,
             lane_addrs: (0..32u8)
                 .map(|l| LaneAddr { lane: l, addr: 0x1000 + u32::from(l) * 4, size: 4 })
                 .collect(),
@@ -132,6 +148,21 @@ impl Pipeline {
             &mut self.health,
             None,
         );
+        // Batched lockset path: cross-warp writes under a common lock are
+        // benign, so the Bloom intersection verdict is hoisted per run
+        // and must never touch the allocator once warm.
+        let lockset_warp = &self.lockset_warps[self.tick & 1];
+        self.tick += 1;
+        self.grdu.check_warp_batch(
+            lockset_warp,
+            true,
+            &self.clocks,
+            &mut self.scratch,
+            &mut self.log,
+            &mut self.health,
+            None,
+            |_traffic| {},
+        );
         // SoA execute path: vector ALU kernels over a warp's rows.
         let mut view = WarpLanes::new(&mut self.regs, 2 * LANES, 0);
         view.bin(BinOp::Add, Reg(0), Src::Reg(Reg(1)), Src::Reg(Reg(2)), u32::MAX);
@@ -158,7 +189,9 @@ fn warm_detection_pipeline_is_allocation_free() {
         p.grdu.set_witness_capture(witness_capture);
         p.srdu.set_witness_capture(witness_capture);
         // Warm-up: materializes the touched shadow pages and grows every
-        // scratch buffer to its steady-state capacity.
+        // scratch buffer to its steady-state capacity. Two rounds so both
+        // alternating lockset warps have stamped their entries.
+        std::hint::black_box(p.round());
         std::hint::black_box(p.round());
 
         // The counter is process-global and the libtest harness thread

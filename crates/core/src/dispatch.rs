@@ -1,0 +1,101 @@
+//! Shadow-check dispatch accounting and the scalar-path escape hatch.
+//!
+//! The batch pipeline now has three ways to retire a lane:
+//!
+//! * **wide** — the SWAR hot-word screen passed and the lane was applied
+//!   vectorized (no per-entry branch chain, no AoS touch on the steady
+//!   store path);
+//! * **cs-fast** — the lane screened out because it is in a critical
+//!   section, but the batched lockset path
+//!   ([`crate::shadow::ShadowEntry::observe_lockset_fast`]) settled the
+//!   §III-B verdict without the `#[cold]` scalar fallback;
+//! * **scalar** — the per-lane reference path (`check_chunk` /
+//!   `check_chunk_slow`), also used verbatim whenever tracing, witness
+//!   capture, or the escape hatch pins it.
+//!
+//! [`DispatchStats`] counts lanes per tier so tests (and bisection) can
+//! assert which path actually ran — detection results are bit-identical
+//! across tiers by construction, so nothing else observable moves.
+//!
+//! Setting the environment variable `HACCRG_FORCE_SCALAR_SHADOW`
+//! (`1`/`true`/`yes`/`on`) — or calling
+//! [`set_force_scalar_shadow`] before RDUs are built, which is what
+//! `warp_bench` does for its reference columns — pins every lane to the
+//! scalar tier, mirroring `--no-cycle-skip` for the cycle-skip layer.
+//! Both RDUs also expose a per-instance `set_force_scalar` override so
+//! tests can pin a single detector without racing the process-wide knob.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Per-RDU counters of how many lanes each dispatch tier retired.
+///
+/// Deliberately *not* part of `GlobalRduStats`/`SharedRduStats`: those
+/// are compared bit-identical between scalar and batch pipelines by the
+/// equivalence suites, while dispatch counts differ by construction
+/// (that difference is exactly what the escape-hatch test asserts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Lanes retired by the wide SWAR screen + vectorized apply.
+    pub wide_lanes: u64,
+    /// Lanes retired by the batched lockset fast path.
+    pub cs_fast_lanes: u64,
+    /// Lanes retired by the per-lane scalar reference path.
+    pub scalar_lanes: u64,
+}
+
+impl DispatchStats {
+    /// Total lanes dispatched through any tier.
+    pub fn total(&self) -> u64 {
+        self.wide_lanes + self.cs_fast_lanes + self.scalar_lanes
+    }
+}
+
+/// Process-wide override: 0 = unset (consult the environment),
+/// 1 = forced scalar, 2 = forced wide (ignore the environment).
+static FORCE_SCALAR: AtomicU8 = AtomicU8::new(0);
+
+/// Parse an `HACCRG_FORCE_SCALAR_SHADOW` value. Split out for tests —
+/// mutating the process environment is racy under the threaded test
+/// harness.
+pub fn parse_force_scalar(value: Option<&str>) -> bool {
+    matches!(value, Some("1" | "true" | "yes" | "on"))
+}
+
+/// Pin (or unpin) the scalar shadow path for every RDU constructed from
+/// now on. Takes precedence over the environment variable.
+pub fn set_force_scalar_shadow(force: bool) {
+    FORCE_SCALAR.store(if force { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether newly constructed RDUs should pin the scalar shadow path:
+/// the programmatic override if set, else `HACCRG_FORCE_SCALAR_SHADOW`.
+pub fn force_scalar_shadow_default() -> bool {
+    match FORCE_SCALAR.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => parse_force_scalar(
+            std::env::var("HACCRG_FORCE_SCALAR_SHADOW").ok().as_deref(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_parse_like_no_cycle_skip() {
+        for on in ["1", "true", "yes", "on"] {
+            assert!(parse_force_scalar(Some(on)), "{on:?} must force scalar");
+        }
+        for off in [None, Some("0"), Some("false"), Some(""), Some("2")] {
+            assert!(!parse_force_scalar(off), "{off:?} must stay wide");
+        }
+    }
+
+    #[test]
+    fn dispatch_totals_sum_all_tiers() {
+        let d = DispatchStats { wide_lanes: 5, cs_fast_lanes: 2, scalar_lanes: 1 };
+        assert_eq!(d.total(), 8);
+    }
+}

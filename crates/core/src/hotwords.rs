@@ -1,0 +1,281 @@
+//! Packed per-entry *hot words* for the SIMD/SWAR shadow-check tier.
+//!
+//! The same-thread fast path ([`crate::shadow::ShadowEntry::observe_same_thread_fast`])
+//! bails on a predicate over seven entry fields (fresh/tid/warp/block/sm/
+//! protected/sync-ID). Walking the unpacked ~64-byte AoS entry to evaluate
+//! it costs one cache line and a branch chain per lane. This module packs
+//! exactly the fields that predicate reads into two `u64` *hot words* —
+//! stored as parallel arrays per shadow page (see
+//! [`crate::shadow_table`]) — so the batch pipeline can screen a whole
+//! run of lanes with two wide compares per entry:
+//!
+//! * `h0` = `tid | warp << 32` — the per-lane identity half.
+//! * `h1` = `block | sync_id << 32 | sm << 40` plus the
+//!   `protected`/`fresh`/`shared`/`modified` flag bits — the warp-uniform
+//!   half, compared under a policy/kind-specific mask.
+//! * `h2` = `fence_id | pc << 8 | write_cycle << 40` — the store-elision
+//!   word, so the `Written`+write steady state can decide "entry
+//!   unchanged" without touching the AoS entry at all.
+//!
+//! The packing is **conservative by construction**: a value that does not
+//! fit its lane (an SM ID above 16 bits, a write cycle above 23 bits)
+//! poisons the word with a bit the key side can never match, forcing the
+//! lane onto the exact cold path. A screen mismatch therefore never
+//! skips work that the scalar predicate would have done; only exact
+//! matches take the fast path, so the mask semantics are *identical* to
+//! the scalar bail predicate (DESIGN.md §9 spells out the argument).
+
+use crate::access::ThreadCoord;
+use crate::shadow::{ShadowEntry, ShadowPolicy};
+
+// ---- h1 bit layout ----
+
+/// Bits 0..32 of `h1`: the recorded block ID (full width, exact).
+pub const H1_BLOCK_BITS: u32 = 32;
+/// Bit offset of the 8-bit sync ID in `h1`.
+pub const H1_SYNC_SHIFT: u32 = 32;
+/// Bit offset of the 16-bit SM lane in `h1`.
+pub const H1_SM_SHIFT: u32 = 40;
+/// Widest SM ID the `h1` lane can hold; wider values poison the word.
+pub const H1_SM_LIMIT: u32 = 1 << 16;
+/// Entry was opened inside a critical section.
+pub const H1_PROTECTED: u64 = 1 << 56;
+/// Entry is in the reset state (`modified & shared`).
+pub const H1_FRESH: u64 = 1 << 57;
+/// The entry's `shared` bit (screened for writes, don't-care for reads).
+pub const H1_SHARED: u64 = 1 << 58;
+/// The entry's `modified` bit. Never part of a compare mask — the apply
+/// phase reads it to pick between the `ReadSingle -> Written` promotion
+/// and the store-elision check.
+pub const H1_MODIFIED: u64 = 1 << 59;
+/// Key-side flag for `MemAccess::in_critical_section`. The entry side
+/// never sets it, so an in-CS access always mismatches (the scalar
+/// predicate bails on `a.in_critical_section` unconditionally).
+pub const H1_KEY_CS: u64 = 1 << 61;
+/// Entry-side poison: some entry field did not fit its lane.
+pub const H1_ENTRY_POISON: u64 = 1 << 62;
+/// Key-side poison: some access field did not fit its lane.
+pub const H1_KEY_POISON: u64 = 1 << 63;
+
+/// Compare mask for write accesses: every screened field. `modified` is
+/// excluded (both `ReadSingle` and `Written` pass for writes).
+pub const H1_WRITE_MASK: u64 =
+    ((1u64 << 59) - 1) | H1_KEY_CS | H1_ENTRY_POISON | H1_KEY_POISON;
+/// Compare mask for reads: like writes, minus `shared` (reads pass in
+/// every non-fresh state, including `ReadShared`).
+pub const H1_READ_MASK: u64 = H1_WRITE_MASK & !H1_SHARED;
+/// Strip mask for policies without sync-ID epochs (shared memory): the
+/// scalar predicate gates the sync compare on `p.sync_id_epochs`.
+const H1_SYNC_STRIP: u64 = !(0xFFu64 << H1_SYNC_SHIFT);
+
+// ---- h2 (store elision) ----
+
+/// Widest write cycle the `h2` lane can hold.
+pub const H2_CYCLE_LIMIT: u64 = 1 << 23;
+/// Entry-side poison value for an unpackable `write_cycle`. Distinct from
+/// [`H2_KEY_POISON`] so a poisoned entry never spuriously equals a
+/// poisoned key — both sides then fall back to the exact AoS compare.
+pub const H2_ENTRY_POISON: u64 = 1 << 63;
+/// Key-side poison value for an unpackable access cycle.
+pub const H2_KEY_POISON: u64 = (1 << 63) | 1;
+/// Set on every poison encoding and never on a regular pack: `h2`
+/// equality is exact only when this bit is clear on both sides.
+pub const H2_POISON_BIT: u64 = 1 << 63;
+
+/// `h0` of the [`crate::shadow::FRESH`] entry.
+pub const FRESH_H0: u64 = 0;
+/// `h1` of the fresh entry: `modified & shared` sets the fresh, shared
+/// and modified flags; every identity lane is zero.
+pub const FRESH_H1: u64 = H1_FRESH | H1_SHARED | H1_MODIFIED;
+/// `h2` of the fresh entry.
+pub const FRESH_H2: u64 = 0;
+
+/// Pack the per-lane identity word of an entry.
+#[inline]
+pub fn pack_h0(e: &ShadowEntry) -> u64 {
+    u64::from(e.tid) | (u64::from(e.warp) << 32)
+}
+
+/// Pack the warp-uniform identity/flag word of an entry.
+#[inline]
+pub fn pack_h1(e: &ShadowEntry) -> u64 {
+    let mut w = u64::from(e.block)
+        | (u64::from(e.sync_id) << H1_SYNC_SHIFT)
+        | (u64::from(e.protected) << 56)
+        | (u64::from(e.modified & e.shared) << 57)
+        | (u64::from(e.shared) << 58)
+        | (u64::from(e.modified) << 59);
+    if e.sm < H1_SM_LIMIT {
+        w |= u64::from(e.sm) << H1_SM_SHIFT;
+    } else {
+        w |= H1_ENTRY_POISON;
+    }
+    w
+}
+
+/// Pack the store-elision word from entry-side values.
+#[inline]
+pub fn pack_h2(fence_id: u8, write_cycle: u64, pc: u32) -> u64 {
+    if write_cycle >= H2_CYCLE_LIMIT {
+        return H2_ENTRY_POISON;
+    }
+    u64::from(fence_id) | (u64::from(pc) << 8) | (write_cycle << 40)
+}
+
+/// Key-side counterpart of [`pack_h0`], built from the access identity.
+#[inline]
+pub fn key0(who: &ThreadCoord) -> u64 {
+    u64::from(who.tid) | (u64::from(who.warp) << 32)
+}
+
+/// Key-side counterpart of [`pack_h1`]. The key expects
+/// `protected = fresh = shared = 0` (those key bits stay clear) and
+/// carries the access's critical-section flag in a lane the entry side
+/// never sets.
+#[inline]
+pub fn key1(who: &ThreadCoord, sync_id: u8, in_critical_section: bool) -> u64 {
+    let mut w = u64::from(who.block)
+        | (u64::from(sync_id) << H1_SYNC_SHIFT)
+        | (u64::from(in_critical_section) << 61);
+    if who.sm < H1_SM_LIMIT {
+        w |= u64::from(who.sm) << H1_SM_SHIFT;
+    } else {
+        w |= H1_KEY_POISON;
+    }
+    w
+}
+
+/// Key-side store-elision word for a write access.
+#[inline]
+pub fn key2(fence_id: u8, cycle: u64, pc: u32) -> u64 {
+    if cycle >= H2_CYCLE_LIMIT {
+        return H2_KEY_POISON;
+    }
+    u64::from(fence_id) | (u64::from(pc) << 8) | (cycle << 40)
+}
+
+/// The `(write, read)` compare masks for a policy: sync IDs participate
+/// only when the policy runs the §IV-B epoch filter (global memory).
+#[inline]
+pub fn screen_masks(p: &ShadowPolicy) -> (u64, u64) {
+    if p.sync_id_epochs {
+        (H1_WRITE_MASK, H1_READ_MASK)
+    } else {
+        (H1_WRITE_MASK & H1_SYNC_STRIP, H1_READ_MASK & H1_SYNC_STRIP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessKind, MemAccess};
+    use crate::bloom::BloomConfig;
+    use crate::shadow::FRESH;
+
+    fn entry_for(who: ThreadCoord, kind: AccessKind) -> ShadowEntry {
+        let mut e = FRESH;
+        let c = crate::clocks::ClockFile::new(4, 16);
+        let p = ShadowPolicy::global(true, true, BloomConfig::PAPER_DEFAULT);
+        let a = MemAccess::plain(0, 4, kind, who).with_clocks(3, 0);
+        e.observe(&a, &c, &p).map(|_| ()).unwrap_or(());
+        e
+    }
+
+    /// The packed screen must pass exactly when the scalar bail predicate
+    /// of `observe_same_thread_fast` passes, over a grid of mismatches.
+    #[test]
+    fn screen_equals_the_scalar_bail_predicate() {
+        let base = ThreadCoord::new(7, 3, 1, 2);
+        let perturbed = [
+            base,
+            ThreadCoord::new(8, 3, 1, 2),
+            ThreadCoord::new(7, 4, 1, 2),
+            ThreadCoord::new(7, 3, 2, 2),
+            ThreadCoord::new(7, 3, 1, 9),
+            ThreadCoord::new(7, 3, 1, 1 << 17), // unpackable SM
+        ];
+        for policy in [
+            ShadowPolicy::global(true, true, BloomConfig::PAPER_DEFAULT),
+            ShadowPolicy::shared(true, BloomConfig::PAPER_DEFAULT),
+        ] {
+            let (wm, rm) = screen_masks(&policy);
+            for opener in [AccessKind::Read, AccessKind::Write] {
+                let mut e = entry_for(base, opener);
+                for who in perturbed {
+                    for sync in [3u8, 4] {
+                        for cs in [false, true] {
+                            for kind in [AccessKind::Read, AccessKind::Write] {
+                                let a = MemAccess::plain(0, 4, kind, who).with_clocks(sync, 0);
+                                let a = if cs {
+                                    a.locked(crate::bloom::BloomSig::of_lock(0x100, policy.bloom))
+                                } else {
+                                    a
+                                };
+                                let m = if kind.is_write() { wm } else { rm };
+                                let pass = (pack_h0(&e) == key0(&a.who))
+                                    && ((pack_h1(&e) ^ key1(&a.who, a.sync_id, a.in_critical_section)) & m == 0);
+                                let mut probe = e;
+                                let fast = probe.observe_same_thread_fast(&a, &policy);
+                                if pass {
+                                    assert!(
+                                        fast.is_some(),
+                                        "screen passed but scalar bailed: {who:?} sync={sync} cs={cs} {kind:?}"
+                                    );
+                                } else if fast.is_some() {
+                                    // The screen may only be stricter on
+                                    // the shared-for-reads and
+                                    // unpackable lanes, never looser.
+                                    assert!(
+                                        !kind.is_write() || who.sm >= H1_SM_LIMIT,
+                                        "screen was looser than the scalar predicate"
+                                    );
+                                }
+                                let _ = e; // entry untouched by the probe copy
+                            }
+                        }
+                    }
+                }
+                // Write to a read-shared entry must screen out.
+                e.shared = true;
+                e.modified = false;
+                let a = MemAccess::plain(0, 4, AccessKind::Write, base).with_clocks(3, 0);
+                let pass = (pack_h0(&e) == key0(&a.who))
+                    && ((pack_h1(&e) ^ key1(&a.who, a.sync_id, false)) & wm == 0);
+                assert!(!pass, "ReadShared write must go cold");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_words_always_bail() {
+        let who = ThreadCoord::new(0, 0, 0, 0);
+        // Even an access whose identity is all zeros (matching FRESH's
+        // zeroed fields) must mismatch via the fresh flag.
+        let k1 = key1(&who, 0, false);
+        assert_ne!(FRESH_H1 & H1_WRITE_MASK, k1 & H1_WRITE_MASK);
+        assert_ne!(FRESH_H1 & H1_READ_MASK, k1 & H1_READ_MASK);
+        assert_eq!(pack_h0(&FRESH), FRESH_H0);
+        assert_eq!(pack_h1(&FRESH), FRESH_H1);
+        assert_eq!(pack_h2(FRESH.fence_id, FRESH.write_cycle, FRESH.pc), FRESH_H2);
+    }
+
+    #[test]
+    fn elision_word_is_exact_or_poisoned() {
+        // Packable: equality iff all three fields match.
+        assert_eq!(pack_h2(3, 77, 0x40), key2(3, 77, 0x40));
+        assert_ne!(pack_h2(3, 77, 0x40), key2(3, 78, 0x40));
+        assert_ne!(pack_h2(3, 77, 0x40), key2(4, 77, 0x40));
+        assert_ne!(pack_h2(3, 77, 0x40), key2(3, 77, 0x44));
+        // Unpackable cycles poison both sides with distinct values, so
+        // equality can never be claimed spuriously.
+        let big = H2_CYCLE_LIMIT + 5;
+        assert_eq!(pack_h2(0, big, 0), H2_ENTRY_POISON);
+        assert_eq!(key2(0, big, 0), H2_KEY_POISON);
+        assert_ne!(H2_ENTRY_POISON, H2_KEY_POISON);
+        assert_ne!(pack_h2(0, big, 0), key2(0, big, 0));
+        assert!(pack_h2(0, big, 0) & H2_POISON_BIT != 0);
+        assert!(key2(0, big, 0) & H2_POISON_BIT != 0);
+        // Regular packs never carry the poison bit.
+        assert_eq!(pack_h2(0xFF, H2_CYCLE_LIMIT - 1, u32::MAX) & H2_POISON_BIT, 0);
+    }
+}

@@ -56,9 +56,11 @@ pub mod bloom;
 pub mod clocks;
 pub mod config;
 pub mod cost;
+pub mod dispatch;
 pub mod global_rdu;
 pub mod granularity;
 pub mod health;
+pub mod hotwords;
 pub mod intra_warp;
 pub mod lockset;
 pub mod locktable;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::bloom::{BloomConfig, BloomSig};
     pub use crate::clocks::ClockFile;
     pub use crate::config::{DetectorConfig, SharedShadowPlacement};
+    pub use crate::dispatch::DispatchStats;
     pub use crate::global_rdu::{GlobalRdu, ShadowTraffic, TransitionSink};
     pub use crate::granularity::Granularity;
     pub use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_CAP};

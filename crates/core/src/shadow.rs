@@ -481,6 +481,154 @@ impl ShadowEntry {
         race
     }
 
+    /// Batched-lockset fast path for critical-section lanes in the batch
+    /// pipeline (§III-B verdicts without the `#[cold]` scalar fallback).
+    ///
+    /// The caller has already established the cold-dispatch preamble of
+    /// `observe_health`: the access is tracked, the entry is not fresh,
+    /// the lane is CS-related (`a.in_critical_section || self.protected`)
+    /// and no sync-ID epoch reopen applies. This method is
+    /// **all-or-nothing**: every check that can still route the lane to
+    /// the scalar path runs *before* any counter or mutation, so a `None`
+    /// return leaves the entry and health bit-identical for the fallback
+    /// to replay from scratch. It returns `None` for every outcome the
+    /// scalar path handles specially — a race verdict, the Fig. 2(b)
+    /// fence race, or any exact-lockset involvement (miss attribution and
+    /// table refinement live in [`Self::observe_lockset`]) — and
+    /// `Some(entry_changed)` for the benign cases, with `entry_changed`
+    /// exactly the `*entry != before` the scalar path would compute.
+    ///
+    /// `bloom_memo` caches the §III-B null-intersection verdict keyed on
+    /// both signatures: when a run's lanes share one lockset (the
+    /// whole-warp-in-CS case this path exists for), the intersection is
+    /// computed once per run and replayed lane-wise. The health counters
+    /// still tick per lane, as the scalar path counts per check.
+    /// `count_truncation` mirrors the global RDU's truncated-ID collision
+    /// accounting (`check_chunk_slow`); shared RDUs pass `false`.
+    pub fn observe_lockset_fast(
+        &mut self,
+        a: &MemAccess,
+        clocks: &ClockFile,
+        p: &ShadowPolicy,
+        h: &mut DetectorHealth,
+        count_truncation: bool,
+        bloom_memo: &mut Option<(u32, u32, bool)>,
+    ) -> Option<bool> {
+        debug_assert!(a.kind.is_tracked() && !self.is_fresh());
+        debug_assert!(a.in_critical_section || self.protected);
+        let is_write = a.kind.is_write();
+        let truncated = count_truncation
+            && crate::packed::id_truncation_collision(self, &a.who);
+
+        if a.who.tid == self.tid {
+            // Same thread: never a race; refine and track.
+            if truncated {
+                h.id_truncation_collisions += 1;
+            }
+            let mut changed = false;
+            if self.protected && a.in_critical_section {
+                let sig = self.atomic_sig.intersect(a.atomic_sig);
+                changed |= sig != self.atomic_sig;
+                self.atomic_sig = sig;
+                if self.locks_known && !a.locks.is_empty() {
+                    let t = self.locks.intersect(&a.locks);
+                    changed |= t != self.locks;
+                    self.locks = t;
+                }
+            }
+            if is_write {
+                changed |= !self.modified
+                    | self.shared
+                    | (self.fence_id != a.fence_id)
+                    | (self.write_cycle != a.cycle)
+                    | (self.pc != a.pc);
+                self.modified = true;
+                self.shared = false;
+                self.fence_id = a.fence_id;
+                self.write_cycle = a.cycle;
+                self.pc = a.pc;
+            }
+            return Some(changed);
+        }
+
+        let conflicting = self.modified || is_write;
+        let ordered_warp = p.warp_filter && a.who.warp == self.warp;
+
+        if self.protected && a.in_critical_section {
+            // Exact locksets bring miss attribution, the exact-mode
+            // verdict, and table refinement — scalar path's business.
+            if p.exact_lockset || (self.locks_known && !a.locks.is_empty()) {
+                return None;
+            }
+            let bloom_null = match *bloom_memo {
+                Some((s, k, v)) if s == self.atomic_sig.0 && k == a.atomic_sig.0 => v,
+                _ => {
+                    let v = self.atomic_sig.is_null_intersection(a.atomic_sig, p.bloom);
+                    *bloom_memo = Some((self.atomic_sig.0, a.atomic_sig.0, v));
+                    v
+                }
+            };
+            if bloom_null && conflicting && !ordered_warp {
+                return None; // race verdict
+            }
+            if !bloom_null
+                && self.modified
+                && !is_write
+                && p.fence_check
+                && a.who.warp != self.warp
+                && clocks.fence_id(self.warp) == self.fence_id
+            {
+                return None; // Fig. 2(b) fence race
+            }
+            // Benign: commit counters and refinement.
+            if truncated {
+                h.id_truncation_collisions += 1;
+            }
+            if bloom_null {
+                h.bloom_null_intersections += 1;
+            } else {
+                h.bloom_nonnull_intersections += 1;
+            }
+            let sig = self.atomic_sig.intersect(a.atomic_sig);
+            let mut changed = sig != self.atomic_sig;
+            self.atomic_sig = sig;
+            changed |= self.benign_lockset_epilogue(a, is_write, p);
+            return Some(changed);
+        }
+
+        // Protected/unprotected mix.
+        if conflicting && !ordered_warp {
+            return None; // race verdict
+        }
+        if truncated {
+            h.id_truncation_collisions += 1;
+        }
+        Some(self.benign_lockset_epilogue(a, is_write, p))
+    }
+
+    /// The benign-overlap epilogue of [`Self::observe_lockset`], with
+    /// exact change tracking. Returns whether the entry changed.
+    #[inline]
+    fn benign_lockset_epilogue(&mut self, a: &MemAccess, is_write: bool, p: &ShadowPolicy) -> bool {
+        let mut changed = false;
+        if is_write {
+            changed |= !self.modified
+                | self.shared
+                | (self.fence_id != a.fence_id)
+                | (self.write_cycle != a.cycle)
+                | (self.pc != a.pc);
+            self.modified = true;
+            self.shared = false;
+            self.fence_id = a.fence_id;
+            self.write_cycle = a.cycle;
+            self.pc = a.pc;
+        } else if a.who.warp != self.warp || !p.warp_filter {
+            changed |= !self.shared;
+            self.shared = true;
+        }
+        changed
+    }
+
     /// Happens-before rules between barriers (§III-A States 2–4) with the
     /// fence exception (§III-C) and the stale-L1 rule (§IV-B).
     fn observe_happens_before(

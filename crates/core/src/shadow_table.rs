@@ -25,7 +25,9 @@
 //! Observable behavior is bit-identical to the eager table: a stale-stamp
 //! entry is indistinguishable from one that was eagerly reset.
 
+use crate::access::MemAccess;
 use crate::health::DetectorHealth;
+use crate::hotwords;
 use crate::shadow::{ShadowEntry, FRESH};
 
 /// Entries per shadow page. 128 × ~48 bytes ≈ 6 KiB per page keeps the
@@ -34,6 +36,16 @@ use crate::shadow::{ShadowEntry, FRESH};
 pub const PAGE_ENTRIES: usize = 128;
 
 /// One materialized shadow page.
+///
+/// Besides the AoS `entries` (always authoritative — serde, witness
+/// capture and the cold path read it directly), each page carries the
+/// SoA *hot words* of [`crate::hotwords`]: three parallel `u64` arrays
+/// holding the packed fast-path bail predicate (`hot0`/`hot1`) and the
+/// store-elision fields (`hot2`) per entry. The batch pipeline screens a
+/// whole lane run against these with wide compares instead of walking
+/// the ~64-byte entries. The arrays are a cache: any `&mut ShadowEntry`
+/// handed out through the scalar accessors clears `hot_valid`, and the
+/// next batch run lazily repacks the page.
 #[derive(Clone, Debug)]
 struct ShadowPage {
     /// Current epoch. An entry is live only while `stamps[i]` matches.
@@ -41,6 +53,15 @@ struct ShadowPage {
     /// Generation each entry was last initialized under.
     stamps: [u32; PAGE_ENTRIES],
     entries: [ShadowEntry; PAGE_ENTRIES],
+    /// Packed per-lane identity (`tid | warp << 32`) per entry.
+    hot0: [u64; PAGE_ENTRIES],
+    /// Packed warp-uniform identity + state flags per entry.
+    hot1: [u64; PAGE_ENTRIES],
+    /// Packed store-elision word (`fence | pc | write_cycle`) per entry.
+    hot2: [u64; PAGE_ENTRIES],
+    /// Whether the hot arrays mirror `entries`. Cleared whenever a raw
+    /// `&mut ShadowEntry` escapes; restored by [`PageEntries::ensure_hot`].
+    hot_valid: bool,
 }
 
 impl Default for ShadowPage {
@@ -49,6 +70,10 @@ impl Default for ShadowPage {
             generation: 0,
             stamps: [0; PAGE_ENTRIES],
             entries: [FRESH; PAGE_ENTRIES],
+            hot0: [hotwords::FRESH_H0; PAGE_ENTRIES],
+            hot1: [hotwords::FRESH_H1; PAGE_ENTRIES],
+            hot2: [hotwords::FRESH_H2; PAGE_ENTRIES],
+            hot_valid: true,
         }
     }
 }
@@ -58,9 +83,62 @@ impl ShadowPage {
     /// wraparound, where a plain bump could collide with an ancient stamp
     /// and resurrect a stale entry.
     fn hard_reset(&mut self) {
-        self.generation = 0;
-        self.stamps = [0; PAGE_ENTRIES];
-        self.entries = [FRESH; PAGE_ENTRIES];
+        *self = Self::default();
+    }
+
+    /// Recompute the hot words of entry `o` from its AoS view.
+    #[inline]
+    fn repack(&mut self, o: usize) {
+        let e = &self.entries[o];
+        self.hot0[o] = hotwords::pack_h0(e);
+        self.hot1[o] = hotwords::pack_h1(e);
+        self.hot2[o] = hotwords::pack_h2(e.fence_id, e.write_cycle, e.pc);
+    }
+
+    /// Apply a screened-pass *write* lane at slot `o` entirely through
+    /// the hot words: `ReadSingle -> Written` promotion, or store elision
+    /// against the packed `h2` word for an already-`Written` entry.
+    /// Returns whether the entry changed — exactly the `*entry != before`
+    /// the scalar path computes, because `h2` equality is exact for
+    /// packable fields and unpackable ones fall back to the AoS compare.
+    #[inline]
+    fn fast_write_at(&mut self, o: usize, a: &MemAccess, h1: u64) -> bool {
+        if h1 & hotwords::H1_MODIFIED != 0 {
+            // Written + write: the steady store-elision state.
+            let k2 = hotwords::key2(a.fence_id, a.cycle, a.pc);
+            if self.hot2[o] == k2 {
+                return false;
+            }
+            if (self.hot2[o] | k2) & hotwords::H2_POISON_BIT != 0 {
+                // One side is unpackable: decide on the exact fields.
+                let e = &mut self.entries[o];
+                let changed =
+                    e.fence_id != a.fence_id || e.write_cycle != a.cycle || e.pc != a.pc;
+                if changed {
+                    e.fence_id = a.fence_id;
+                    e.write_cycle = a.cycle;
+                    e.pc = a.pc;
+                    self.hot2[o] = hotwords::pack_h2(a.fence_id, a.cycle, a.pc);
+                }
+                return changed;
+            }
+            let e = &mut self.entries[o];
+            e.fence_id = a.fence_id;
+            e.write_cycle = a.cycle;
+            e.pc = a.pc;
+            self.hot2[o] = k2;
+            true
+        } else {
+            // ReadSingle + same-thread write: promote to Written.
+            let e = &mut self.entries[o];
+            e.modified = true;
+            e.fence_id = a.fence_id;
+            e.write_cycle = a.cycle;
+            e.pc = a.pc;
+            self.hot1[o] |= hotwords::H1_MODIFIED;
+            self.hot2[o] = hotwords::pack_h2(a.fence_id, a.cycle, a.pc);
+            true
+        }
     }
 
     /// Bump the epoch, invalidating every entry lazily.
@@ -140,6 +218,10 @@ impl ShadowTable {
             page.stamps[o] = page.generation;
             page.entries[o] = FRESH;
         }
+        // The caller may mutate the entry arbitrarily through the
+        // returned reference; the hot-word mirror is repacked lazily by
+        // the next batch run.
+        page.hot_valid = false;
         &mut page.entries[o]
     }
 
@@ -197,6 +279,9 @@ impl ShadowTable {
                 for o in lo..hi {
                     page.stamps[o] = page.generation;
                     page.entries[o] = FRESH;
+                    page.hot0[o] = hotwords::FRESH_H0;
+                    page.hot1[o] = hotwords::FRESH_H1;
+                    page.hot2[o] = hotwords::FRESH_H2;
                 }
             }
         }
@@ -252,8 +337,124 @@ impl PageEntries<'_> {
             self.page.stamps[o] = self.page.generation;
             self.page.entries[o] = FRESH;
         }
+        self.page.hot_valid = false;
         &mut self.page.entries[o]
     }
+
+    /// Repack the whole page's hot words if a scalar accessor invalidated
+    /// them. Wide runs call this once per run; the common case is a
+    /// single `bool` test.
+    #[inline]
+    pub fn ensure_hot(&mut self) {
+        if !self.page.hot_valid {
+            for o in 0..PAGE_ENTRIES {
+                self.page.repack(o);
+            }
+            self.page.hot_valid = true;
+        }
+    }
+
+    /// Stamp-check entry `idx` ahead of a wide screen: a stale stamp is
+    /// counted and re-initialized exactly as [`Self::entry_counted`]
+    /// would (the fresh hot words then steer the lane through the screen
+    /// like any other fresh entry). Idempotent within a batch — once
+    /// restamped, later calls are a compare and nothing else.
+    #[inline]
+    pub fn prepare(&mut self, idx: usize, h: &mut DetectorHealth) {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        if self.page.stamps[o] != self.page.generation {
+            h.shadow_fresh_on_mismatch += 1;
+            self.page.stamps[o] = self.page.generation;
+            self.page.entries[o] = FRESH;
+            self.page.hot0[o] = hotwords::FRESH_H0;
+            self.page.hot1[o] = hotwords::FRESH_H1;
+            self.page.hot2[o] = hotwords::FRESH_H2;
+        }
+    }
+
+    /// The `(h0, h1)` screen words of entry `idx`. Valid only after
+    /// [`Self::ensure_hot`] and [`Self::prepare`].
+    #[inline]
+    pub fn hot01(&self, idx: usize) -> (u64, u64) {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        (self.page.hot0[o], self.page.hot1[o])
+    }
+
+    /// Apply a screened-pass *write* lane entirely through the hot words:
+    /// `ReadSingle -> Written` promotion, or store elision against the
+    /// packed `h2` word for an already-`Written` entry. Returns whether
+    /// the entry changed — exactly the `*entry != before` the scalar path
+    /// computes, because `h2` equality is exact for packable fields and
+    /// unpackable ones fall back to the AoS compare.
+    #[inline]
+    pub fn fast_write(&mut self, idx: usize, a: &MemAccess) -> bool {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        let h1 = self.page.hot1[o];
+        self.page.fast_write_at(o, a, h1)
+    }
+
+    /// Fused per-lane wide tier: stamp-check, SWAR screen, and (for a
+    /// passing write) the hot-word apply, in one slot resolution. Returns
+    /// `Some(changed)` when the lane passed the screen — exactly the
+    /// scalar fast path's outcome — or `None` for a cold lane, which is
+    /// left prepared for [`Self::cold_entry`]. Because each lane screens
+    /// against the *current* hot words at its own turn, a run walked
+    /// through this method observes mutations from earlier cold lanes
+    /// exactly as the scalar pipeline would.
+    #[inline]
+    pub fn lane_screen_apply(
+        &mut self,
+        idx: usize,
+        a: &MemAccess,
+        masks: (u64, u64),
+        h: &mut DetectorHealth,
+    ) -> Option<bool> {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        let p = &mut *self.page;
+        if p.stamps[o] != p.generation {
+            h.shadow_fresh_on_mismatch += 1;
+            p.stamps[o] = p.generation;
+            p.entries[o] = FRESH;
+            p.hot0[o] = hotwords::FRESH_H0;
+            p.hot1[o] = hotwords::FRESH_H1;
+            p.hot2[o] = hotwords::FRESH_H2;
+        }
+        if !a.kind.is_tracked() {
+            // Untracked (atomic) lanes screen as pass and apply nothing,
+            // mirroring the scalar early return.
+            return Some(false);
+        }
+        let k0 = hotwords::key0(&a.who);
+        let k1 = hotwords::key1(&a.who, a.sync_id, a.in_critical_section);
+        let is_write = a.kind.is_write();
+        let m = if is_write { masks.0 } else { masks.1 };
+        let h1 = p.hot1[o];
+        // Folded into one word so the screen is a single branch source.
+        if ((p.hot0[o] ^ k0) | ((h1 ^ k1) & m)) != 0 {
+            return None;
+        }
+        Some(is_write && p.fast_write_at(o, a, h1))
+    }
+
+    /// Raw entry access for a screened-out (cold) lane. Unlike
+    /// [`Self::entry_counted`] this neither stamp-checks (the lane was
+    /// prepared by [`Self::lane_screen_apply`] or [`Self::prepare`]) nor
+    /// invalidates the page mirror — the caller repacks the entry via
+    /// [`Self::repack_entry`] after mutating it.
+    #[inline]
+    pub fn cold_entry(&mut self, idx: usize) -> &mut ShadowEntry {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        debug_assert_eq!(self.page.stamps[o], self.page.generation, "cold lane not prepared");
+        &mut self.page.entries[o]
+    }
+
+    /// Recompute entry `idx`'s hot words after a cold-path mutation.
+    #[inline]
+    pub fn repack_entry(&mut self, idx: usize) {
+        let o = (idx - self.base) % PAGE_ENTRIES;
+        self.page.repack(o);
+    }
+
 }
 
 #[cfg(test)]
@@ -419,6 +620,39 @@ mod tests {
         assert!(b.is_fresh());
         assert_eq!(hs.shadow_fresh_on_mismatch, hb.shadow_fresh_on_mismatch);
         assert_eq!(hs.shadow_pages_allocated, hb.shadow_pages_allocated);
+    }
+
+    #[test]
+    fn hot_mirror_survives_scalar_mutation_and_resets() {
+        use crate::hotwords;
+        let mut t = ShadowTable::new(PAGE_ENTRIES);
+        let mut h = DetectorHealth::default();
+        let who = ThreadCoord::new(3, 1, 0, 0);
+        let c = ClockFile::new(4, 16);
+        let p = ShadowPolicy::global(true, true, BloomConfig::PAPER_DEFAULT);
+        let w = MemAccess::plain(8, 4, AccessKind::Write, who).at_cycle(7).at_pc(0x40);
+        // A scalar mutation invalidates the mirror; ensure_hot repacks it
+        // to match a from-scratch pack of the entry.
+        let _ = t.get_mut_counted(2, &mut h).observe_health(&w, &c, &p, &mut h);
+        let e = t.get(2);
+        t.with_page(2, &mut h, |pe, _h| {
+            pe.ensure_hot();
+            assert_eq!(pe.hot01(2), (hotwords::pack_h0(&e), hotwords::pack_h1(&e)));
+            // A fast write keeps AoS and hot words coherent; an identical
+            // repeat elides.
+            let w2 = MemAccess::plain(8, 4, AccessKind::Write, who).at_cycle(9).at_pc(0x44);
+            assert!(pe.fast_write(2, &w2));
+            assert!(!pe.fast_write(2, &w2), "identical store must elide");
+        });
+        let e = t.get(2);
+        assert_eq!((e.write_cycle, e.pc), (9, 0x44));
+        // A partial-page reset walks entries and hot words together.
+        t.reset_range(0, 10);
+        t.with_page(2, &mut h, |pe, h2| {
+            pe.ensure_hot();
+            pe.prepare(2, h2);
+            assert_eq!(pe.hot01(2), (hotwords::FRESH_H0, hotwords::FRESH_H1));
+        });
     }
 
     #[test]

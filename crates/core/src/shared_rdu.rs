@@ -13,6 +13,7 @@ use crate::access::{MemAccess, MemSpace};
 use crate::bloom::BloomConfig;
 use crate::clocks::ClockFile;
 use crate::cost;
+use crate::dispatch::DispatchStats;
 use crate::granularity::Granularity;
 use crate::health::{DetectorHealth, WitnessEvent, WitnessRing, WITNESS_RING_DEPTH};
 use crate::intra_warp::check_intra_warp_waw_into;
@@ -20,7 +21,7 @@ use crate::race::RaceLog;
 use crate::scratch::RaceScratch;
 use crate::global_rdu::TransitionSink;
 use crate::shadow::{ShadowEntry, ShadowPolicy};
-use crate::shadow_table::ShadowTable;
+use crate::shadow_table::{ShadowTable, PAGE_ENTRIES};
 
 /// Counters the evaluation harness reads off each shared RDU.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -51,6 +52,11 @@ pub struct SharedRdu {
     capture_witness: bool,
     ring: WitnessRing,
     pub stats: SharedRduStats,
+    /// Escape hatch: pin every batch lane to the scalar reference path
+    /// (`HACCRG_FORCE_SCALAR_SHADOW`, [`crate::dispatch`]).
+    force_scalar: bool,
+    /// Lanes retired per dispatch tier (wide / cs-fast / scalar).
+    pub dispatch: DispatchStats,
 }
 
 impl SharedRdu {
@@ -74,7 +80,22 @@ impl SharedRdu {
             capture_witness: false,
             ring: WitnessRing::with_depth(WITNESS_RING_DEPTH),
             stats: SharedRduStats::default(),
+            force_scalar: crate::dispatch::force_scalar_shadow_default(),
+            dispatch: DispatchStats::default(),
         }
+    }
+
+    /// Pin (`true`) or re-enable (`false`) the wide SWAR tier for this
+    /// RDU only, overriding the `HACCRG_FORCE_SCALAR_SHADOW` default the
+    /// constructor read. Detection results are identical either way;
+    /// only [`Self::dispatch`] moves.
+    pub fn set_force_scalar(&mut self, on: bool) {
+        self.force_scalar = on;
+    }
+
+    /// Whether the scalar shadow path is pinned for this RDU.
+    pub fn force_scalar(&self) -> bool {
+        self.force_scalar
     }
 
     /// Enable/disable the windowed access recorder. When enabled, every
@@ -177,7 +198,18 @@ impl SharedRdu {
         if is_store {
             self.check_warp_stores(accesses, scratch, log);
         }
-        let SharedRdu { sm, gran, table, policy, capture_witness, ring, stats, .. } = self;
+        let SharedRdu {
+            sm,
+            gran,
+            table,
+            policy,
+            capture_witness,
+            ring,
+            stats,
+            force_scalar,
+            dispatch,
+            ..
+        } = self;
         let (sm, gran, capture_witness) = (*sm, *gran, *capture_witness);
         let tlen = table.len();
         // Hoisted out of the per-access loop (`Granularity::shift` is a
@@ -191,6 +223,10 @@ impl SharedRdu {
             )
         };
         let traced = on_transition.is_some();
+        // The wide SWAR tier engages only when no observer needs per-lane
+        // before/after states and the escape hatch isn't pinning scalar.
+        let wide = !traced && !capture_witness && !*force_scalar;
+        let masks = crate::hotwords::screen_masks(policy);
         let mut i = 0usize;
         while i < accesses.len() {
             let a = &accesses[i];
@@ -201,6 +237,7 @@ impl SharedRdu {
                 // Scalar fallback: tracing, clamped-out accesses, and
                 // page straddles resolve per chunk.
                 stats.checks += 1;
+                dispatch.scalar_lanes += (hi + 1).saturating_sub(lo) as u64;
                 for idx in lo..=hi {
                     let entry = table.get_mut_counted(idx, h);
                     shared_check_chunk(
@@ -222,31 +259,122 @@ impl SharedRdu {
             }
             // Maximal same-page run: resolve the page once, then consume
             // accesses while they stay on it — one `index_range` per
-            // access, the check counter flushed per run.
+            // access, the check counter flushed per run. The address
+            // window below keeps consecutive single-chunk lanes on the
+            // fused path with one wrapping subtract and two compares
+            // (see the global RDU's batch loop for the full commentary).
+            let page_base_idx = page * PAGE_ENTRIES;
+            let page_addr = (page_base_idx as u32) << shift;
+            let page_span = ((tlen - page_base_idx).min(PAGE_ENTRIES) as u32) << shift;
+            let gsize = 1u32 << shift;
+            let gmask = gsize - 1;
             let next = table.with_page(lo, h, |pe, h| {
+                if wide {
+                    pe.ensure_hot();
+                }
                 let (mut lo, mut hi) = (lo, hi);
                 let mut j = i;
-                loop {
-                    let a = &accesses[j];
-                    // `lo..hi + 1`, not `lo..=hi`: RangeInclusive keeps a
-                    // done-flag the optimizer doesn't remove in this loop.
-                    for idx in lo..hi + 1 {
-                        let entry = pe.entry_counted(idx, h);
-                        shared_check_chunk(
-                            entry,
-                            a,
-                            (idx as u32) << shift,
-                            false,
-                            clocks,
-                            policy,
-                            capture_witness,
-                            ring,
-                            log,
-                            h,
-                            &mut on_transition,
-                        );
+                // Per-run state of the wide tier: dispatch tallies in
+                // run-local registers and the once-per-run §III-B Bloom
+                // memo for the batched lockset path.
+                let (mut wide_n, mut cs_n, mut scalar_n) = (0u64, 0u64, 0u64);
+                let mut bloom_memo: Option<(u32, u32, bool)> = None;
+                'run: loop {
+                    if wide && lo == hi {
+                        // Wide tier, fused per lane: stamp-check + SWAR
+                        // screen + hot-word apply in one slot resolution,
+                        // so cold-lane mutations are observed by later
+                        // lanes exactly as in the scalar pipeline.
+                        loop {
+                            let a = &accesses[j];
+                            let idx = lo;
+                            match pe.lane_screen_apply(idx, a, masks, h) {
+                                Some(_) => wide_n += 1,
+                                None => {
+                                    {
+                                        let entry = pe.cold_entry(idx);
+                                        let cs_fast = a.kind.is_tracked()
+                                            && !entry.is_fresh()
+                                            && (a.in_critical_section || entry.protected)
+                                            && !(policy.sync_id_epochs
+                                                && a.who.block == entry.block
+                                                && a.sync_id != entry.sync_id);
+                                        let fast = if cs_fast {
+                                            entry.observe_lockset_fast(
+                                                a,
+                                                clocks,
+                                                policy,
+                                                h,
+                                                false,
+                                                &mut bloom_memo,
+                                            )
+                                        } else {
+                                            None
+                                        };
+                                        match fast {
+                                            Some(_) => cs_n += 1,
+                                            None => {
+                                                scalar_n += 1;
+                                                shared_check_chunk_slow(
+                                                    entry,
+                                                    a,
+                                                    (idx as u32) << shift,
+                                                    clocks,
+                                                    policy,
+                                                    capture_witness,
+                                                    ring,
+                                                    log,
+                                                    h,
+                                                    &mut on_transition,
+                                                );
+                                            }
+                                        }
+                                    }
+                                    pe.repack_entry(idx);
+                                }
+                            }
+                            j += 1;
+                            if j >= accesses.len() {
+                                break 'run;
+                            }
+                            let b = &accesses[j];
+                            let d = b.addr.wrapping_sub(page_addr);
+                            if d < page_span
+                                && (d & gmask) + u32::from(b.size.max(1)) <= gsize
+                            {
+                                lo = page_base_idx + (d >> shift) as usize;
+                            } else {
+                                break;
+                            }
+                        }
+                    } else {
+                        let a = &accesses[j];
+                        // `lo..hi + 1`, not `lo..=hi`: RangeInclusive keeps a
+                        // done-flag the optimizer doesn't remove in this loop.
+                        for idx in lo..hi + 1 {
+                            let entry = pe.entry_counted(idx, h);
+                            shared_check_chunk(
+                                entry,
+                                a,
+                                (idx as u32) << shift,
+                                false,
+                                clocks,
+                                policy,
+                                capture_witness,
+                                ring,
+                                log,
+                                h,
+                                &mut on_transition,
+                            );
+                        }
+                        if wide {
+                            // The scalar accessor invalidated the page
+                            // mirror — restore it before the next block.
+                            pe.ensure_hot();
+                        }
+                        scalar_n += (hi + 1 - lo) as u64;
+                        j += 1;
                     }
-                    j += 1;
                     if j >= accesses.len() {
                         break;
                     }
@@ -260,6 +388,9 @@ impl SharedRdu {
                     }
                     (lo, hi) = (blo, bhi);
                 }
+                dispatch.wide_lanes += wide_n;
+                dispatch.cs_fast_lanes += cs_n;
+                dispatch.scalar_lanes += scalar_n;
                 j
             });
             stats.checks += (next - i) as u64;

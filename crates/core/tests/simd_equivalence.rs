@@ -1,0 +1,208 @@
+//! Property test: the wide SWAR dispatch tier is observationally
+//! identical to the forced-scalar reference path.
+//!
+//! Random same-page runs mix thread identities, critical-section
+//! membership (Bloom-only and exact-table locksets), sync-ID epochs,
+//! cycles past the packable range (h2 poison), SM ids past the packable
+//! range (h1 poison), atomics and chunk-straddling accesses. Each batch
+//! is replayed for three rounds — the later rounds sit in the
+//! same-thread steady state the wide tier is built for — through a
+//! default RDU and a `set_force_scalar(true)` twin, with witness
+//! capture both off (wide tier engaged) and on (reference path pinned).
+//! Every observable must match bit-for-bit: shadow entries, race
+//! records, witness timelines, health counters and the stats block.
+
+use haccrg::prelude::*;
+use proptest::prelude::*;
+
+const HEAP: u32 = 0x1000;
+const SHADOW: u32 = 0x10_0000;
+const ROUNDS: usize = 3;
+
+/// One lane of a generated warp batch, in slot/flag form.
+#[derive(Clone, Debug)]
+struct Lane {
+    slot: u32,
+    kind: AccessKind,
+    tid: u32,
+    /// 0 = no lockset, 1 = Bloom lock A, 2 = Bloom lock B,
+    /// 3 = lock A with an exact table alongside the Bloom signature.
+    cs: u8,
+    sync_id: u8,
+    /// Cycle beyond the packed h2 width, poisoning the elision word.
+    big_cycle: bool,
+    /// Size-8 access spanning two 4 B global chunks (splits the run).
+    straddle: bool,
+    l1_hit: bool,
+    /// SM id beyond the packed h1 width, poisoning the key word
+    /// (global RDU only; the shared RDU pins sm = 0).
+    huge_sm: bool,
+}
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+        Just(AccessKind::Atomic),
+    ]
+}
+
+fn arb_lane() -> impl Strategy<Value = Lane> {
+    // Two nested tuples: the flag draws are u8 lottery tickets so the
+    // rare shapes (poisoned words, straddles) stay rare but present.
+    (
+        (0u32..192, arb_kind(), 0u32..96, 0u8..4, 0u8..3),
+        (0u8..10, 0u8..10, any::<bool>(), 0u8..10),
+    )
+        .prop_map(|((slot, kind, tid, cs, sync_id), (big, strad, l1_hit, huge))| Lane {
+            slot,
+            kind,
+            tid,
+            cs,
+            sync_id,
+            big_cycle: big == 0,
+            straddle: strad < 2,
+            l1_hit,
+            huge_sm: huge == 0,
+        })
+}
+
+fn with_lockset(a: MemAccess, cs: u8) -> MemAccess {
+    let cfg = BloomConfig::PAPER_DEFAULT;
+    match cs {
+        1 => a.locked(BloomSig::of_lock(0x100, cfg)),
+        2 => a.locked(BloomSig::of_lock(0x1F4, cfg)),
+        3 => {
+            let mut t = LockTable::<4>::new();
+            t.insert(0x100);
+            a.locked(BloomSig::of_lock(0x100, cfg)).with_locks(t)
+        }
+        _ => a,
+    }
+}
+
+fn global_access(l: &Lane, lane: usize) -> MemAccess {
+    let mut who = ThreadCoord::from_flat(l.tid, 64, 32, 4);
+    if l.huge_sm {
+        who.sm = 1 << 17;
+    }
+    let size = if l.straddle { 8 } else { 4 };
+    let cycle = if l.big_cycle {
+        (1u64 << 24) + lane as u64
+    } else {
+        64 + lane as u64
+    };
+    let a = MemAccess::plain(HEAP + l.slot * 4, size, l.kind, who)
+        .at_pc(0x40 + lane as u32 * 4)
+        .with_clocks(l.sync_id, 0)
+        .l1(l.l1_hit)
+        .at_cycle(cycle);
+    with_lockset(a, l.cs)
+}
+
+fn shared_access(l: &Lane, lane: usize) -> MemAccess {
+    let mut who = ThreadCoord::from_flat(l.tid, 64, 32, 4);
+    who.sm = 0;
+    let (off, size) = if l.straddle { (12, 8) } else { (0, 4) };
+    let cycle = if l.big_cycle {
+        (1u64 << 24) + lane as u64
+    } else {
+        64 + lane as u64
+    };
+    let a = MemAccess::plain(l.slot * 16 + off, size, l.kind, who)
+        .at_pc(0x40 + lane as u32 * 4)
+        .with_clocks(l.sync_id, 0)
+        .at_cycle(cycle);
+    with_lockset(a, l.cs)
+}
+
+type Observables = (
+    Vec<ShadowEntry>,
+    Vec<RaceRecord>,
+    Vec<Vec<WitnessEvent>>,
+    u64,
+    DetectorHealth,
+    String,
+);
+
+fn drive_global(accesses: &[MemAccess], witness: bool, force: bool) -> (Observables, Vec<ShadowTraffic>) {
+    let clocks = ClockFile::new(8, 64);
+    let mut r = GlobalRdu::new(
+        HEAP,
+        4096,
+        SHADOW,
+        Granularity::GLOBAL_DEFAULT,
+        true,
+        true,
+        BloomConfig::PAPER_DEFAULT,
+    );
+    r.set_witness_capture(witness);
+    r.set_force_scalar(force);
+    let mut log = RaceLog::default();
+    let mut h = DetectorHealth::default();
+    let mut scratch = RaceScratch::default();
+    let mut traffic = Vec::new();
+    for _ in 0..ROUNDS {
+        r.check_warp_batch(accesses, true, &clocks, &mut scratch, &mut log, &mut h, None, |t| {
+            traffic.push(t)
+        });
+    }
+    let entries = (0..r.num_entries()).map(|i| r.entry(i)).collect();
+    let wit = (0..log.records().len()).map(|k| log.witness_of(k).to_vec()).collect();
+    let stats = format!("{:?}", r.stats);
+    ((entries, log.records().to_vec(), wit, log.total(), h, stats), traffic)
+}
+
+fn drive_shared(accesses: &[MemAccess], witness: bool, force: bool) -> Observables {
+    let clocks = ClockFile::new(8, 64);
+    let mut r = SharedRdu::new(0, 16 * 1024, 16, Granularity::SHARED_DEFAULT, true, BloomConfig::PAPER_DEFAULT);
+    r.set_witness_capture(witness);
+    r.set_force_scalar(force);
+    let mut log = RaceLog::default();
+    let mut h = DetectorHealth::default();
+    let mut scratch = RaceScratch::default();
+    for _ in 0..ROUNDS {
+        r.check_warp_batch(accesses, true, &clocks, &mut scratch, &mut log, &mut h, None);
+    }
+    let entries = (0..r.num_entries()).map(|i| r.entry(i)).collect();
+    let wit = (0..log.records().len()).map(|k| log.witness_of(k).to_vec()).collect();
+    let stats = format!("{:?}", r.stats);
+    (entries, log.records().to_vec(), wit, log.total(), h, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn global_wide_tier_matches_forced_scalar(lanes in prop::collection::vec(arb_lane(), 1..25)) {
+        let accesses: Vec<MemAccess> =
+            lanes.iter().enumerate().map(|(i, l)| global_access(l, i)).collect();
+        for witness in [false, true] {
+            let (wide, wide_traffic) = drive_global(&accesses, witness, false);
+            let (scalar, scalar_traffic) = drive_global(&accesses, witness, true);
+            prop_assert_eq!(&wide.0, &scalar.0, "shadow entries, witness={}", witness);
+            prop_assert_eq!(&wide.1, &scalar.1, "race records, witness={}", witness);
+            prop_assert_eq!(&wide.2, &scalar.2, "witness timelines, witness={}", witness);
+            prop_assert_eq!(wide.3, scalar.3, "race totals, witness={}", witness);
+            prop_assert_eq!(&wide.4, &scalar.4, "health counters, witness={}", witness);
+            prop_assert_eq!(&wide.5, &scalar.5, "stats, witness={}", witness);
+            prop_assert_eq!(&wide_traffic, &scalar_traffic, "traffic, witness={}", witness);
+        }
+    }
+
+    #[test]
+    fn shared_wide_tier_matches_forced_scalar(lanes in prop::collection::vec(arb_lane(), 1..25)) {
+        let accesses: Vec<MemAccess> =
+            lanes.iter().enumerate().map(|(i, l)| shared_access(l, i)).collect();
+        for witness in [false, true] {
+            let wide = drive_shared(&accesses, witness, false);
+            let scalar = drive_shared(&accesses, witness, true);
+            prop_assert_eq!(&wide.0, &scalar.0, "shadow entries, witness={}", witness);
+            prop_assert_eq!(&wide.1, &scalar.1, "race records, witness={}", witness);
+            prop_assert_eq!(&wide.2, &scalar.2, "witness timelines, witness={}", witness);
+            prop_assert_eq!(wide.3, scalar.3, "race totals, witness={}", witness);
+            prop_assert_eq!(&wide.4, &scalar.4, "health counters, witness={}", witness);
+            prop_assert_eq!(&wide.5, &scalar.5, "stats, witness={}", witness);
+        }
+    }
+}

@@ -129,6 +129,9 @@ impl DetectorState {
                 let mut rdu = SharedRdu::new(sm, shared_per_sm, shared_banks, cfg.shared_granularity, warp_filter, cfg.bloom);
                 rdu.set_witness_capture(cfg.witness_capture);
                 rdu.set_exact_lockset(cfg.exact_lockset);
+                if cfg.force_scalar_shadow {
+                    rdu.set_force_scalar(true);
+                }
                 rdu
             })
             .collect();
@@ -144,6 +147,9 @@ impl DetectorState {
             );
             rdu.set_witness_capture(cfg.witness_capture);
             rdu.set_exact_lockset(cfg.exact_lockset);
+            if cfg.force_scalar_shadow {
+                rdu.set_force_scalar(true);
+            }
             rdu
         });
         let span = haccrg::cost::global_shadow_footprint(u64::from(tracked.1), cfg.global_granularity)
